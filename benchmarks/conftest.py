@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one figure/example of the paper: it simulates the
+workload(s), checks the paper's *shape* claim as an assertion, prints a
+paper-style table (run with ``-s`` to see them), and reports the
+simulation wall time through pytest-benchmark.
+
+Simulations are deterministic, so a single round is meaningful; the
+``once`` helper standardizes that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic experiment exactly once under the timer."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1, warmup_rounds=0)
+    return runner

@@ -1,0 +1,82 @@
+"""E10b -- the [11] barrier algorithms and the non-power-of-two case.
+
+Extends the Fig. 5.4 comparison with the two Hensgen/Finkel/Manber
+algorithms the paper cites and the "minor modification" that handles
+P not a power of two (dissemination pairing):
+
+* the PC dissemination barrier keeps the PC butterfly's costs (P
+  variables, 2 ops per round) while supporting any P;
+* all log-round barriers beat the lock-based counter barrier;
+* the tournament barrier needs 2(P-1) variables and, like the
+  butterfly, no atomic operation.
+"""
+
+from __future__ import annotations
+
+from repro.barriers import (BrooksButterflyBarrier, CounterBarrier,
+                            DisseminationBarrier, PCButterflyBarrier,
+                            PCDisseminationBarrier, PhasedWorkload,
+                            TournamentBarrier, check_barrier_separation)
+from repro.report import print_table
+from repro.sim import Machine, MachineConfig
+
+PHASES = 8
+WORK = 100
+SIZES = (5, 8, 12, 16)  # deliberately includes non-powers-of-two
+
+
+def episode_cost(result):
+    return (result.makespan - PHASES * WORK) / PHASES
+
+
+def run_algorithms():
+    rows = {}
+    for p in SIZES:
+        candidates = [("counter(lock)", CounterBarrier(p)),
+                      ("dissemination", DisseminationBarrier(p)),
+                      ("pc-dissemination", PCDisseminationBarrier(p)),
+                      ("tournament", TournamentBarrier(p))]
+        if p & (p - 1) == 0:  # power of two: XOR butterflies apply
+            candidates.append(("brooks-bfly", BrooksButterflyBarrier(p)))
+            candidates.append(("pc-bfly", PCButterflyBarrier(p)))
+        for label, barrier in candidates:
+            workload = PhasedWorkload(barrier, PHASES,
+                                      lambda pid, phase: WORK)
+            machine = Machine(MachineConfig(processors=p,
+                                            schedule="block"))
+            result = machine.run(workload)
+            check_barrier_separation(result, p, PHASES)
+            rows[(label, p)] = result
+    return rows
+
+
+def test_barrier_algorithms(once):
+    rows = once(run_algorithms)
+
+    for p in SIZES:
+        # every log-round algorithm beats the lock-based counter
+        counter = episode_cost(rows[("counter(lock)", p)])
+        for label in ("dissemination", "pc-dissemination", "tournament"):
+            assert episode_cost(rows[(label, p)]) < counter, (label, p)
+        # the PC dissemination barrier has the fewest variables
+        assert (rows[("pc-dissemination", p)].sync_vars
+                <= min(rows[("dissemination", p)].sync_vars,
+                       rows[("tournament", p)].sync_vars))
+        # and no memory traffic at all
+        assert rows[("pc-dissemination", p)].memory_hotspot == 0
+
+    # at a power of two, PC dissemination ~ PC butterfly (same cost
+    # structure, different pairing)
+    bfly = episode_cost(rows[("pc-bfly", 16)])
+    dissem = episode_cost(rows[("pc-dissemination", 16)])
+    assert abs(bfly - dissem) <= 0.25 * bfly + 2
+
+    print_table(
+        ["barrier", "P", "cycles/episode", "sync vars", "sync ops",
+         "hot spot"],
+        [[label, p, round(episode_cost(r), 1), r.sync_vars,
+          r.total_sync_ops, r.memory_hotspot]
+         for (label, p), r in sorted(rows.items(),
+                                     key=lambda kv: (kv[0][1], kv[0][0]))],
+        title="Fig 5.4 extension: [11] algorithms, including "
+              "non-power-of-two P (5, 12)")

@@ -1,0 +1,54 @@
+"""E1 -- Fig. 2.1: dependence analysis of the running example.
+
+Regenerates the dependence graph of Fig. 2.1(b): the arcs, their types
+and distances, and the coverage pruning the paper describes (S1->S4 is
+covered by S1->S3 + S3->S4).
+"""
+
+from __future__ import annotations
+
+from repro.apps.kernels import fig21_loop
+from repro.depend import DependenceGraph, classify
+from repro.report import print_table
+
+
+def analyze_fig21(n):
+    loop = fig21_loop(n=n)
+    graph = DependenceGraph(loop)
+    return loop, graph
+
+
+def test_fig2_1_dependence_graph(once):
+    loop, graph = once(analyze_fig21, 1000)
+
+    arcs = {(d.src, d.dst, d.dep_type, d.distance)
+            for d in graph.dependences}
+    expected = {
+        ("S1", "S2", "flow", (2,)),
+        ("S1", "S3", "flow", (1,)),
+        ("S4", "S5", "flow", (1,)),
+        ("S2", "S4", "anti", (1,)),
+        ("S3", "S4", "anti", (2,)),
+        ("S1", "S4", "output", (3,)),
+        ("S1", "S5", "flow", (4,)),   # covered; elided in the figure
+    }
+    assert arcs == expected
+
+    pruned = {(a.src, a.dst, a.distance)
+              for a in graph.pruned_sync_arcs()}
+    assert ("S1", "S4", 3) not in pruned   # the paper's covered arc
+    assert ("S1", "S5", 4) not in pruned
+    assert len(pruned) == 5
+
+    outcome = classify(loop)
+    assert outcome.label == "doacross"
+
+    print_table(
+        ["dependence", "type", "distance", "enforced"],
+        [[f"{d.src}->{d.dst}", d.dep_type, d.distance[0],
+          "yes" if (d.src, d.dst, d.distance[0]) in pruned else
+          "covered"]
+         for d in sorted(graph.dependences,
+                         key=lambda d: (d.src, d.dst))],
+        title="Fig 2.1(b): dependences of the running example "
+              f"(classified {outcome.label})")

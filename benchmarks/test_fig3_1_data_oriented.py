@@ -1,0 +1,65 @@
+"""E2/E3 -- Fig. 3.1: the two data-oriented schemes on the running example.
+
+Shape claims measured here:
+
+* reference-based needs one key per array element, so synchronization
+  variables and initialization overhead grow linearly with N;
+* instance-based needs even more storage (an instance per write, a copy
+  per reader) but removes all anti/output waiting;
+* both pay their busy-waiting through the memory system (polled waits
+  are charged transactions).
+"""
+
+from __future__ import annotations
+
+from repro.apps.kernels import fig21_loop
+from repro.report import print_table
+from repro.schemes import make_scheme
+from repro.sim import Machine, MachineConfig
+
+SIZES = (50, 100, 200)
+P = 8
+
+
+def run_data_oriented():
+    machine = Machine(MachineConfig(processors=P))
+    rows = {}
+    for n in SIZES:
+        loop = fig21_loop(n=n)
+        for name in ("reference-based", "instance-based"):
+            rows[(name, n)] = make_scheme(name).run(loop, machine=machine)
+    return rows
+
+
+def test_fig3_1_data_oriented_costs(once):
+    rows = once(run_data_oriented)
+
+    # keys grow ~linearly with N (one per touched element: N+4)
+    for n in SIZES:
+        assert rows[("reference-based", n)].sync_vars == n + 4
+
+    # instance-based storage is strictly larger (copies per reader)
+    for n in SIZES:
+        assert (rows[("instance-based", n)].sync_vars
+                > rows[("reference-based", n)].sync_vars)
+
+    # reference-based key initialization grows with N (a key per datum);
+    # instance-based init covers only pre-loop values (boundary elements
+    # here) but its *storage* grows with N
+    ref_inits = [rows[("reference-based", n)].init_cycles for n in SIZES]
+    assert ref_inits[0] < ref_inits[1] < ref_inits[2]
+    inst_storage = [rows[("instance-based", n)].sync_storage_words
+                    for n in SIZES]
+    assert inst_storage[0] < inst_storage[1] < inst_storage[2]
+
+    # busy-waiting hits the memory system
+    for n in SIZES:
+        assert rows[("reference-based", n)].sync_transactions > 0
+
+    print_table(
+        ["scheme", "N", "sync vars", "init cycles", "sync tx",
+         "makespan", "util"],
+        [[name, n, r.sync_vars, r.init_cycles, r.sync_transactions,
+          r.makespan, round(r.utilization, 3)]
+         for (name, n), r in sorted(rows.items())],
+        title="Fig 3.1: data-oriented schemes on the Fig 2.1 loop")

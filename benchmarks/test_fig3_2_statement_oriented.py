@@ -1,0 +1,60 @@
+"""E4 -- Fig. 3.2: the statement-oriented scheme and horizontal sharing.
+
+Shape claims:
+
+* one counter per source statement (4 for the running example),
+  independent of N;
+* Advance updates are strictly serial per statement, so one delayed
+  iteration stalls *every* later iteration -- the delay penalty grows
+  with the injected delay under the statement-oriented scheme much
+  faster than under the process-oriented scheme (vertical sharing).
+"""
+
+from __future__ import annotations
+
+from repro.apps.kernels import fig21_loop, fig21_loop_with_delay
+from repro.report import print_table
+from repro.schemes import make_scheme
+from repro.sim import Machine, MachineConfig
+
+P = 8
+N = 96
+
+
+def run_delay_sweep():
+    machine = Machine(MachineConfig(processors=P))
+    rows = {}
+    for slow_cost in (10, 400, 1600):
+        loop = (fig21_loop(n=N) if slow_cost == 10 else
+                fig21_loop_with_delay(n=N, slow_iteration=N // 3,
+                                      slow_cost=slow_cost))
+        for name in ("statement-oriented", "process-oriented"):
+            rows[(name, slow_cost)] = make_scheme(name).run(loop,
+                                                            machine=machine)
+    return rows
+
+
+def test_fig3_2_statement_counters(once):
+    rows = once(run_delay_sweep)
+
+    # counter count: one per source statement, independent of N
+    for slow_cost in (10, 400, 1600):
+        assert rows[("statement-oriented", slow_cost)].sync_vars == 4
+
+    # horizontal sharing: the statement scheme suffers more from the
+    # injected delay than the process scheme does
+    def penalty(name):
+        return (rows[(name, 1600)].makespan
+                - rows[(name, 10)].makespan)
+
+    assert penalty("statement-oriented") > penalty("process-oriented")
+    # and in absolute terms it is slower once the delay is big
+    assert (rows[("statement-oriented", 1600)].makespan
+            > rows[("process-oriented", 1600)].makespan)
+
+    print_table(
+        ["scheme", "slow-S1 cost", "makespan", "spin frac", "sync vars"],
+        [[name, cost, r.makespan, round(r.spin_fraction, 3), r.sync_vars]
+         for (name, cost), r in sorted(rows.items())],
+        title="Fig 3.2: statement counters vs process counters under "
+              "one delayed iteration")

@@ -1,0 +1,51 @@
+"""E9 -- Fig. 5.3 / Example 3: dependence sources in branches.
+
+Shape claims:
+
+* both publication policies are correct (sinks always proceed: the
+  transfer signs off every skipped source);
+* the eager policy ("inform the sinks to proceed as soon as possible")
+  cuts sink spin time, and the gap grows with the length of the branch
+  that delays the lazy sign-off.
+"""
+
+from __future__ import annotations
+
+from repro.apps.branchy import run_branchy
+from repro.report import print_table
+
+N = 72
+P = 8
+
+
+def run_branch_suite():
+    reports = {}
+    for long_cost in (100, 400, 1600):
+        for policy in ("eager", "lazy"):
+            reports[(policy, long_cost)] = run_branchy(
+                policy, n=N, long_branch_cost=long_cost, processors=P)
+    return reports
+
+
+def test_fig5_3_branch_sources(once):
+    reports = once(run_branch_suite)
+
+    for long_cost in (100, 400, 1600):
+        eager = reports[("eager", long_cost)]
+        lazy = reports[("lazy", long_cost)]
+        assert eager.total_spin <= lazy.total_spin
+        assert eager.makespan <= lazy.makespan * 1.02
+
+    # the eager advantage grows with the branch length
+    def spin_saving(cost):
+        return (reports[("lazy", cost)].total_spin
+                - reports[("eager", cost)].total_spin)
+
+    assert spin_saving(1600) > spin_saving(100)
+
+    print_table(
+        ["policy", "long-branch cost", "makespan", "total spin"],
+        [[policy, cost, r.makespan, r.total_spin]
+         for (policy, cost), r in sorted(reports.items())],
+        title=f"Fig 5.3: sources in branches, N={N}, P={P} "
+              "(eager = publish skipped steps immediately)")

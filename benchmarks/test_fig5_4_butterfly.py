@@ -1,0 +1,84 @@
+"""E10 -- Fig. 5.4 / Example 4: butterfly barriers.
+
+Shape claims:
+
+* on a machine without hardware fetch&add (the paper's small bus-based
+  systems), both butterflies beat the lock-based counter barrier, and
+  the gap grows with P (O(P) serialized arrivals vs O(log P) stages);
+* the PC butterfly needs fewer synchronization variables (P vs
+  P*log2 P) and fewer operations (2 vs 4 per stage) than Brooks';
+* the counter barrier concentrates traffic on single memory modules
+  (the hot spot); the PC butterfly generates no memory traffic at all.
+"""
+
+from __future__ import annotations
+
+from repro.barriers import (BrooksButterflyBarrier, CounterBarrier,
+                            PCButterflyBarrier, PhasedWorkload,
+                            check_barrier_separation, stages_for)
+from repro.report import print_table
+from repro.sim import Machine, MachineConfig
+
+PHASES = 8
+WORK = 100
+SIZES = (4, 8, 16, 32)
+
+
+def episode_cost(result, n_phases=PHASES, work=WORK):
+    return (result.makespan - n_phases * work) / n_phases
+
+
+def run_barrier_sweep():
+    rows = {}
+    for p in SIZES:
+        for label, barrier in (
+                ("counter(lock)", CounterBarrier(p)),
+                ("counter(f&a)", CounterBarrier(p,
+                                                hardware_fetch_add=True)),
+                ("brooks-bfly", BrooksButterflyBarrier(p)),
+                ("pc-bfly", PCButterflyBarrier(p))):
+            workload = PhasedWorkload(barrier, PHASES,
+                                      lambda pid, phase: WORK)
+            machine = Machine(MachineConfig(processors=p,
+                                            schedule="block"))
+            result = machine.run(workload)
+            check_barrier_separation(result, p, PHASES)
+            rows[(label, p)] = result
+    return rows
+
+
+def test_fig5_4_butterfly_barrier(once):
+    rows = once(run_barrier_sweep)
+
+    for p in SIZES:
+        # butterflies beat the realistic (lock-based) counter barrier
+        assert (episode_cost(rows[("brooks-bfly", p)])
+                < episode_cost(rows[("counter(lock)", p)]))
+        assert (episode_cost(rows[("pc-bfly", p)])
+                < episode_cost(rows[("counter(lock)", p)]))
+        # fewer variables and fewer sync operations than Brooks'
+        assert (rows[("pc-bfly", p)].sync_vars
+                < rows[("brooks-bfly", p)].sync_vars)
+        assert (rows[("pc-bfly", p)].total_sync_ops
+                < rows[("brooks-bfly", p)].total_sync_ops)
+        # hot spot: counter pounds one module, PC butterfly none
+        assert (rows[("counter(lock)", p)].memory_hotspot
+                > rows[("brooks-bfly", p)].memory_hotspot)
+        assert rows[("pc-bfly", p)].memory_hotspot == 0
+
+    # the counter's O(P) arrival serialization vs butterfly's O(log P)
+    counter_growth = (episode_cost(rows[("counter(lock)", 32)])
+                      / episode_cost(rows[("counter(lock)", 4)]))
+    brooks_growth = (episode_cost(rows[("brooks-bfly", 32)])
+                     / episode_cost(rows[("brooks-bfly", 4)]))
+    assert counter_growth > brooks_growth
+
+    print_table(
+        ["barrier", "P", "cycles/episode", "sync vars", "sync ops",
+         "hot spot"],
+        [[label, p, round(episode_cost(r), 1), r.sync_vars,
+          r.total_sync_ops, r.memory_hotspot]
+         for (label, p), r in sorted(rows.items(),
+                                     key=lambda kv: (kv[0][1], kv[0][0]))],
+        title=f"Fig 5.4: barrier episode cost, {PHASES} balanced phases "
+              f"of {WORK} cycles")

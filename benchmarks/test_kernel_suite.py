@@ -1,0 +1,73 @@
+"""E19 -- the kernel suite through the compile pipeline.
+
+A realistic mixed workload (Livermore-style shapes) end to end: the
+compiler classifies each kernel, analyzes its doacross delay, picks a
+scheme, and the simulation is validated.  Shape claims: DOALLs scale
+near-linearly, the serial chain does not, strided prefix chains scale to
+their stride, and the ADI sweep scales across its parallel dimension.
+"""
+
+from __future__ import annotations
+
+from repro.apps.livermore import SUITE, adi_sweep
+from repro.compiler import compile_loop
+from repro.report import print_table
+from repro.schemes import make_scheme
+from repro.sim import Machine, MachineConfig
+
+P = 8
+
+
+def run_suite():
+    rows = {}
+    for name, build in SUITE.items():
+        # compute-heavy variants so the serial-compute baseline is fair
+        loop = (adi_sweep(n=10, m=8, cost=30) if name == "adi"
+                else build(n=64, cost=30))
+        decision = compile_loop(loop, processors=P)
+        machine = Machine(MachineConfig(processors=P))
+        result = machine.run(decision.instrumented)
+        decision.instrumented.validate(result)
+        serial = loop.serial_cycles()
+        rows[name] = (decision, result, serial)
+    return rows
+
+
+def test_kernel_suite(once):
+    rows = once(run_suite)
+
+    def speedup(name):
+        _decision, result, serial = rows[name]
+        return serial / result.makespan
+
+    # DOALLs scale well on 8 processors
+    for name in ("hydro", "state", "first-diff"):
+        assert rows[name][0].classification.label == "doall"
+        assert speedup(name) > 3.0, (name, speedup(name))
+
+    # the serial chain does not scale...
+    assert rows["tridiag"][0].classification.label == "doacross"
+    assert speedup("tridiag") < 1.2
+    # ...and the profitability gate catches it at compile time ("it may
+    # not be desirable to run a loop concurrently")
+    from repro.apps.livermore import tridiagonal
+    gated = compile_loop(tridiagonal(n=64, cost=30), processors=P,
+                         serialize_unprofitable=True)
+    assert gated.chosen_scheme == "serial"
+    assert "not worthwhile" in gated.rationale
+
+    # strided prefix: speedup approaches the stride (4 chains)
+    assert 1.5 < speedup("prefix") < 4.5
+
+    # ADI: carried along rows only -> near-DOALL behaviour across columns
+    assert speedup("adi") > 2.0
+
+    print_table(
+        ["kernel", "classification", "delay", "scheme", "speedup",
+         "sync vars"],
+        [[name, decision.classification.label,
+          round(decision.delay.delay, 1), decision.chosen_scheme,
+          round(serial / result.makespan, 2), result.sync_vars]
+         for name, (decision, result, serial) in rows.items()],
+        title=f"Livermore-style kernel suite through the compile "
+              f"pipeline, P={P} (all runs validated)")

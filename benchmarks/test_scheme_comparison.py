@@ -1,0 +1,70 @@
+"""E12 -- the section 3/6 summary: all four schemes side by side.
+
+The paper's comparative claims, as one table over the running example:
+
+* data-oriented schemes need O(data) synchronization variables and pay
+  O(data) initialization; the statement-oriented scheme needs one per
+  source statement; the process-oriented scheme needs X, a constant;
+* the process-oriented scheme's storage never grows with N while every
+  data-oriented scheme's does;
+* the broadcast-register schemes spin for free (no memory traffic);
+  the data-oriented schemes poll through memory.
+"""
+
+from __future__ import annotations
+
+from repro.apps.kernels import fig21_loop
+from repro.report import print_table
+from repro.schemes import make_scheme, scheme_names
+from repro.sim import Machine, MachineConfig
+
+N = 120
+P = 8
+
+
+def run_all_schemes():
+    machine = Machine(MachineConfig(processors=P))
+    loop = fig21_loop(n=N)
+    return {name: make_scheme(name).run(loop, machine=machine)
+            for name in scheme_names()}
+
+
+def test_scheme_comparison(once):
+    results = once(run_all_schemes)
+
+    ref = results["reference-based"]
+    inst = results["instance-based"]
+    stmt = results["statement-oriented"]
+    proc = results["process-oriented"]
+
+    # synchronization-variable ordering: process/statement tiny,
+    # data-oriented O(data)
+    assert stmt.sync_vars == 4
+    assert proc.sync_vars == 16
+    assert ref.sync_vars == N + 4
+    assert inst.sync_vars > ref.sync_vars
+
+    # initialization overhead: data-oriented pay per datum (grows with
+    # N even parallelized over P init workers); process counters are a
+    # constant handful of register writes
+    assert ref.init_cycles > proc.init_cycles
+    assert proc.init_cycles < 100
+
+    # storage: the proposed scheme's is constant and smallest
+    assert proc.sync_storage_words <= min(ref.sync_storage_words,
+                                          inst.sync_storage_words)
+
+    # waiting style: register schemes beat memory-polled schemes on
+    # makespan for this loop
+    assert proc.makespan < ref.makespan
+    assert proc.makespan < inst.makespan
+
+    print_table(
+        ["scheme", "sync vars", "storage", "init cycles", "sync tx",
+         "makespan", "util", "spin frac"],
+        [[name, r.sync_vars, r.sync_storage_words, r.init_cycles,
+          r.sync_transactions, r.makespan, round(r.utilization, 3),
+          round(r.spin_fraction, 3)]
+         for name, r in results.items()],
+        title=f"Section 3/6 summary: all schemes, Fig 2.1 loop, N={N}, "
+              f"P={P}")

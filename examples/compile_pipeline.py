@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Drive the whole stack the way a parallelizing compiler would.
+
+1. write a loop in the paper's Fortran surface syntax,
+2. parse it to the IR, analyze dependences, compute the doacross delay,
+3. let the compile pipeline pick a synchronization scheme,
+4. simulate the chosen instrumentation, validate it, and
+5. draw the processor timeline.
+
+Run:  python examples/compile_pipeline.py
+"""
+
+from repro.compiler import compile_loop
+from repro.frontend import parse_loop
+from repro.report import render_timeline
+from repro.sim import Machine, MachineConfig
+
+SOURCE = """
+DO I = 1, N
+  S1: A(I+3) = ...        ! source of three flow dependences
+  S2: ...    = A(I+1)
+  S3: ...    = A(I+2)
+  S4: A(I)   = B(I-2)
+  S5: B(I)   = A(I-1)
+END DO
+"""
+
+
+def main() -> None:
+    print("source:")
+    print(SOURCE)
+
+    loop = parse_loop(SOURCE, name="demo", N=48)
+    decision = compile_loop(loop, processors=8, objective="time")
+    print(decision.explain())
+
+    machine = Machine(MachineConfig(processors=8))
+    result = machine.run(decision.instrumented)
+    decision.instrumented.validate(result)
+
+    predicted = decision.delay.predicted_makespan(loop.n_iterations, 8)
+    print(f"\nsimulated makespan {result.makespan} cycles "
+          f"(analytic lower bound {predicted:.0f}); "
+          f"utilization {result.utilization:.2f}; validated OK\n")
+    print(render_timeline(result, width=70))
+
+
+if __name__ == "__main__":
+    main()

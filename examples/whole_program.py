@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Run a whole multi-loop program through the compiler.
+
+A miniature scientific program — produce, smooth (a true DOACROSS
+recurrence), difference, and a deliberately unanalyzable reduction —
+compiled loop by loop: each is classified, delay-analyzed, given a
+synchronization scheme (or sent to a single processor), simulated with
+the memory the previous loops left behind, and validated against the
+chained sequential semantics.
+
+Run:  python examples/whole_program.py
+"""
+
+from repro.compiler import run_program
+from repro.frontend import parse_loop
+from repro.report import print_table
+
+LOOPS = [
+    ("initialize", """
+DO I = 1, N
+  A(I) = ...
+END DO
+"""),
+    ("smooth", """
+DO I = 2, N
+  B(I) = A(I) + B(I-1)
+END DO
+"""),
+    ("difference", """
+DO I = 1, M
+  C(I) = B(I+1) + B(I)
+END DO
+"""),
+    ("gather", """
+DO I = 1, N
+  D(I) = C(2*I)
+  E(I) = D(2*I)
+END DO
+"""),
+]
+
+
+def main() -> None:
+    n = 32
+    loops = [parse_loop(source, name=name, N=n, M=n - 1)
+             for name, source in LOOPS]
+    program = run_program(loops, processors=8)
+
+    rows = []
+    for run in program.runs:
+        delay = ("-" if run.decision is None or run.decision.delay is None
+                 else f"{run.decision.delay.delay:.1f}")
+        classification = ("serial" if run.decision is None
+                          else run.decision.classification.label)
+        rows.append([run.loop.name, classification, delay, run.scheme,
+                     run.result.makespan, run.result.sync_vars])
+
+    print_table(
+        ["loop", "classification", "delay", "scheme", "makespan",
+         "sync vars"],
+        rows,
+        title=f"4-loop program on 8 processors, N={n} "
+              f"(total {program.total_cycles} cycles; final state "
+              "validated against the chained sequential execution)")
+
+    print("\nvalues flow across loops: e.g. E(4) =",
+          program.final_state.get(("E", 4)))
+
+
+if __name__ == "__main__":
+    main()

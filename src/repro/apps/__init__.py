@@ -1,0 +1,36 @@
+"""The paper's worked examples as runnable applications.
+
+* :mod:`repro.apps.kernels` -- every loop the paper analyzes, in IR form
+* :mod:`repro.apps.relaxation` -- Example 1: wavefront vs. asynchronous
+  pipelining, column grouping, limited statement counters
+* :mod:`repro.apps.nested` -- Example 2: coalesced nested DOACROSS
+* :mod:`repro.apps.branchy` -- Example 3: sources in branches
+* :mod:`repro.apps.fft` -- Example 5: pairwise-synchronized FFT phases
+  (Example 4, the butterfly barrier, lives in :mod:`repro.barriers`)
+"""
+
+from .branchy import BranchRunReport, run_branchy
+from .fft import BarrierFFT, PairwiseFFT, run_fft
+from .kernels import (doall_loop, example2_loop, example3_loop, fig21_loop,
+                      fig21_loop_with_delay, late_source_loop,
+                      recurrence_loop, relaxation_loop,
+                      triple_nested_loop)
+from .livermore import SUITE as LIVERMORE_SUITE
+from .nested import NestedRunReport, run_nested, with_boundary_overhead
+from .pde import BarrierPDE, NeighborPDE, run_pde
+from .relaxation import (PipelinedRelaxation, SerialRelaxation,
+                         StatementPipelinedRelaxation, WavefrontRelaxation,
+                         column_groups, run_relaxation, serial_cycles)
+
+__all__ = [
+    "BarrierFFT", "BarrierPDE", "BranchRunReport", "NeighborPDE",
+    "NestedRunReport", "PairwiseFFT",
+    "PipelinedRelaxation", "SerialRelaxation",
+    "StatementPipelinedRelaxation", "WavefrontRelaxation",
+    "column_groups", "doall_loop", "example2_loop", "example3_loop",
+    "LIVERMORE_SUITE", "fig21_loop", "fig21_loop_with_delay", "late_source_loop",
+    "recurrence_loop", "triple_nested_loop",
+    "relaxation_loop", "run_branchy", "run_fft",
+    "run_nested", "run_pde", "run_relaxation", "serial_cycles",
+    "with_boundary_overhead",
+]

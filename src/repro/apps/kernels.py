@@ -1,0 +1,231 @@
+"""The paper's loops, expressed in the :mod:`repro.depend` IR.
+
+Each function builds one of the kernels the paper analyzes:
+
+* :func:`fig21_loop` -- the running example of Fig. 2.1,
+* :func:`example2_loop` -- the multiply-nested DOACROSS of Fig. 5.2,
+* :func:`example3_loop` -- dependence sources in branches (Fig. 5.3),
+* :func:`relaxation_loop` -- the four-point relaxation of Fig. 5.1 in IR
+  form (used for analysis; the pipelined execution strategies live in
+  :mod:`repro.apps.relaxation`),
+* :func:`recurrence_loop` / :func:`doall_loop` -- classification
+  extremes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..depend.model import (ArrayRef, Loop, Statement,
+                            index_expr, ref1)
+
+
+def fig21_loop(n: int = 100, cost: int = 10) -> Loop:
+    """The paper's running example (Fig. 2.1(a))::
+
+        DO I = 1, N
+          S1: A[I+3] = ...
+          S2: ...    = A[I+1]
+          S3: ...    = A[I+2]
+          S4: A[I]   = ...
+          S5: ...    = A[I-1]
+        END DO
+
+    Dependences: flow S1->S2 (d2), S1->S3 (d1), S4->S5 (d1); anti
+    S2->S4 (d1), S3->S4 (d2); output S1->S4 (d3, covered by S1->S3 +
+    S3->S4).
+    """
+    body = [
+        Statement("S1", writes=(ref1("A", 1, 3),), cost=cost),
+        Statement("S2", reads=(ref1("A", 1, 1),), cost=cost),
+        Statement("S3", reads=(ref1("A", 1, 2),), cost=cost),
+        Statement("S4", writes=(ref1("A", 1, 0),), cost=cost),
+        Statement("S5", reads=(ref1("A", 1, -1),), cost=cost),
+    ]
+    return Loop("fig2.1", bounds=((1, n),), body=body)
+
+
+def fig21_loop_with_delay(n: int = 100, cost: int = 10,
+                          slow_iteration: int = 10,
+                          slow_cost: int = 500) -> Loop:
+    """Fig. 2.1 with one slow iteration of S1.
+
+    Reproduces the horizontal-sharing critique of section 4: "If for
+    some reason one process delays its release of the SC (e.g. executing
+    a longer branch), all later processes will be affected" under the
+    statement-oriented scheme, but not under the process-oriented one.
+    """
+    def s1_cost(index) -> int:
+        return slow_cost if index[0] == slow_iteration else cost
+
+    body = [
+        Statement("S1", writes=(ref1("A", 1, 3),), cost=s1_cost),
+        Statement("S2", reads=(ref1("A", 1, 1),), cost=cost),
+        Statement("S3", reads=(ref1("A", 1, 2),), cost=cost),
+        Statement("S4", writes=(ref1("A", 1, 0),), cost=cost),
+        Statement("S5", reads=(ref1("A", 1, -1),), cost=cost),
+    ]
+    return Loop("fig2.1-delay", bounds=((1, n),), body=body)
+
+
+def example2_loop(n: int = 10, m: int = 5, cost: int = 10) -> Loop:
+    """The multiply-nested DOACROSS of Example 2 (Fig. 5.2(a))::
+
+        DO I = 1, N
+          DO J = 1, M
+            S1: A[I,J] = ...
+            S2: B[I,J] = A[I,J-1] ...
+            S3: ...    = B[I-1,J-1]
+          END DO
+        END DO
+
+    Coalesced with lpid = (i-1)*M + j: S1->S2 distance (0,1) -> 1,
+    S2->S3 distance (1,1) -> M+1.
+    """
+    a_ij = ArrayRef("A", (index_expr(0, 2), index_expr(1, 2)))
+    a_ijm1 = ArrayRef("A", (index_expr(0, 2), index_expr(1, 2, -1)))
+    b_ij = ArrayRef("B", (index_expr(0, 2), index_expr(1, 2)))
+    b_im1jm1 = ArrayRef("B", (index_expr(0, 2, -1), index_expr(1, 2, -1)))
+    body = [
+        Statement("S1", writes=(a_ij,), cost=cost),
+        Statement("S2", writes=(b_ij,), reads=(a_ijm1,), cost=cost),
+        Statement("S3", reads=(b_im1jm1,), cost=cost),
+    ]
+    return Loop("example2", bounds=((1, n), (1, m)), body=body,
+                array_shapes={"A": (n + 1, m + 1), "B": (n + 1, m + 1)})
+
+
+def example3_loop(n: int = 60, cost: int = 10, long_branch_cost: int = 200,
+                  branch: Optional[Callable[[int], str]] = None) -> Loop:
+    """Dependence sources in branches (Example 3 / Fig. 5.3).
+
+    Each iteration takes branch B or C.  The source statement ``Sb``
+    (flow dependence on array ``B``, distance 2) executes only on branch
+    B; on branch C the iteration instead runs a *long* computation ``Sc``
+    before reaching its final source ``Sd``.  Sinks in later iterations
+    wait on ``Sb``'s step whether or not it ran, so the synchronization
+    variable must be changed on all paths.
+
+    The paper's refinement is visible here: when branch C is taken, an
+    *eager* scheme publishes ``Sb``'s (skipped) step before the long
+    computation ("P1 should inform the sinks to proceed as soon as
+    possible"), while a lazy scheme leaves the sinks spinning until the
+    final transfer after ``Sc`` + ``Sd``.
+
+    ``branch`` maps the iteration number to "B" or "C" (default:
+    alternating blocks of three).
+    """
+    if branch is None:
+        def branch(i: int) -> str:
+            return "B" if (i // 3) % 2 == 0 else "C"
+
+    def on_b(index) -> bool:
+        return branch(index[0]) == "B"
+
+    def on_c(index) -> bool:
+        return branch(index[0]) == "C"
+
+    body = [
+        # Sa: unconditional source on A (step 1)
+        Statement("Sa", writes=(ref1("A", 1, 1),), cost=cost),
+        # Sb: branch-B-only source on B (step 2; skipped on branch C)
+        Statement("Sb", writes=(ref1("B", 1, 2),), cost=cost, guard=on_b),
+        # Sc: branch-C-only long computation (not a source)
+        Statement("Sc", reads=(ref1("A", 1, 0),), cost=long_branch_cost,
+                  guard=on_c),
+        # Sd: unconditional source on C (step 3, the last source)
+        Statement("Sd", writes=(ref1("C", 1, 1),), cost=cost),
+        # Se: sink of Sa (d1), Sb (d2) and Sd (d1)
+        Statement("Se", reads=(ref1("A", 1, 0), ref1("B", 1, 0),
+                               ref1("C", 1, 0)), cost=cost),
+    ]
+    return Loop("example3", bounds=((1, n),), body=body)
+
+
+def relaxation_loop(n: int = 16, cost: int = 10) -> Loop:
+    """The four-point relaxation of Example 1 (Fig. 5.1(a)) as a nest::
+
+        DO I = 2, N
+          DO J = 2, N
+            S: A[I,J] = A[I-1,J] + A[I,J-1]
+          END DO
+        END DO
+
+    Both dependences have distance vectors (1,0) and (0,1).  This IR form
+    feeds the dependence analysis; the wavefront and pipelined execution
+    strategies are built in :mod:`repro.apps.relaxation`.
+    """
+    a_ij = ArrayRef("A", (index_expr(0, 2), index_expr(1, 2)))
+    a_im1j = ArrayRef("A", (index_expr(0, 2, -1), index_expr(1, 2)))
+    a_ijm1 = ArrayRef("A", (index_expr(0, 2), index_expr(1, 2, -1)))
+    body = [Statement("S", writes=(a_ij,), reads=(a_im1j, a_ijm1),
+                      cost=cost)]
+    return Loop("relaxation", bounds=((2, n), (2, n)), body=body,
+                array_shapes={"A": (n + 1, n + 1)})
+
+
+def triple_nested_loop(n: int = 4, m: int = 3, k: int = 3,
+                       cost: int = 10) -> Loop:
+    """A depth-3 DOACROSS nest ("The idea can be extended to
+    multiply-nested loops as well")::
+
+        DO I = 1, N
+          DO J = 1, M
+            DO K = 1, K
+              S1: A[I,J,K] = A[I,J,K-1]
+              S2: B[I,J,K] = A[I,J-1,K] + B[I-1,J,K]
+            END DO
+          END DO
+        END DO
+
+    Linearized distances: (0,0,1) -> 1, (0,1,0) -> K, (1,0,0) -> M*K.
+    """
+    a_ijk = ArrayRef("A", (index_expr(0, 3), index_expr(1, 3),
+                           index_expr(2, 3)))
+    a_ijkm1 = ArrayRef("A", (index_expr(0, 3), index_expr(1, 3),
+                             index_expr(2, 3, -1)))
+    a_ijm1k = ArrayRef("A", (index_expr(0, 3), index_expr(1, 3, -1),
+                             index_expr(2, 3)))
+    b_ijk = ArrayRef("B", (index_expr(0, 3), index_expr(1, 3),
+                           index_expr(2, 3)))
+    b_im1jk = ArrayRef("B", (index_expr(0, 3, -1), index_expr(1, 3),
+                             index_expr(2, 3)))
+    body = [
+        Statement("S1", writes=(a_ijk,), reads=(a_ijkm1,), cost=cost),
+        Statement("S2", writes=(b_ijk,), reads=(a_ijm1k, b_im1jk),
+                  cost=cost),
+    ]
+    shape = (n + 1, m + 1, k + 1)
+    return Loop("triple", bounds=((1, n), (1, m), (1, k)), body=body,
+                array_shapes={"A": shape, "B": shape})
+
+
+def late_source_loop(n: int = 40, body_cost: int = 40) -> Loop:
+    """A loop whose dependence source executes at the *end* of the
+    iteration while the sink runs at the *start* (flow on ``B`` at
+    distance 1, doacross delay > 0): without synchronization the race
+    manifests immediately, unlike Fig. 2.1 whose layout self-orders.
+    Used by the failure-injection tests and the delay-analysis benches.
+    """
+    body = [
+        Statement("S1", reads=(ref1("B", 1, -1),), cost=1),
+        Statement("S2", writes=(ref1("C", 1, 0),), cost=body_cost),
+        Statement("S3", writes=(ref1("B", 1, 0),), cost=1),
+    ]
+    return Loop("late-source", bounds=((1, n),), body=body)
+
+
+def recurrence_loop(n: int = 100, cost: int = 10) -> Loop:
+    """First-order linear recurrence: ``A[I] = A[I-1]`` -- the fully
+    serial-chain DOACROSS (speedup bounded by overlap of the off-chain
+    work, here none)."""
+    body = [Statement("S1", writes=(ref1("A", 1, 0),),
+                      reads=(ref1("A", 1, -1),), cost=cost)]
+    return Loop("recurrence", bounds=((1, n),), body=body)
+
+
+def doall_loop(n: int = 100, cost: int = 10) -> Loop:
+    """Independent iterations: ``A[I] = B[I]`` -- a DOALL, no sync arcs."""
+    body = [Statement("S1", writes=(ref1("A", 1, 0),),
+                      reads=(ref1("B", 1, 0),), cost=cost)]
+    return Loop("doall", bounds=((1, n),), body=body)

@@ -1,0 +1,97 @@
+"""A Livermore-loops-style kernel suite in the loop IR.
+
+The paper motivates its scheme with "most scientific applications" whose
+loops a parallelizing compiler must classify and synchronize.  This
+module provides a small suite of classic kernel shapes (after the
+Livermore Fortran kernels) expressible in the rectangular affine IR, so
+the compile pipeline can be exercised on a realistic mixed workload:
+
+* ``hydro_fragment``      -- LL1-shaped, fully parallel (DOALL)
+* ``tridiagonal``         -- LL5-shaped first-order recurrence (serial
+                             chain DOACROSS)
+* ``state_fragment``      -- LL7-shaped wide DOALL with many operands
+* ``adi_sweep``           -- ADI-style 2-D sweep, one carried dimension
+* ``first_difference``    -- LL12-shaped neighbour read (DOALL on a
+                             distinct output array)
+* ``prefix_partials``     -- running partial sums at stride ``k``
+                             (DOACROSS with distance k: k independent
+                             chains that pipeline)
+
+Each builder returns a plain :class:`~repro.depend.model.Loop`; the
+classifications asserted in the tests are computed, not assumed.
+"""
+
+from __future__ import annotations
+
+from ..depend.model import ArrayRef, Loop, Statement, index_expr, ref1
+
+
+def hydro_fragment(n: int = 64, cost: int = 8) -> Loop:
+    """LL1 shape: ``X[k] = Q + Y[k] * (R*Z[k+10] + T*Z[k+11])``."""
+    body = [Statement(
+        "S1",
+        writes=(ref1("X", 1, 0),),
+        reads=(ref1("Y", 1, 0), ref1("Z", 1, 10), ref1("Z", 1, 11)),
+        cost=cost)]
+    return Loop("hydro", bounds=((1, n),), body=body)
+
+
+def tridiagonal(n: int = 64, cost: int = 8) -> Loop:
+    """LL5 shape: ``X[i] = Z[i] * (Y[i] - X[i-1])`` -- a serial chain."""
+    body = [Statement(
+        "S1",
+        writes=(ref1("X", 1, 0),),
+        reads=(ref1("Z", 1, 0), ref1("Y", 1, 0), ref1("X", 1, -1)),
+        cost=cost)]
+    return Loop("tridiag", bounds=((2, n),), body=body)
+
+
+def state_fragment(n: int = 64, cost: int = 12) -> Loop:
+    """LL7 shape: a wide expression over shifted operands (DOALL)."""
+    body = [Statement(
+        "S1",
+        writes=(ref1("X", 1, 0),),
+        reads=(ref1("U", 1, 0), ref1("Z", 1, 0), ref1("Y", 1, 0),
+               ref1("U", 1, 1), ref1("U", 1, 2), ref1("U", 1, 3)),
+        cost=cost)]
+    return Loop("state", bounds=((1, n),), body=body)
+
+
+def adi_sweep(n: int = 10, m: int = 8, cost: int = 8) -> Loop:
+    """ADI-style implicit sweep: carried along rows, parallel across
+    columns -- ``X[i,j] = X[i-1,j] - Y[i,j]``."""
+    x_ij = ArrayRef("X", (index_expr(0, 2), index_expr(1, 2)))
+    x_im1j = ArrayRef("X", (index_expr(0, 2, -1), index_expr(1, 2)))
+    y_ij = ArrayRef("Y", (index_expr(0, 2), index_expr(1, 2)))
+    body = [Statement("S1", writes=(x_ij,), reads=(x_im1j, y_ij),
+                      cost=cost)]
+    return Loop("adi", bounds=((1, n), (1, m)), body=body,
+                array_shapes={"X": (n + 1, m + 1), "Y": (n + 1, m + 1)})
+
+
+def first_difference(n: int = 64, cost: int = 4) -> Loop:
+    """LL12 shape: ``X[k] = Y[k+1] - Y[k]`` (DOALL, distinct output)."""
+    body = [Statement(
+        "S1", writes=(ref1("X", 1, 0),),
+        reads=(ref1("Y", 1, 1), ref1("Y", 1, 0)), cost=cost)]
+    return Loop("first-diff", bounds=((1, n),), body=body)
+
+
+def prefix_partials(n: int = 64, stride: int = 4, cost: int = 8) -> Loop:
+    """Strided partial sums: ``X[i] = X[i-k] + Y[i]`` -- k independent
+    chains that a DOACROSS pipelines k-wide."""
+    body = [Statement(
+        "S1", writes=(ref1("X", 1, 0),),
+        reads=(ref1("X", 1, -stride), ref1("Y", 1, 0)), cost=cost)]
+    return Loop("prefix", bounds=((stride + 1, n),), body=body)
+
+
+#: the whole suite, name -> zero-argument builder
+SUITE = {
+    "hydro": hydro_fragment,
+    "tridiag": tridiagonal,
+    "state": state_fragment,
+    "adi": adi_sweep,
+    "first-diff": first_difference,
+    "prefix": prefix_partials,
+}

@@ -1,0 +1,77 @@
+"""Example 2 runners: multiply-nested DOACROSS via implicit coalescing.
+
+The nested loop of Fig. 5.2 runs through the generic scheme machinery
+(processes are linearized ``lpid``s), so this module only adds the
+comparison the example is about:
+
+* the process-oriented scheme coalesces implicitly -- lpid arithmetic
+  handles inner-loop boundaries at the price of a few *extra
+  dependences* (quantified by :func:`repro.core.linearize.extra_dependences`),
+* data-oriented schemes synchronize per element and therefore must test
+  loop boundaries at run time, "O(r d) per iteration" -- modelled as an
+  explicit per-iteration overhead added to their cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.linearize import (CoalescingReport, boundary_check_cost,
+                              extra_dependences)
+from ..depend.graph import DependenceGraph
+from ..depend.model import Loop, Statement
+from ..schemes.base import SyncScheme
+from ..sim.machine import Machine, MachineConfig
+from ..sim.metrics import RunResult
+
+
+def with_boundary_overhead(loop: Loop, per_check: int = 2) -> Loop:
+    """The loop as a data-oriented scheme executes it: every iteration
+    pays the O(r*d) boundary tests, charged to the first statement."""
+    overhead = boundary_check_cost(loop, per_check=per_check)
+
+    def inflate(stmt: Statement) -> Statement:
+        base_cost = stmt.cost
+
+        def cost(index) -> int:
+            base = base_cost(index) if callable(base_cost) else base_cost
+            return base + overhead
+
+        return Statement(stmt.sid, writes=stmt.writes, reads=stmt.reads,
+                         cost=cost, guard=stmt.guard)
+
+    body = [inflate(loop.body[0])] + list(loop.body[1:])
+    return Loop(loop.name + "+boundary", bounds=loop.bounds, body=body,
+                array_shapes=dict(loop.array_shapes))
+
+
+@dataclass
+class NestedRunReport:
+    """One scheme's result on the nested loop."""
+
+    scheme: str
+    result: RunResult
+    boundary_overhead_per_iteration: int
+    coalescing: List[CoalescingReport]
+
+
+def run_nested(loop: Loop, scheme: SyncScheme, processors: int = 8,
+               charge_boundary_overhead: bool = False,
+               per_check: int = 2,
+               validate: bool = True) -> NestedRunReport:
+    """Run the nested loop under ``scheme``; optionally charge the
+    per-iteration boundary tests a data-oriented scheme needs."""
+    graph = DependenceGraph(loop)
+    target = loop
+    overhead = 0
+    if charge_boundary_overhead:
+        target = with_boundary_overhead(loop, per_check=per_check)
+        overhead = boundary_check_cost(loop, per_check=per_check)
+    machine = Machine(MachineConfig(processors=processors))
+    result = scheme.run(target, machine=machine, validate=validate)
+    return NestedRunReport(
+        scheme=scheme.name,
+        result=result,
+        boundary_overhead_per_iteration=overhead,
+        coalescing=extra_dependences(loop, graph))

@@ -1,0 +1,21 @@
+"""Barrier synchronization: counter baseline and butterfly variants.
+
+Supports Example 4 (butterfly barrier from process counters) and the
+hot-spot comparison of section 6.
+"""
+
+from .base import (Barrier, BarrierViolation, PhasedWorkload,
+                   check_barrier_separation)
+from .butterfly import (BrooksButterflyBarrier, PCButterflyBarrier,
+                        stages_for)
+from .counter import CounterBarrier
+from .dissemination import (DisseminationBarrier, PCDisseminationBarrier,
+                            rounds_for)
+from .tournament import TournamentBarrier
+
+__all__ = [
+    "Barrier", "BarrierViolation", "BrooksButterflyBarrier",
+    "CounterBarrier", "DisseminationBarrier", "PCButterflyBarrier",
+    "PCDisseminationBarrier", "PhasedWorkload", "TournamentBarrier",
+    "check_barrier_separation", "rounds_for", "stages_for",
+]

@@ -1,0 +1,123 @@
+"""Butterfly barriers: Brooks' flag version and the paper's PC version.
+
+A butterfly barrier (Fig. 5.4) synchronizes P = 2^k processors in log2 P
+pairwise stages: at stage ``i`` processor ``pid`` meets partner
+``pid xor 2^(i-1)``.  No process leaves the last stage before every
+process has passed the first, there is no shared hot word, and no atomic
+operation is needed.
+
+* :class:`BrooksButterflyBarrier` is the flag-handshake formulation of
+  [Brooks 86]: one flag per (stage, processor) in shared memory; each
+  stage costs a set-own / wait-partner / clear-partner handshake
+  (4 operations) and the barrier occupies ``P * log2 P`` variables.
+* :class:`PCButterflyBarrier` is the paper's Example 4: one process
+  counter per processor on the broadcast fabric; stage ``i`` is
+  ``set_PC(i); while (PC[pid xor 2^(i-1)].step < i);`` -- 2 operations
+  per stage and only ``P`` variables, with busy-waiting on the free
+  local register images.  Processes are pinned to processors, so no
+  folding (and no ownership transfer) is needed: steps simply keep
+  growing across episodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from ..core.process_counter import pc_at_least
+from ..sim.memory import SharedMemory
+from ..sim.ops import SyncWrite, WaitUntil
+from ..sim.sync_bus import BroadcastSyncFabric, MemorySyncFabric, SyncFabric
+from .base import Barrier
+
+
+def stages_for(n_processors: int) -> int:
+    """log2 P, validating the power-of-two requirement of Fig. 5.4."""
+    stages = n_processors.bit_length() - 1
+    if 1 << stages != n_processors:
+        raise ValueError(
+            f"butterfly barrier needs a power-of-two processor count, "
+            f"got {n_processors} (the paper notes a minor modification "
+            f"[11] handles other P; not implemented here)")
+    return stages
+
+
+def _equals(expected: int):
+    def predicate(value: int) -> bool:
+        return value == expected
+    return predicate
+
+
+class BrooksButterflyBarrier(Barrier):
+    """Flag-handshake butterfly over shared memory (Brooks 1986)."""
+
+    def __init__(self, n_processors: int, poll_interval: int = 4) -> None:
+        super().__init__(n_processors)
+        self.stages = stages_for(n_processors)
+        self.poll_interval = poll_interval
+        self._flags: Dict[Tuple[int, int], int] = {}
+
+    def build_fabric(self, memory: SharedMemory) -> SyncFabric:
+        fabric = MemorySyncFabric(memory, poll_interval=self.poll_interval,
+                                  space="__bfly__")
+        for stage in range(self.stages):
+            for pid in range(self.n_processors):
+                self._flags[(stage, pid)] = fabric.alloc(1, init=0)[0]
+        return fabric
+
+    @property
+    def sync_vars(self) -> int:
+        return self.stages * self.n_processors
+
+    def arrive(self, pid: int) -> Generator:
+        self.next_episode(pid)
+        for stage in range(self.stages):
+            partner = pid ^ (1 << stage)
+            mine = self._flags[(stage, pid)]
+            theirs = self._flags[(stage, partner)]
+            # Wait for the partner to have consumed my previous-episode
+            # flag, announce arrival, wait for the partner, consume.
+            yield WaitUntil(mine, _equals(0),
+                            reason=f"bfly s{stage} reuse (p{pid})")
+            yield SyncWrite(mine, 1)
+            yield WaitUntil(theirs, _equals(1),
+                            reason=f"bfly s{stage} partner (p{pid})")
+            yield SyncWrite(theirs, 0)
+
+
+class PCButterflyBarrier(Barrier):
+    """The paper's butterfly: process counters on the broadcast bus.
+
+    ``b_barrier()`` of Fig. 5.4(b): each processor owns PC[pid]
+    permanently; an episode's stage ``i`` publishes step
+    ``(episode-1)*log2 P + i`` and spins (locally, for free) on the
+    partner's counter.
+    """
+
+    def __init__(self, n_processors: int) -> None:
+        super().__init__(n_processors)
+        self.stages = stages_for(n_processors)
+        self._pc_vars: List[int] = []
+
+    def build_fabric(self, memory: SharedMemory) -> SyncFabric:
+        fabric = BroadcastSyncFabric()
+        self._pc_vars = [
+            fabric.alloc(1, init=(pid, 0))[0]
+            for pid in range(self.n_processors)]
+        return fabric
+
+    @property
+    def sync_vars(self) -> int:
+        return self.n_processors
+
+    def arrive(self, pid: int) -> Generator:
+        episode = self.next_episode(pid)
+        base = (episode - 1) * self.stages
+        for stage in range(1, self.stages + 1):
+            partner = pid ^ (1 << (stage - 1))
+            step = base + stage
+            # set_PC(i): steps never need resetting, they just grow.
+            yield SyncWrite(self._pc_vars[pid], (pid, step), coverable=True)
+            # while (PC[pid xor 2^(i-1)].step < i);
+            yield WaitUntil(self._pc_vars[partner],
+                            pc_at_least((partner, step)),
+                            reason=f"pc-bfly s{stage} partner (p{pid})")

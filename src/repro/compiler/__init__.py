@@ -1,0 +1,26 @@
+"""The concurrentizing-compiler layer: analysis, costing, selection.
+
+Ties the dependence front-end, the doacross-delay model (the paper's
+[8]), and the scheme cost models into the pipeline a parallelizing
+compiler would run (the paper's section-5 remark that the scheme "can be
+incorporated into a concurrentizing compiler").
+"""
+
+from .cost_model import (CostEstimate, estimate_all, estimate_instance_based,
+                         estimate_process_oriented,
+                         estimate_reference_based,
+                         estimate_statement_oriented)
+from .delay import (DelayReport, doacross_delay, statement_offsets,
+                    worth_doacross)
+from .pipeline import CompileError, CompileResult, compile_loop
+from .program import (LoopRun, ProgramResult, SerialLoopWorkload,
+                      run_program)
+
+__all__ = [
+    "CompileError", "CompileResult", "CostEstimate", "DelayReport",
+    "LoopRun", "ProgramResult", "SerialLoopWorkload",
+    "compile_loop", "doacross_delay", "estimate_all", "run_program",
+    "estimate_instance_based", "estimate_process_oriented",
+    "estimate_reference_based", "estimate_statement_oriented",
+    "statement_offsets", "worth_doacross",
+]

@@ -1,0 +1,31 @@
+"""The paper's contribution: process-oriented data synchronization.
+
+One synchronization variable -- a *process counter* ``<owner, step>`` --
+per loop iteration, folded onto a small fixed set of X hardware counters.
+This package provides the counter file, the basic primitives of
+Fig. 4.2(a), the improved primitives of Fig. 4.3, the synchronization
+planner that transforms a DOACROSS loop as in Fig. 4.2(b), loop
+coalescing (Example 2), branch-path equalization (Example 3), and the
+folding/sizing rules of section 6.
+"""
+
+from .branches import StepCursor, publication_schedule
+from .codegen import PlannedWait, StatementPlan, SyncPlan, build_sync_plan
+from .folding import (choose_counters, is_power_of_two, next_power_of_two,
+                      ownership_throttle, slot_mask)
+from .improved import ImprovedPrimitives
+from .linearize import (CoalescingReport, boundary_check_cost,
+                        coalesced_iterations, extra_dependences)
+from .primitives import get_pc, release_pc, set_pc, wait_pc
+from .process_counter import (PCValue, ProcessCounterFile, pc_at_least,
+                              split_owner_first_intermediate)
+
+__all__ = [
+    "CoalescingReport", "ImprovedPrimitives", "PCValue", "PlannedWait",
+    "ProcessCounterFile", "StatementPlan", "StepCursor", "SyncPlan",
+    "boundary_check_cost", "build_sync_plan", "choose_counters",
+    "coalesced_iterations", "extra_dependences", "get_pc", "is_power_of_two",
+    "next_power_of_two", "ownership_throttle", "pc_at_least",
+    "publication_schedule", "release_pc", "set_pc", "slot_mask",
+    "split_owner_first_intermediate", "wait_pc",
+]

@@ -1,0 +1,88 @@
+"""Dependence sources inside branches (Example 3 / Fig. 5.3).
+
+When a source statement sits in a conditional, some iterations never
+execute it -- yet other processes' sinks wait on its step.  The paper's
+rule: "if a synchronization primitive changes a synchronization variable
+in one path, the synchronization variable must also be changed in all
+other paths to allow the effect to be the same no matter which branch was
+taken."
+
+Concretely, with sources numbered 1..K in textual order, an iteration
+walks the body keeping a step cursor; every source *position* advances
+the cursor whether or not the statement executed, and the process
+publishes the cursor value.  The paper's refinement ("P1 should inform
+the sinks to proceed as soon as possible ... after Sd in branch C,
+mark_PC(3) is executed instead of mark_PC(2)") corresponds to eagerly
+publishing the cursor when skipped source positions are passed; with lazy
+publication the skipped steps are signed off only by the final
+``transfer_PC``.
+
+:class:`StepCursor` implements both policies; the scheme emitter drives
+it, and a bench compares eager vs. lazy signalling latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class StepCursor:
+    """Tracks which source step to publish as an iteration proceeds.
+
+    ``eager`` publishes the cursor whenever it moved -- including moves
+    caused by *skipped* source positions -- so sinks waiting on a skipped
+    source proceed as soon as the branch resolves.  Lazy mode publishes
+    only after *executed* sources; skipped steps ride on the next
+    executed source's publication or on the final transfer.
+    """
+
+    n_sources: int
+    eager: bool = True
+    _cursor: int = 0
+    _published: int = 0
+
+    def advance(self, executed: bool) -> Optional[int]:
+        """Pass one source position; return a step to publish, or None.
+
+        Call once per source position, in textual order, with whether the
+        statement actually executed this iteration.  The returned step
+        (when not None) is what ``mark_PC``/``set_PC`` should publish.
+        Never returns a publication for the last source position --
+        that one is signalled by ``release_PC``/``transfer_PC``.
+        """
+        if self._cursor >= self.n_sources:
+            raise RuntimeError("advance() called past the last source")
+        self._cursor += 1
+        is_last = self._cursor == self.n_sources
+        if is_last:
+            return None
+        if executed or self.eager:
+            if self._cursor > self._published:
+                self._published = self._cursor
+                return self._cursor
+        return None
+
+    @property
+    def finished(self) -> bool:
+        """All source positions passed (time for the transfer)."""
+        return self._cursor == self.n_sources
+
+    @property
+    def published(self) -> int:
+        """Highest step published so far."""
+        return self._published
+
+
+def publication_schedule(execution_mask: Tuple[bool, ...],
+                         eager: bool = True) -> List[Optional[int]]:
+    """Steps published at each source position for a given branch outcome.
+
+    Pure helper for tests and benches: ``execution_mask[k]`` says whether
+    source position ``k`` (0-based) executed.  Returns one entry per
+    position: the published step or None.  The last position is always
+    None (released, not marked).
+    """
+    cursor = StepCursor(n_sources=len(execution_mask), eager=eager)
+    return [cursor.advance(executed) for executed in execution_mask]

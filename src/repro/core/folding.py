@@ -1,0 +1,79 @@
+"""Folding: sharing X process counters among N >> X iterations.
+
+"The proposed scheme works best if the number of PC's (i.e., X) equals a
+power of 2 and is a small multiple of the number of processors.  The
+modulus operation needed in computing the index of a PC can then be done
+easily by taking the lower bits of a process id."  (section 6)
+
+Folding is *correct for any X >= 1*: the values a slot takes form an
+increasing chain ``<s,0> < <s,steps...> < <s+X,0> < ...`` (ownership only
+moves forward, steps only grow), so a wait for ``<pid-d, step>``
+
+* cannot pass early -- the slot reaches ``<pid-d, step>`` only once
+  process ``pid-d`` has published that step, or a *successor owner*
+  appears, which requires ``pid-d`` to have released (completed all its
+  sources, which covers every step), and
+* cannot block forever -- ownership eventually reaches and passes
+  ``pid-d``.
+
+What X buys is *performance*: process ``pid`` can publish only after
+``pid-X`` releases, so small X throttles the pipeline ("the delay due to
+waiting for ownership ... occurs less frequently ... if X is large
+enough").  The helpers here implement the paper's sizing rule and
+quantify that throttle for the benches.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ..."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (>= 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def choose_counters(n_processors: int, multiple: int = 2) -> int:
+    """Pick X per the paper's rule: a power of two, a small multiple of P.
+
+    With ``X >= multiple * P`` and dynamic self-scheduling, at most P
+    processes run at once, so the owner a running process waits on
+    (``pid - X``) has nearly always finished already: ownership waits
+    leave the critical path.
+    """
+    if n_processors < 1:
+        raise ValueError("need at least one processor")
+    if multiple < 1:
+        raise ValueError("multiple must be >= 1")
+    return next_power_of_two(multiple * n_processors)
+
+
+def slot_mask(n_counters: int) -> int:
+    """Bit-mask that implements ``pid mod X`` for power-of-two X.
+
+    Raises for non-power-of-two sizes, where hardware would need a real
+    modulus (the paper's reason for the power-of-two rule).
+    """
+    if not is_power_of_two(n_counters):
+        raise ValueError(
+            f"{n_counters} is not a power of two; the PC index cannot be "
+            f"computed by masking low bits of the process id")
+    return n_counters - 1
+
+
+def ownership_throttle(n_counters: int, n_processors: int) -> float:
+    """How hard folding throttles the pipeline, as a ratio in (0, inf).
+
+    At any instant at most ``n_processors`` processes are active; a
+    process must wait for the release from ``n_counters`` processes
+    before it.  Values >= 1 mean ownership almost never blocks (X >= P);
+    values < 1 mean roughly ``1/value`` processes queue per counter.
+    """
+    if n_counters < 1 or n_processors < 1:
+        raise ValueError("counters and processors must be >= 1")
+    return n_counters / n_processors

@@ -1,0 +1,71 @@
+"""The improved process-oriented primitives of Fig. 4.3.
+
+The basic scheme makes every process ``get_PC`` before its first source
+statement, even when the counter is still owned by process ``pid - X``.
+The improved primitives defer that wait:
+
+``load_index(pid)``
+    remember ``myPC`` and clear the local ``owned`` flag (free: both live
+    in per-processor registers, section 6).
+``mark_pc(step)``
+    if the counter has not been transferred to us yet, *skip* the update
+    and keep going; otherwise publish the step and set ``owned``.
+``transfer_pc()``
+    acquire the counter if still not owned (this is the only place the
+    improved scheme can block on ownership), then release it to
+    ``pid + X``.  Every sink of this process eventually proceeds because
+    the released value ``<pid+X, 0>`` exceeds ``<pid, step>`` for all
+    steps.
+
+Skipped marks are the improvement: they remove broadcast writes and
+ownership waits from the critical path; correctness is preserved because
+``transfer_pc`` always signs off for the whole process.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.ops import SyncRead, WaitUntil
+from .process_counter import ProcessCounterFile, pc_at_least
+
+
+class ImprovedPrimitives:
+    """Per-process state (``myPC``, ``owned``) plus the three primitives.
+
+    One instance per process instance; create it where the paper calls
+    ``load_index`` ("in fact, load_index can be the first statement of
+    the loop body").
+    """
+
+    def __init__(self, counters: ProcessCounterFile, pid: int) -> None:
+        self.counters = counters
+        self.pid = pid
+        self.owned = False
+        self.last_step = 0
+        #: statistics: marks skipped because ownership had not arrived
+        self.skipped_marks = 0
+
+    def mark_pc(self, step: int) -> Generator:
+        """Publish source-statement completion, if we own the counter."""
+        if step < 1:
+            raise ValueError(f"steps are numbered from 1, got {step}")
+        if not self.owned:
+            owner, _step = yield SyncRead(self.counters.var_of(self.pid))
+            if owner < self.pid:
+                # Not previously owned and not yet transferred to us:
+                # proceed without waiting for the counter.
+                self.skipped_marks += 1
+                return
+        yield from self.counters.write_step(self.pid, step)
+        self.owned = True
+        self.last_step = step
+
+    def transfer_pc(self) -> Generator:
+        """Complete the last source; hand the counter to ``pid + X``."""
+        if not self.owned:
+            yield WaitUntil(self.counters.var_of(self.pid),
+                            pc_at_least((self.pid, 0)),
+                            reason=f"transfer_PC get by p{self.pid}")
+            self.owned = True
+        yield from self.counters.write_release(self.pid, self.last_step)

@@ -1,0 +1,66 @@
+"""The basic process-oriented primitives of Fig. 4.2(a).
+
+Four operations, all expressed as simulator-op generators so they compose
+with instrumented loop bodies by ``yield from``:
+
+``set_pc(pid, step)``
+    "update PC to current step" -- publish ``<pid, step>`` after the
+    completion of a source statement (except the last one).
+``release_pc(pid)``
+    "release PC for process pid+X to use" -- publish ``<pid+X, 0>`` after
+    the last source statement.
+``wait_pc(pid, dist, step)``
+    spin until ``PC[(pid-dist) mod X] >= <pid-dist, step>``; executed
+    before a sink statement.
+``get_pc(pid)``
+    ``wait_pc(pid, 0, 0)`` -- block until this process owns its counter.
+
+None of these needs to be atomic: each PC is monotonically increased by
+exactly one processor at any time, and waits test for the counter to
+*exceed* a value (section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.ops import WaitUntil
+from .process_counter import PCValue, ProcessCounterFile, pc_at_least
+
+
+def set_pc(counters: ProcessCounterFile, pid: int, step: int) -> Generator:
+    """Publish completion of source statement number ``step``."""
+    if step < 1:
+        raise ValueError(f"steps are numbered from 1, got {step}")
+    yield from counters.write_step(pid, step)
+
+
+def release_pc(counters: ProcessCounterFile, pid: int,
+               current_step: int = 0) -> Generator:
+    """Publish completion of the *last* source and hand the PC onward."""
+    yield from counters.write_release(pid, current_step)
+
+
+def wait_pc(counters: ProcessCounterFile, pid: int, dist: int,
+            step: int) -> Generator:
+    """Spin until process ``pid - dist`` has completed source ``step``.
+
+    The wait also passes once the source process has *released* the
+    counter (owner moved past it), covering the last-source case of
+    Fig. 4.2(b) where ``wait_PC(1, 4)`` is satisfied by ``release_PC``.
+    """
+    source = pid - dist
+    if source < counters.first_pid:
+        # Loop-boundary sink: the source iteration does not exist, so the
+        # dependence instance does not either.  A compiler emits no wait
+        # (one compare at run time); we emit nothing.
+        return
+    target: PCValue = (source, step)
+    yield WaitUntil(counters.var_of(source), pc_at_least(target),
+                    reason=f"wait_PC({dist},{step}) by p{pid}")
+
+
+def get_pc(counters: ProcessCounterFile, pid: int) -> Generator:
+    """Wait for ownership of this process's counter (``wait_PC(0, 0)``)."""
+    yield WaitUntil(counters.var_of(pid), pc_at_least((pid, 0)),
+                    reason=f"get_PC() by p{pid}")

@@ -1,0 +1,23 @@
+"""Compiler substrate: loop IR, dependence analysis, dependence graphs.
+
+The paper assumes "a compiler is required to perform thorough data
+dependence analysis on the loop"; this package is that front-end for the
+loop shapes the paper uses: perfect nests with affine constant-distance
+subscripts, optional guards (branches), and per-iteration costs.
+"""
+
+from .analysis import Dependence, analyze
+from .classify import DOACROSS, DOALL, SERIAL, Classification, classify
+from .graph import DependenceGraph, SyncArc, linear_distance
+from .model import (AffineExpr, ArrayRef, Index, Loop, Statement, index_expr,
+                    ref1)
+from .transform import (IllegalTransform, inner_loop_parallel, interchange,
+                        skew, strip_mine, wavefront)
+
+__all__ = [
+    "AffineExpr", "ArrayRef", "Classification", "DOACROSS", "DOALL",
+    "Dependence", "DependenceGraph", "IllegalTransform", "Index", "Loop",
+    "SERIAL", "Statement", "SyncArc", "analyze", "classify", "index_expr",
+    "inner_loop_parallel", "interchange", "linear_distance", "ref1", "skew",
+    "strip_mine", "wavefront",
+]

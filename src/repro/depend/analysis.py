@@ -1,0 +1,262 @@
+"""Data dependence analysis for constant-distance affine references.
+
+Given two references to the same array inside a loop nest, a dependence
+exists when some pair of iterations makes them touch the same element.
+For the references the paper considers -- affine subscripts with equal
+index coefficients ("constant-distance dependence occurs very frequently
+in numerical programs") -- the iteration gap is a constant *distance
+vector* obtained by solving a small linear system, "easily computed by
+subtracting the subscript expressions of the two array references".
+
+The tester is conservative: if the distance is not a unique integer
+constant, the dependence is reported with ``distance=None`` (unknown),
+which downstream classification treats as "run serially".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+from .model import ArrayRef, Loop
+
+#: dependence kinds, by (source access, sink access)
+_DEP_TYPE = {("W", "R"): "flow", ("R", "W"): "anti", ("W", "W"): "output"}
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One data dependence arc: ``src`` must access before ``dst``.
+
+    ``distance`` is the iteration distance vector (sink iteration minus
+    source iteration), lexicographically non-negative; ``None`` means the
+    analysis could not prove a constant distance.
+    """
+
+    src: str
+    dst: str
+    dep_type: str                     # "flow" | "anti" | "output"
+    distance: Optional[Tuple[int, ...]]
+    src_ref: ArrayRef
+    dst_ref: ArrayRef
+
+    @property
+    def loop_carried(self) -> bool:
+        """True when the dependence crosses iterations."""
+        return self.distance is None or any(self.distance)
+
+    def __str__(self) -> str:
+        dist = "?" if self.distance is None else ",".join(map(str, self.distance))
+        return f"{self.src}->{self.dst} [{self.dep_type}, d=({dist})]"
+
+
+#: cap on the free-variable enumeration box (see _solve_distance)
+_ENUMERATION_LIMIT = 50_000
+#: an underdetermined reference pair may collide at several constant
+#: distances (strip-mined subscripts); each is emitted as its own arc,
+#: up to this many
+_MAX_DISTANCES_PER_PAIR = 16
+
+
+def _solve_distance(src_ref: ArrayRef, dst_ref: ArrayRef, depth: int,
+                    extents: Optional[Tuple[int, ...]] = None
+                    ) -> Tuple[str, Optional[Tuple[int, ...]]]:
+    """Solve for the constant distance vector between two references.
+
+    Returns one of:
+      ("none", None)       -- provably no dependence,
+      ("unknown", None)    -- dependence possible, distances intractable,
+      ("const", delta)     -- a unique collision gap,
+      ("multi", [deltas])  -- finitely many collision gaps (e.g.
+                              strip-mined subscripts like ``A[3s + o]``,
+                              where the same flow dependence appears at
+                              (0, +w) inside a strip and (+1, w-W) across
+                              strips); each is a constant-distance arc.
+
+    For underdetermined systems the free components are enumerated over
+    the iteration-space box ``|delta_k| <= extent_k - 1``.
+    """
+    # Constant distance requires matching index coefficients per array dim.
+    for s_sub, d_sub in zip(src_ref.subscripts, dst_ref.subscripts):
+        if s_sub.coefs != d_sub.coefs:
+            return "unknown", None
+
+    # Build the system  sum_k coefs[m][k] * delta_k = const_src - const_dst.
+    rows: List[List[Fraction]] = []
+    rhs: List[Fraction] = []
+    for s_sub, d_sub in zip(src_ref.subscripts, dst_ref.subscripts):
+        rows.append([Fraction(c) for c in d_sub.coefs])
+        rhs.append(Fraction(s_sub.const - d_sub.const))
+
+    # Gaussian elimination over the rationals.
+    matrix = [row + [b] for row, b in zip(rows, rhs)]
+    pivots: List[Tuple[int, int]] = []  # (row, column)
+    row_index = 0
+    for column in range(depth):
+        pivot_row = next(
+            (r for r in range(row_index, len(matrix)) if matrix[r][column]),
+            None)
+        if pivot_row is None:
+            continue
+        matrix[row_index], matrix[pivot_row] = (matrix[pivot_row],
+                                                matrix[row_index])
+        pivot_value = matrix[row_index][column]
+        matrix[row_index] = [v / pivot_value for v in matrix[row_index]]
+        for r in range(len(matrix)):
+            if r != row_index and matrix[r][column]:
+                factor = matrix[r][column]
+                matrix[r] = [v - factor * p
+                             for v, p in zip(matrix[r], matrix[row_index])]
+        pivots.append((row_index, column))
+        row_index += 1
+
+    # Inconsistent system: the references can never collide.
+    for r in range(row_index, len(matrix)):
+        if matrix[r][depth] != 0:
+            return "none", None
+
+    pivot_columns = {column for _row, column in pivots}
+    free_columns = sorted(set(range(depth)) - pivot_columns)
+
+    if not free_columns:
+        delta: List[int] = [0] * depth
+        for row, column in pivots:
+            value = matrix[row][depth]
+            if value.denominator != 1:
+                return "none", None  # non-integer gap: never collide
+            delta[column] = int(value)
+        return "const", tuple(delta)
+
+    # Underdetermined: enumerate the free components over the bounds box
+    # and keep solutions whose every component is a realizable integer.
+    if extents is None:
+        return "unknown", None
+    ranges = []
+    box = 1
+    for column in free_columns:
+        limit = extents[column] - 1
+        ranges.append(range(-limit, limit + 1))
+        box *= 2 * limit + 1
+        if box > _ENUMERATION_LIMIT:
+            return "unknown", None
+
+    solutions: List[Tuple[int, ...]] = []
+    for assignment in product(*ranges):
+        free_value = dict(zip(free_columns, assignment))
+        candidate: List[Fraction] = [Fraction(0)] * depth
+        for column, value in free_value.items():
+            candidate[column] = Fraction(value)
+        feasible = True
+        for row, column in pivots:
+            value = matrix[row][depth] - sum(
+                matrix[row][c] * candidate[c] for c in free_columns)
+            if value.denominator != 1:
+                feasible = False
+                break
+            if abs(value) > extents[column] - 1:
+                feasible = False
+                break
+            candidate[column] = value
+        if feasible:
+            solutions.append(tuple(int(v) for v in candidate))
+    if not solutions:
+        return "none", None
+    if len(solutions) > _MAX_DISTANCES_PER_PAIR:
+        # too many realizable gaps to enforce individually: give up and
+        # let classification fall back to serial execution
+        return "unknown", None
+    return "multi", solutions
+
+
+def _lex_sign(vector: Sequence[int]) -> int:
+    """Sign of the first nonzero component (0 for the zero vector)."""
+    for component in vector:
+        if component:
+            return 1 if component > 0 else -1
+    return 0
+
+
+def _distance_realizable(loop: Loop, delta: Sequence[int]) -> bool:
+    """Some iteration pair inside the bounds realizes this distance."""
+    return all(abs(d) <= hi - lo
+               for d, (lo, hi) in zip(delta, loop.bounds))
+
+
+def _ordered_same_iteration(loop: Loop, src_sid: str, src_kind: str,
+                            dst_sid: str, dst_kind: str) -> Optional[bool]:
+    """For a zero-distance collision, does src access before dst?
+
+    Within an iteration, statements execute in textual order; within a
+    statement, reads precede writes (operands are fetched, the result is
+    stored).  Returns None when the pair needs no arc (same access slot or
+    wrong order -- the reversed pair will produce the arc).
+    """
+    src_pos = loop.position(src_sid)
+    dst_pos = loop.position(dst_sid)
+    if src_pos < dst_pos:
+        return True
+    if src_pos > dst_pos:
+        return False
+    # Same statement: reads before writes.
+    if src_kind == "R" and dst_kind == "W":
+        return True
+    return None
+
+
+def analyze(loop: Loop) -> List[Dependence]:
+    """Compute all data dependences of ``loop``.
+
+    Every ordered pair of accesses to the same array, with at least one
+    write, is tested.  For guarded statements the analysis is
+    conservative: arcs are reported as if both statements always execute.
+    """
+    accesses = [
+        (stmt.sid, kind, ref)
+        for stmt in loop.body
+        for kind, ref in stmt.refs()
+    ]
+    dependences: List[Dependence] = []
+    for (sid_a, kind_a, ref_a), (sid_b, kind_b, ref_b) in product(accesses,
+                                                                  accesses):
+        if ref_a.array != ref_b.array:
+            continue
+        if kind_a == "R" and kind_b == "R":
+            continue
+        status, delta = _solve_distance(ref_a, ref_b, loop.depth,
+                                        extents=loop.extents)
+        if status == "none":
+            continue
+        if status == "unknown":
+            dependences.append(Dependence(
+                src=sid_a, dst=sid_b, dep_type=_DEP_TYPE[(kind_a, kind_b)],
+                distance=None, src_ref=ref_a, dst_ref=ref_b))
+            continue
+        deltas = [delta] if status == "const" else delta
+        for candidate in deltas:
+            sign = _lex_sign(candidate)
+            if sign < 0:
+                continue  # the swapped pair yields this dependence
+            if not _distance_realizable(loop, candidate):
+                continue
+            if sign == 0:
+                ordered = _ordered_same_iteration(loop, sid_a, kind_a,
+                                                  sid_b, kind_b)
+                if not ordered:
+                    continue
+            dependences.append(Dependence(
+                src=sid_a, dst=sid_b,
+                dep_type=_DEP_TYPE[(kind_a, kind_b)],
+                distance=tuple(candidate), src_ref=ref_a, dst_ref=ref_b))
+
+    # Deduplicate identical arcs produced by symmetric access pairs.
+    unique: List[Dependence] = []
+    seen = set()
+    for dep in dependences:
+        key = (dep.src, dep.dst, dep.dep_type, dep.distance,
+               str(dep.src_ref), str(dep.dst_ref))
+        if key not in seen:
+            seen.add(key)
+            unique.append(dep)
+    return unique

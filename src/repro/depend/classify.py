@@ -1,0 +1,52 @@
+"""Loop classification: DOALL / DOACROSS / serial.
+
+"Very often, the iterations of a loop are independent of each other ...
+(they are called Doall loops).  However, even more prevalent is the case
+where the result produced in one iteration is used in a later iteration"
+-- those run as DOACROSS with data synchronization, provided every
+loop-carried dependence has a known constant distance.  Anything else
+must run serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .graph import DependenceGraph
+from .model import Loop
+
+#: classification labels
+DOALL = "doall"
+DOACROSS = "doacross"
+SERIAL = "serial"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of classifying one loop."""
+
+    label: str
+    reason: str
+    #: number of loop-carried sync arcs a DOACROSS must enforce
+    carried_arcs: int = 0
+
+
+def classify(loop: Loop,
+             graph: Optional[DependenceGraph] = None) -> Classification:
+    """Classify ``loop`` from its dependence graph."""
+    graph = graph or DependenceGraph(loop)
+    if graph.has_unknown_distance:
+        unknown = [str(d) for d in graph.dependences if d.distance is None]
+        return Classification(
+            SERIAL,
+            f"dependence distance not provably constant: {unknown}")
+    carried = graph.loop_carried
+    if not carried:
+        return Classification(DOALL, "no loop-carried dependences")
+    arcs = graph.sync_arcs()
+    return Classification(
+        DOACROSS,
+        f"{len(carried)} loop-carried dependence(s), "
+        f"{len(arcs)} sync arc(s) after dedup",
+        carried_arcs=len(arcs))

@@ -1,0 +1,263 @@
+"""Loop transformations: interchange and skewing (wavefronting).
+
+Fig. 5.1(c) notes that the wavefront method "requires loop index
+transformation": skewing the inner loop by the outer index and then
+interchanging turns the anti-diagonals of the iteration space into an
+outer sequential loop over diagonals with a DOALL inner loop -- the
+barrier-per-wavefront execution the paper compares against.  This module
+implements both transforms at the IR level with the standard legality
+rules over distance vectors:
+
+* **interchange** by permutation ``perm`` is legal iff every loop-carried
+  distance vector stays lexicographically positive after permuting its
+  components;
+* **skewing** an inner level by ``factor *`` an outer level is always
+  legal -- it adds ``factor * d_outer`` to the inner distance component,
+  which cannot flip the leading nonzero component.
+
+Both transforms remap the iteration space *bijectively* while touching
+exactly the same array elements, so guards and data-dependent costs
+compose through the inverse index map and the sequential semantics (and
+the validators) carry over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .analysis import analyze
+from .model import AffineExpr, ArrayRef, Index, Loop, Statement
+
+
+class IllegalTransform(ValueError):
+    """The requested transformation violates a dependence."""
+
+
+def _lex_positive(vector: Sequence[int]) -> bool:
+    for component in vector:
+        if component > 0:
+            return True
+        if component < 0:
+            return False
+    return True  # zero vector: intra-iteration, always fine
+
+
+def _rewrite_statement(stmt: Statement,
+                       rewrite_expr: Callable[[AffineExpr], AffineExpr],
+                       index_back: Callable[[Index], Index]) -> Statement:
+    """Remap a statement into a transformed index space.
+
+    ``rewrite_expr`` rewrites subscripts over the new indices;
+    ``index_back`` maps a new index vector to the original one, through
+    which guards and data-dependent costs compose.
+    """
+    def map_ref(ref: ArrayRef) -> ArrayRef:
+        return ArrayRef(ref.array,
+                        tuple(rewrite_expr(expr)
+                              for expr in ref.subscripts))
+
+    guard = stmt.guard
+    new_guard = None
+    if guard is not None:
+        def new_guard(index: Index, _guard=guard) -> bool:
+            return _guard(index_back(index))
+
+    cost = stmt.cost
+    if callable(cost):
+        def new_cost(index: Index, _cost=cost) -> int:
+            return _cost(index_back(index))
+    else:
+        new_cost = cost
+
+    return Statement(stmt.sid,
+                     writes=tuple(map_ref(ref) for ref in stmt.writes),
+                     reads=tuple(map_ref(ref) for ref in stmt.reads),
+                     cost=new_cost, guard=new_guard)
+
+
+def interchange(loop: Loop, perm: Sequence[int]) -> Loop:
+    """Permute the loop nest: new level ``k`` iterates old level
+    ``perm[k]``.
+
+    Raises :class:`IllegalTransform` when some dependence's distance
+    vector would turn lexicographically negative.  (Legality is judged
+    on the analyzable dependences; guards are conservative no-ops for
+    distance computation, exactly as in the analysis itself.)
+    """
+    perm = list(perm)
+    if sorted(perm) != list(range(loop.depth)):
+        raise ValueError(f"perm {perm!r} is not a permutation of "
+                         f"0..{loop.depth - 1}")
+    for dep in analyze(loop):
+        if dep.distance is None:
+            raise IllegalTransform(
+                f"unknown-distance dependence {dep} blocks interchange")
+        permuted = tuple(dep.distance[p] for p in perm)
+        if not _lex_positive(permuted):
+            raise IllegalTransform(
+                f"interchange {perm} flips dependence {dep}: "
+                f"{dep.distance} -> {permuted}")
+
+    def rewrite_expr(expr: AffineExpr) -> AffineExpr:
+        new_coefs = [0] * len(expr.coefs)
+        for new_position, old_position in enumerate(perm):
+            new_coefs[new_position] = expr.coefs[old_position]
+        return AffineExpr(tuple(new_coefs), expr.const)
+
+    def index_back(index: Index) -> Index:
+        original = [0] * len(perm)
+        for new_position, old_position in enumerate(perm):
+            original[old_position] = index[new_position]
+        return tuple(original)
+
+    bounds = tuple(loop.bounds[p] for p in perm)
+    body = [_rewrite_statement(stmt, rewrite_expr, index_back)
+            for stmt in loop.body]
+    return Loop(loop.name + f"@perm{tuple(perm)}", bounds=bounds,
+                body=body, array_shapes=dict(loop.array_shapes))
+
+
+def skew(loop: Loop, target: int = 1, source: int = 0,
+         factor: int = 1) -> Loop:
+    """Skew loop level ``target`` by ``factor *`` level ``source``.
+
+    The new target index is ``j' = j + factor * i``; subscripts are
+    rewritten with ``j = j' - factor * i`` so every iteration touches the
+    same elements.  The target level's bounds widen to the full sweep
+    ``[lo_j + factor*lo_i, hi_j + factor*hi_i]`` and iterations outside
+    the original (now slanted) region are guarded off.
+
+    Skewing is always legal; distance vectors transform as
+    ``d_target += factor * d_source``.
+    """
+    if target <= source:
+        raise ValueError("can only skew an inner level by an outer one")
+    if factor < 1:
+        raise ValueError("skew factor must be >= 1")
+
+    lo_t, hi_t = loop.bounds[target]
+    lo_s, hi_s = loop.bounds[source]
+    new_bounds = list(loop.bounds)
+    new_bounds[target] = (lo_t + factor * lo_s, hi_t + factor * hi_s)
+
+    def rewrite_expr(expr: AffineExpr) -> AffineExpr:
+        # substitute j = j' - factor * i into  sum c_k i_k + c
+        coefs = list(expr.coefs)
+        j_coef = coefs[target]
+        coefs[source] = coefs[source] - factor * j_coef
+        return AffineExpr(tuple(coefs), expr.const)
+
+    def index_back(index: Index) -> Index:
+        original = list(index)
+        original[target] = index[target] - factor * index[source]
+        return tuple(original)
+
+    def in_original(index: Index) -> bool:
+        return lo_t <= index[target] - factor * index[source] <= hi_t
+
+    body = []
+    for stmt in loop.body:
+        rewritten = _rewrite_statement(stmt, rewrite_expr, index_back)
+        base_guard = rewritten.guard
+
+        def guard(index: Index, _base=base_guard) -> bool:
+            if not in_original(index):
+                return False
+            return _base is None or _base(index)
+
+        body.append(Statement(rewritten.sid, writes=rewritten.writes,
+                              reads=rewritten.reads, cost=rewritten.cost,
+                              guard=guard))
+    return Loop(loop.name + f"@skew{factor}", bounds=tuple(new_bounds),
+                body=body, array_shapes=dict(loop.array_shapes))
+
+
+def strip_mine(loop: Loop, level: int = 0, width: int = 4) -> Loop:
+    """Split loop ``level`` into strips of ``width`` iterations.
+
+    The grouping of Fig. 5.1(c): "we can also reduce the amount of
+    synchronization needed between successive iterations of I by
+    grouping G iterations in the J loop" -- a strip-mined level exposes
+    the strip loop for coarser synchronization while the intra-strip
+    loop stays sequential inside each process.
+
+    The transformed nest is one level deeper: level ``level`` becomes a
+    strip index ``s`` (0-based strips) and a new innermost-of-the-pair
+    offset lives at ``level + 1`` with the *original* index value
+    ``i = lo + s*width + offset``; subscripts are rewritten accordingly
+    and out-of-range tail iterations are guarded off.  Always legal
+    (pure reindexing in the same order).
+    """
+    if not 0 <= level < loop.depth:
+        raise ValueError(f"level {level} out of range for depth "
+                         f"{loop.depth}")
+    if width < 1:
+        raise ValueError("strip width must be >= 1")
+
+    lo, hi = loop.bounds[level]
+    extent = hi - lo + 1
+    n_strips = -(-extent // width)
+
+    new_bounds = (loop.bounds[:level]
+                  + ((0, n_strips - 1), (0, width - 1))
+                  + loop.bounds[level + 1:])
+
+    def index_back(index: Index) -> Index:
+        strip = index[level]
+        offset = index[level + 1]
+        original = (index[:level] + (lo + strip * width + offset,)
+                    + index[level + 2:])
+        return original
+
+    def rewrite_expr(expr: AffineExpr) -> AffineExpr:
+        # i = lo + s*width + o: coefficient c_i becomes c_i*width on the
+        # strip index, c_i on the offset index, and c_i*lo on the const.
+        c_i = expr.coefs[level]
+        coefs = (expr.coefs[:level] + (c_i * width, c_i)
+                 + expr.coefs[level + 1:])
+        return AffineExpr(coefs, expr.const + c_i * lo)
+
+    def in_range(index: Index) -> bool:
+        return lo + index[level] * width + index[level + 1] <= hi
+
+    body = []
+    for stmt in loop.body:
+        rewritten = _rewrite_statement(stmt, rewrite_expr, index_back)
+        base_guard = rewritten.guard
+
+        def guard(index: Index, _base=base_guard) -> bool:
+            if not in_range(index):
+                return False
+            return _base is None or _base(index)
+
+        body.append(Statement(rewritten.sid, writes=rewritten.writes,
+                              reads=rewritten.reads, cost=rewritten.cost,
+                              guard=guard))
+    return Loop(loop.name + f"@strip{width}", bounds=new_bounds,
+                body=body, array_shapes=dict(loop.array_shapes))
+
+
+def wavefront(loop: Loop, factor: int = 1) -> Loop:
+    """The full Fig. 5.1(c) transformation of a 2-deep nest:
+    skew the inner level by the outer, then interchange, so the outer
+    loop walks anti-diagonals and the inner loop is dependence-free.
+    """
+    if loop.depth != 2:
+        raise ValueError("wavefront() expects a 2-deep nest")
+    return interchange(skew(loop, target=1, source=0, factor=factor),
+                       perm=[1, 0])
+
+
+def inner_loop_parallel(loop: Loop) -> bool:
+    """Is the innermost loop free of carried dependences?
+
+    True when every loop-carried distance vector has a positive leading
+    component at some *outer* level -- then for a fixed outer iteration
+    the inner iterations are independent (a DOALL between outer steps).
+    """
+    for dep in analyze(loop):
+        if dep.distance is None:
+            return False
+        if any(dep.distance) and all(c == 0 for c in dep.distance[:-1]):
+            return False  # carried purely by the innermost level
+    return True

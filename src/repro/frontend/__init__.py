@@ -1,0 +1,8 @@
+"""Mini-Fortran front-end: write kernels the way the paper prints them."""
+
+from .parser import ParseError, parse_affine, parse_loop, parse_program
+from .render import render_affine, render_loop, render_ref, render_statement
+
+__all__ = ["ParseError", "parse_affine", "parse_loop", "parse_program",
+           "render_affine",
+           "render_loop", "render_ref", "render_statement"]

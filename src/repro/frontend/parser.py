@@ -1,0 +1,265 @@
+"""A miniature Fortran-style front-end for the loop IR.
+
+The paper writes its kernels as Fortran ``DO`` loops (Figs. 2.1, 5.1,
+5.2).  This module parses that surface syntax into
+:class:`repro.depend.model.Loop` so kernels can be written the way the
+paper prints them::
+
+    DO I = 1, N
+      S1: A(I+3) = ...
+      S2: ...    = A(I+1)
+    END DO
+
+Grammar (case-insensitive keywords, one statement per line):
+
+* ``DO <index> = <lo>, <hi>`` opens a loop level; levels nest.  Bounds
+  are integers or previously bound symbols (``N = 100`` style bindings
+  are passed to :func:`parse_loop` as keyword arguments).
+* A statement line is ``[label:] <lhs> = <rhs>`` where each side is a
+  comma/``+`` separated mixture of array references ``NAME(expr, ...)``
+  and don't-care ``...`` tokens.  References on the left are writes,
+  references on the right are reads.
+* Subscript expressions are affine in the loop indices:
+  ``I``, ``I+3``, ``2*I-1``, ``J`` etc.
+* ``END DO`` closes the innermost level.
+
+Statements get ids from their labels (``S1:``) or ``S<n>`` by position.
+The parser is intentionally small: it covers the paper's loop shapes,
+not Fortran.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..depend.model import AffineExpr, ArrayRef, Loop, Statement
+
+
+class ParseError(ValueError):
+    """The source text is not in the supported mini-Fortran subset."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+_DO_RE = re.compile(
+    r"^\s*DO\s+([A-Za-z_]\w*)\s*=\s*([^,]+)\s*,\s*(.+?)\s*$",
+    re.IGNORECASE)
+_END_RE = re.compile(r"^\s*END\s*DO\s*$", re.IGNORECASE)
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_]\w*)\s*:\s*(.*)$")
+_REF_RE = re.compile(r"([A-Za-z_]\w*)\s*\(([^()]*)\)")
+_TERM_RE = re.compile(r"^\s*(?:(\d+)\s*\*\s*)?([A-Za-z_]\w*)\s*$")
+
+
+def _parse_bound(text: str, bindings: Dict[str, int],
+                 line_number: int, line: str) -> int:
+    token = text.strip()
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    upper = token.upper()
+    for name, value in bindings.items():
+        if name.upper() == upper:
+            return value
+    raise ParseError(f"unbound loop bound {token!r}", line_number, line)
+
+
+def parse_affine(text: str, index_names: Sequence[str],
+                 line_number: int = 0, line: str = "") -> AffineExpr:
+    """Parse one affine subscript like ``I``, ``I+3``, ``2*I-J+1``."""
+    coefs = [0] * len(index_names)
+    const = 0
+    upper_names = [name.upper() for name in index_names]
+    # split into signed terms
+    normalized = text.replace("-", "+-").replace(" ", "")
+    if normalized.startswith("+"):
+        normalized = normalized[1:]
+    if not normalized:
+        raise ParseError("empty subscript", line_number, line)
+    for term in normalized.split("+"):
+        if not term:
+            raise ParseError("malformed subscript", line_number, line)
+        sign = 1
+        if term.startswith("-"):
+            sign = -1
+            term = term[1:]
+        if re.fullmatch(r"\d+", term):
+            const += sign * int(term)
+            continue
+        match = _TERM_RE.match(term)
+        if not match:
+            raise ParseError(f"unsupported subscript term {term!r}",
+                             line_number, line)
+        coefficient = int(match.group(1)) if match.group(1) else 1
+        name = match.group(2).upper()
+        if name not in upper_names:
+            raise ParseError(f"unknown index variable {match.group(2)!r}",
+                             line_number, line)
+        coefs[upper_names.index(name)] += sign * coefficient
+    return AffineExpr(tuple(coefs), const)
+
+
+def _parse_refs(text: str, index_names: Sequence[str],
+                line_number: int, line: str) -> List[ArrayRef]:
+    refs = []
+    for match in _REF_RE.finditer(text):
+        array = match.group(1)
+        subscripts = tuple(
+            parse_affine(part, index_names, line_number, line)
+            for part in match.group(2).split(","))
+        refs.append(ArrayRef(array, subscripts))
+    return refs
+
+
+def parse_loop(source: str, name: str = "parsed", cost: int = 10,
+               array_shapes: Optional[Dict[str, Tuple[int, ...]]] = None,
+               **bindings: int) -> Loop:
+    """Parse a mini-Fortran ``DO`` nest into a :class:`Loop`.
+
+    ``bindings`` supplies symbolic bounds, e.g.
+    ``parse_loop(text, N=100)``.  ``cost`` is the per-statement compute
+    cost.  When ``array_shapes`` is omitted, shapes for multi-dimensional
+    arrays are inferred from the loop bounds (each dimension sized to the
+    maximum subscript value plus a margin for constant offsets).
+    """
+    index_names: List[str] = []
+    bounds: List[Tuple[int, int]] = []
+    body: List[Statement] = []
+    depth_open = 0
+    closed = False
+    statement_count = 0
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("!")[0]  # Fortran comment
+        if not line.strip():
+            continue
+        if closed:
+            raise ParseError("text after the outermost END DO",
+                             line_number, line)
+
+        do_match = _DO_RE.match(line)
+        if do_match:
+            if body:
+                raise ParseError("DO after statements (only perfect "
+                                 "nests are supported)", line_number, line)
+            index_names.append(do_match.group(1))
+            lo = _parse_bound(do_match.group(2), bindings, line_number,
+                              line)
+            hi = _parse_bound(do_match.group(3), bindings, line_number,
+                              line)
+            bounds.append((lo, hi))
+            depth_open += 1
+            continue
+
+        if _END_RE.match(line):
+            if depth_open == 0:
+                raise ParseError("END DO without DO", line_number, line)
+            depth_open -= 1
+            if depth_open == 0:
+                closed = True
+            continue
+
+        if depth_open == 0:
+            raise ParseError("statement outside any DO loop",
+                             line_number, line)
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            sid = label_match.group(1)
+            text = label_match.group(2)
+            statement_count += 1
+        else:
+            statement_count += 1
+            sid = f"S{statement_count}"
+            text = line
+        if "=" not in text:
+            raise ParseError("statement has no assignment", line_number,
+                             line)
+        lhs, rhs = text.split("=", 1)
+        writes = _parse_refs(lhs, index_names, line_number, line)
+        reads = _parse_refs(rhs, index_names, line_number, line)
+        if not writes and not reads:
+            raise ParseError("statement references no arrays",
+                             line_number, line)
+        body.append(Statement(sid, writes=tuple(writes),
+                              reads=tuple(reads), cost=cost))
+
+    if depth_open != 0:
+        raise ParseError("unclosed DO loop", len(source.splitlines()),
+                         source.splitlines()[-1] if source.strip() else "")
+    if not body:
+        raise ParseError("loop has no statements", 0, source[:40])
+
+    shapes = dict(array_shapes or {})
+    if not shapes:
+        shapes = _infer_shapes(body, bounds)
+    return Loop(name, bounds=tuple(bounds), body=body,
+                array_shapes=shapes)
+
+
+def parse_program(source: str, cost: int = 10,
+                  array_shapes: Optional[Dict[str, Tuple[int, ...]]] = None,
+                  **bindings: int) -> List[Loop]:
+    """Parse several top-level DO nests from one source text.
+
+    Nests are delimited by their own (balanced) ``END DO``s; text between
+    nests must be blank or comments.  Loops are named ``L1, L2, ...``
+    unless a ``! name: <label>`` comment precedes the nest.
+    """
+    chunks: List[Tuple[str, List[str]]] = []
+    current: List[str] = []
+    pending_name: Optional[str] = None
+    depth = 0
+    for raw in source.splitlines():
+        line = raw.split("!")[0]
+        comment = raw.split("!", 1)[1].strip() if "!" in raw else ""
+        if not line.strip():
+            if comment.lower().startswith("name:"):
+                pending_name = comment[5:].strip()
+            continue
+        current.append(raw)
+        if _DO_RE.match(line):
+            depth += 1
+        elif _END_RE.match(line):
+            depth -= 1
+            if depth == 0:
+                chunks.append((pending_name or f"L{len(chunks) + 1}",
+                               current))
+                current = []
+                pending_name = None
+    if current:
+        raise ParseError("unterminated DO nest at end of program",
+                         len(source.splitlines()), current[0])
+    if not chunks:
+        raise ParseError("program contains no DO nests", 0, source[:40])
+    return [parse_loop("\n".join(lines), name=name, cost=cost,
+                       array_shapes=array_shapes, **bindings)
+            for name, lines in chunks]
+
+
+def _infer_shapes(body: Sequence[Statement],
+                  bounds: Sequence[Tuple[int, int]]
+                  ) -> Dict[str, Tuple[int, ...]]:
+    """Size each multi-dimensional array to cover every possible access."""
+    corners = None
+    shapes: Dict[str, Tuple[int, ...]] = {}
+    import itertools
+    corner_indices = list(itertools.product(*[(lo, hi)
+                                              for lo, hi in bounds]))
+    for stmt in body:
+        for _kind, ref in stmt.refs():
+            if len(ref.subscripts) < 2:
+                continue  # 1-D arrays need no declared shape
+            maxima = [0] * len(ref.subscripts)
+            for corner in corner_indices:
+                element = ref.element(corner)
+                for dim, coordinate in enumerate(element):
+                    maxima[dim] = max(maxima[dim], coordinate)
+            current = shapes.get(ref.array,
+                                 tuple(0 for _ in ref.subscripts))
+            shapes[ref.array] = tuple(
+                max(existing, coordinate + 1)
+                for existing, coordinate in zip(current, maxima))
+    return shapes

@@ -1,0 +1,73 @@
+"""Render a :class:`~repro.depend.model.Loop` back to mini-Fortran.
+
+The inverse of :func:`repro.frontend.parser.parse_loop` for loops in the
+parseable subset (affine refs, no guards): used for round-trip property
+tests and for printing kernels the way the paper prints them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..depend.model import AffineExpr, ArrayRef, Loop, Statement
+
+_INDEX_NAMES = "IJKLMN"
+
+
+def render_affine(expr: AffineExpr) -> str:
+    """``AffineExpr`` -> ``2*I-J+3`` style text."""
+    parts: List[str] = []
+    for position, coefficient in enumerate(expr.coefs):
+        if coefficient == 0:
+            continue
+        name = _INDEX_NAMES[position]
+        if coefficient == 1:
+            term = name
+        elif coefficient == -1:
+            term = f"-{name}"
+        else:
+            term = f"{coefficient}*{name}"
+        if parts and not term.startswith("-"):
+            parts.append("+")
+        parts.append(term)
+    if expr.const or not parts:
+        if parts and expr.const >= 0:
+            parts.append("+")
+        parts.append(str(expr.const))
+    return "".join(parts)
+
+
+def render_ref(ref: ArrayRef) -> str:
+    """``ArrayRef`` -> ``A(I+3)`` / ``B(I-1,J)`` style text."""
+    inner = ",".join(render_affine(expr) for expr in ref.subscripts)
+    return f"{ref.array}({inner})"
+
+
+def render_statement(stmt: Statement) -> str:
+    """One labelled assignment line; ``...`` stands for non-array work."""
+    lhs = " , ".join(render_ref(ref) for ref in stmt.writes) or "..."
+    rhs = " + ".join(render_ref(ref) for ref in stmt.reads) or "..."
+    return f"{stmt.sid}: {lhs} = {rhs}"
+
+
+def render_loop(loop: Loop) -> str:
+    """Loop IR -> the DO-nest text the parser accepts.
+
+    Raises for loops outside the parseable subset (guarded statements
+    have no surface syntax).
+    """
+    for stmt in loop.body:
+        if stmt.guard is not None:
+            raise ValueError(
+                f"statement {stmt.sid!r} is guarded; guards have no "
+                f"mini-Fortran syntax")
+    lines: List[str] = []
+    for depth, (lo, hi) in enumerate(loop.bounds):
+        indent = "  " * depth
+        lines.append(f"{indent}DO {_INDEX_NAMES[depth]} = {lo}, {hi}")
+    body_indent = "  " * loop.depth
+    for stmt in loop.body:
+        lines.append(body_indent + render_statement(stmt))
+    for depth in reversed(range(loop.depth)):
+        lines.append("  " * depth + "END DO")
+    return "\n".join(lines)

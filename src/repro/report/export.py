@@ -1,0 +1,64 @@
+"""Persist run summaries as JSON for regression tracking.
+
+The bench harness prints paper-shaped tables; downstream users tracking
+their own changes want machine-readable history.  ``save_results``
+writes the headline metrics of a set of runs (never the traces -- those
+are huge and ephemeral) together with free-form metadata;
+``load_results`` reads them back; ``compare_results`` diffs two result
+sets metric by metric.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..sim.metrics import RunResult
+
+#: file-format version, bumped on incompatible changes
+FORMAT_VERSION = 1
+
+
+def save_results(path: Union[str, pathlib.Path],
+                 runs: Mapping[str, RunResult],
+                 metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Write the runs' summaries (plus ``metadata``) to ``path``."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "runs": {label: result.summary() for label, result in runs.items()},
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True))
+
+
+def load_results(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Read a results file; raises on unknown format versions."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported results format {version!r} "
+                         f"(expected {FORMAT_VERSION})")
+    return payload
+
+
+def compare_results(baseline: Dict[str, Any],
+                    current: Dict[str, Any],
+                    metric: str = "makespan") -> Dict[str, float]:
+    """Per-run ratio ``current/baseline`` of one metric.
+
+    Runs present in only one set are skipped; a ratio above 1.0 means
+    the current run got slower/bigger on that metric.
+    """
+    ratios: Dict[str, float] = {}
+    for label, summary in current["runs"].items():
+        base = baseline["runs"].get(label)
+        if base is None:
+            continue
+        base_value = base.get(metric)
+        value = summary.get(metric)
+        if not base_value:
+            continue
+        ratios[label] = value / base_value
+    return ratios

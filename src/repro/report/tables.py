@@ -1,0 +1,51 @@
+"""Plain-text tables for the benchmark harness.
+
+The paper reports its comparisons in prose and small figures; the
+benches print paper-shaped rows with these helpers so every experiment's
+output is self-describing in the pytest log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned monospace table."""
+    columns = [[str(h)] + [str(row[i]) for row in rows]
+               for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+
+    def line(cells: Sequence[Any]) -> str:
+        return "  ".join(str(cell).ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)
+
+
+def summarize_runs(runs: Dict[str, Any],
+                   fields: Sequence[str] = ("makespan", "utilization",
+                                            "sync_vars", "init_cycles",
+                                            "sync_transactions",
+                                            "spin_fraction"),
+                   title: Optional[str] = None) -> str:
+    """Tabulate :class:`~repro.sim.metrics.RunResult` objects by label."""
+    headers = ["run"] + list(fields)
+    rows = []
+    for label, result in runs.items():
+        summary = result.summary()
+        rows.append([label] + [summary[field] for field in fields])
+    return format_table(headers, rows, title=title)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                title: Optional[str] = None) -> None:
+    """Print an aligned table (bench convenience)."""
+    print("\n" + format_table(headers, rows, title=title))

@@ -1,0 +1,164 @@
+"""Common contract for data synchronization schemes (section 3's taxonomy).
+
+A :class:`SyncScheme` turns a DOACROSS loop (plus its dependence graph)
+into an :class:`InstrumentedLoop`: a workload the simulated machine can
+run, where every process is the loop body wrapped in the scheme's
+synchronization operations.  The four schemes the paper classifies --
+reference-based, instance-based, statement-oriented and the proposed
+process-oriented scheme -- all implement this interface, so benches can
+swap them under identical loops and machines.
+
+The shared statement-execution helper here defines what a statement
+instance *does*: read operands from shared memory, compute for the
+statement's cost, and store a deterministic mix of the inputs.  The
+validators compare those reads/stores against a sequential execution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from ..depend.graph import DependenceGraph
+from ..depend.model import Index, Loop, Statement
+from ..sim.machine import Machine, MachineConfig
+from ..sim.memory import SharedMemory
+from ..sim.metrics import RunResult
+from ..sim.ops import Address, Annotate, Compute, MemRead, MemWrite
+from ..sim.sync_bus import SyncFabric
+from ..sim.validate import (check_dependence_instances, check_final_state,
+                            check_reads_match_sequential, mix)
+
+
+def execute_statement(loop: Loop, stmt: Statement, index: Index,
+                      lpid: int) -> Generator:
+    """Run one statement instance: tag, read, compute, write.
+
+    The tag ``(sid, lpid)`` attributes the instance's memory accesses in
+    the trace; it is cleared afterwards so scheme-internal accesses are
+    not mis-attributed.
+    """
+    yield Annotate("tag", {"tag": (stmt.sid, lpid)})
+    values: List[Any] = []
+    for ref in stmt.reads:
+        value = yield MemRead(loop.address_of(ref, index))
+        values.append(value)
+    yield Compute(stmt.cost_at(index))
+    result = mix(stmt.sid, lpid, values)
+    for ref in stmt.writes:
+        yield MemWrite(loop.address_of(ref, index), result)
+    yield Annotate("tag", {"tag": None})
+
+
+class InstrumentedLoop(ABC):
+    """A loop wrapped in one scheme's synchronization, ready to simulate.
+
+    Implements the :class:`repro.sim.machine.Workload` protocol and adds
+    scheme metadata (synchronization-variable counts) plus
+    :meth:`validate`, which checks a run against sequential semantics.
+    """
+
+    #: True when the scheme renames storage (instance-based): final-state
+    #: and per-element ordering checks do not apply, value checks do.
+    renames_storage: bool = False
+
+    def __init__(self, loop: Loop, graph: DependenceGraph) -> None:
+        self.loop = loop
+        self.graph = graph
+        self.iterations: Sequence[int] = [
+            loop.lpid(index) for index in loop.iteration_space()]
+        #: memory contents present before the loop runs (set by callers
+        #: chaining loops into programs; see repro.compiler.program)
+        self.seed_memory: Dict[Address, Any] = {}
+
+    # -- Workload protocol -------------------------------------------------
+
+    @abstractmethod
+    def build_fabric(self, memory: SharedMemory) -> SyncFabric:
+        """Create the fabric this scheme's variables live on."""
+
+    @abstractmethod
+    def make_process(self, iteration: int) -> Generator:
+        """The instrumented loop body for process ``iteration`` (an lpid)."""
+
+    def prologue(self) -> List[Generator]:
+        """Setup processes (e.g. key initialization); default: none."""
+        return []
+
+    def initial_memory(self) -> Dict[Address, Any]:
+        """Pre-run contents of shared memory (the seed, by default)."""
+        return dict(self.seed_memory)
+
+    def arrays(self) -> List[str]:
+        """Names of the program arrays this loop touches."""
+        return sorted({ref.array for stmt in self.loop.body
+                       for _kind, ref in stmt.refs()})
+
+    def extract_final_state(self, result: RunResult) -> Dict[Address, Any]:
+        """Program-visible array contents after the run.
+
+        For storage-preserving schemes this is the final memory filtered
+        to the loop's arrays; the instance-based scheme overrides it
+        with a copy-out from its renamed storage (the
+        allocation/reclamation cost of single-assignment, the paper's
+        [16]).
+        """
+        names = set(self.arrays())
+        return {addr: value for addr, value in result.final_memory.items()
+                if addr[0] in names}
+
+    # -- metadata ---------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def sync_vars(self) -> int:
+        """How many synchronization variables the scheme uses."""
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, result: RunResult) -> None:
+        """Check a finished run against the sequential semantics.
+
+        Raises :class:`repro.sim.validate.ValidationError` on any
+        divergence.  Requires the run to have been executed with
+        ``record_trace=True``.
+        """
+        expected_final, expected_reads = self.loop.execute_sequential(
+            self.initial_memory())
+        check_reads_match_sequential(result.trace, expected_reads)
+        if not self.renames_storage:
+            check_final_state(result.final_memory, expected_final,
+                              self.arrays())
+            check_dependence_instances(result.trace,
+                                       self.graph.dependence_instances())
+
+
+class SyncScheme(ABC):
+    """Factory that instruments loops with one synchronization style."""
+
+    #: registry name, e.g. "process-oriented"
+    name: str = ""
+    #: can a synchronization variable be indexed by a run-time value?
+    #: (False for Alliant Advance/Await: "The index to a synchronization
+    #: register accessed by Alliant's Advance and Await must be a
+    #: constant.")
+    supports_variable_index: bool = True
+
+    @abstractmethod
+    def instrument(self, loop: Loop,
+                   graph: Optional[DependenceGraph] = None) -> InstrumentedLoop:
+        """Wrap ``loop`` in this scheme's synchronization operations."""
+
+    def run(self, loop: Loop,
+            graph: Optional[DependenceGraph] = None,
+            machine: Optional[Machine] = None,
+            validate: bool = True) -> RunResult:
+        """Convenience: instrument, simulate, optionally validate."""
+        machine = machine or Machine(MachineConfig())
+        instrumented = self.instrument(loop, graph)
+        result = machine.run(instrumented)
+        if validate:
+            if not machine.config.record_trace:
+                raise ValueError("validation requires record_trace=True")
+            instrumented.validate(result)
+        return result

@@ -1,0 +1,251 @@
+"""The instance-based data-oriented scheme (section 3.1 / Fig. 3.1(b)).
+
+Compile-time renaming gives every *updated value* its own memory location
+and full/empty bit, as on the Denelcor HEP: the program becomes
+single-assignment, so anti- and output dependences vanish and only flow
+dependences synchronize.  "Multiple copies of an updated value are also
+needed if there are multiple reads for the updated value" -- HEP reads
+*consume* (empty) the bit, so each reader gets a private copy.
+
+The price, which this model charges explicitly:
+
+* storage: one location + one full/empty bit per (instance, reader copy),
+* writers store every copy and set every bit,
+* initialization: values live before the loop must be materialized as
+  full version-0 instances,
+* busy-waits poll through shared memory (data-oriented storage).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..depend.graph import DependenceGraph
+from ..depend.model import Loop
+from ..sim.memory import SharedMemory
+from ..sim.ops import (Address, Annotate, Compute, Fence, MemRead, MemWrite,
+                       SyncWrite, WaitUntil)
+from ..sim.sync_bus import MemorySyncFabric, SyncFabric
+from ..sim.validate import mix
+from .base import InstrumentedLoop, SyncScheme
+
+#: renamed instances live in this pseudo-array
+INSTANCE_SPACE = "__inst__"
+
+
+@dataclass
+class Instance:
+    """One single-assignment value instance (element version)."""
+
+    base_addr: Address
+    version: int
+    #: copy addresses, one per reader (at least one)
+    copies: List[Address] = field(default_factory=list)
+    #: full/empty bit per copy (fabric var ids, filled at build time)
+    bits: List[int] = field(default_factory=list)
+    #: reader tags in sequential order (copy i -> reader i)
+    readers: List[Tuple[str, int]] = field(default_factory=list)
+    #: None for pre-loop (initial) versions
+    writer: Optional[Tuple[str, int]] = None
+
+
+@dataclass(frozen=True)
+class ReadBinding:
+    """Where one read of a statement instance finds its operand."""
+
+    instance_id: int
+    copy_index: int
+
+
+def rename(loop: Loop) -> Tuple[List[Instance],
+                                Dict[Tuple[str, int], List[ReadBinding]],
+                                Dict[Tuple[str, int], List[int]]]:
+    """Single-assignment renaming of the loop's accesses.
+
+    Returns ``(instances, reads_of, writes_of)`` where ``reads_of[tag]``
+    binds each read of the instance (declaration order) to an
+    (instance, copy) and ``writes_of[tag]`` lists instance ids the
+    statement instance must produce.
+    """
+    instances: List[Instance] = []
+    current_version: Dict[Address, int] = {}  # addr -> instance id
+    reads_of: Dict[Tuple[str, int], List[ReadBinding]] = defaultdict(list)
+    writes_of: Dict[Tuple[str, int], List[int]] = defaultdict(list)
+
+    def instance_for(addr: Address) -> int:
+        """Current instance of an element, creating version 0 if needed."""
+        if addr not in current_version:
+            instance = Instance(base_addr=addr, version=0, writer=None)
+            instances.append(instance)
+            current_version[addr] = len(instances) - 1
+        return current_version[addr]
+
+    for index in loop.iteration_space():
+        lpid = loop.lpid(index)
+        for stmt in loop.body:
+            if not stmt.executes_at(index):
+                continue
+            tag = (stmt.sid, lpid)
+            reads_of.setdefault(tag, [])
+            writes_of.setdefault(tag, [])
+            for ref in stmt.reads:
+                addr = loop.address_of(ref, index)
+                instance_id = instance_for(addr)
+                instance = instances[instance_id]
+                copy_index = len(instance.readers)
+                instance.readers.append(tag)
+                reads_of[tag].append(ReadBinding(instance_id, copy_index))
+            for ref in stmt.writes:
+                addr = loop.address_of(ref, index)
+                previous = current_version.get(addr)
+                version = (0 if previous is None
+                           else instances[previous].version + 1)
+                instance = Instance(base_addr=addr, version=version,
+                                    writer=tag)
+                instances.append(instance)
+                current_version[addr] = len(instances) - 1
+                writes_of[tag].append(len(instances) - 1)
+
+    # assign flat copy addresses: one per reader, at least one per instance
+    cursor = 0
+    for instance in instances:
+        n_copies = max(1, len(instance.readers))
+        instance.copies = [(INSTANCE_SPACE, cursor + c)
+                           for c in range(n_copies)]
+        cursor += n_copies
+    return instances, dict(reads_of), dict(writes_of)
+
+
+class InstanceBasedLoop(InstrumentedLoop):
+    """A loop synchronized with full/empty bits over renamed storage."""
+
+    renames_storage = True
+
+    def __init__(self, loop: Loop, graph: DependenceGraph,
+                 poll_interval: int, init_workers: int, consume: bool,
+                 charge_init: bool) -> None:
+        super().__init__(loop, graph)
+        self.poll_interval = poll_interval
+        self.init_workers = init_workers
+        self.consume = consume
+        self.charge_init = charge_init
+        self.instances, self.reads_of, self.writes_of = rename(loop)
+        self.initial_instances = [i for i in self.instances
+                                  if i.writer is None]
+
+    def build_fabric(self, memory: SharedMemory) -> SyncFabric:
+        fabric = MemorySyncFabric(memory, poll_interval=self.poll_interval,
+                                  space="__fe__")
+        for instance in self.instances:
+            # empty unless the instance pre-exists the loop
+            initial = 1 if instance.writer is None else 0
+            instance.bits = list(fabric.alloc(len(instance.copies),
+                                              init=initial))
+        return fabric
+
+    def prologue(self) -> List[Generator]:
+        """Materialize pre-loop values as full version-0 instances."""
+        if not self.charge_init:
+            return []
+        initial_values = self.initial_memory()
+
+        def init(worker: int) -> Generator:
+            for position, instance in enumerate(self.initial_instances):
+                if position % self.init_workers != worker:
+                    continue
+                value = initial_values.get(instance.base_addr)
+                for copy_addr, bit in zip(instance.copies, instance.bits):
+                    if value is not None:
+                        yield MemWrite(copy_addr, value)
+                    yield SyncWrite(bit, 1)
+
+        workers = min(self.init_workers, max(1, len(self.initial_instances)))
+        return [init(worker) for worker in range(workers)]
+
+    @property
+    def sync_vars(self) -> int:
+        """Total full/empty bits (one per copy)."""
+        return sum(len(instance.copies) for instance in self.instances)
+
+    def extract_final_state(self, result) -> "Dict[Address, Any]":
+        """Copy renamed storage back to program arrays (single-assignment
+        copy-out): each element's value is its latest instance's."""
+        latest: Dict[Address, "Instance"] = {}
+        for instance in self.instances:
+            current = latest.get(instance.base_addr)
+            if current is None or instance.version > current.version:
+                latest[instance.base_addr] = instance
+        state: Dict[Address, Any] = {}
+        for base_addr, instance in latest.items():
+            if instance.writer is None:
+                value = self.initial_memory().get(base_addr)
+            else:
+                value = result.final_memory.get(instance.copies[0])
+            if value is not None:
+                state[base_addr] = value
+        return state
+
+    @property
+    def data_copy_words(self) -> int:
+        """Words of renamed data storage (the renaming overhead)."""
+        return sum(len(instance.copies) for instance in self.instances)
+
+    def make_process(self, pid: int) -> Generator:
+        index = self.loop.index_of_lpid(pid)
+        for stmt in self.loop.body:
+            if not stmt.executes_at(index):
+                continue
+            tag = (stmt.sid, pid)
+            yield Annotate("tag", {"tag": tag})
+            values: List[Any] = []
+            for binding in self.reads_of[tag]:
+                instance = self.instances[binding.instance_id]
+                bit = instance.bits[binding.copy_index]
+                copy_addr = instance.copies[binding.copy_index]
+                yield WaitUntil(bit, _full,
+                                reason=f"full {instance.base_addr}"
+                                       f"v{instance.version}")
+                value = yield MemRead(copy_addr)
+                values.append(value)
+                if self.consume:
+                    yield SyncWrite(bit, 0)  # HEP read empties the bit
+            yield Compute(stmt.cost_at(index))
+            result = mix(stmt.sid, pid, values)
+            for instance_id in self.writes_of[tag]:
+                instance = self.instances[instance_id]
+                for copy_addr in instance.copies:
+                    yield MemWrite(copy_addr, result)
+                yield Fence()  # copies visible before bits flip
+                for bit in instance.bits:
+                    yield SyncWrite(bit, 1)
+            yield Annotate("tag", {"tag": None})
+
+
+def _full(value: int) -> bool:
+    return value >= 1
+
+
+class InstanceBasedScheme(SyncScheme):
+    """Factory for HEP-style full/empty synchronization with renaming."""
+
+    name = "instance-based"
+    supports_variable_index = True
+
+    def __init__(self, poll_interval: int = 4, init_workers: int = 8,
+                 consume: bool = True, charge_init: bool = True) -> None:
+        self.poll_interval = poll_interval
+        self.init_workers = init_workers
+        self.consume = consume
+        self.charge_init = charge_init
+
+    def instrument(self, loop: Loop,
+                   graph: Optional[DependenceGraph] = None
+                   ) -> InstanceBasedLoop:
+        graph = graph or DependenceGraph(loop)
+        return InstanceBasedLoop(loop, graph,
+                                 poll_interval=self.poll_interval,
+                                 init_workers=self.init_workers,
+                                 consume=self.consume,
+                                 charge_init=self.charge_init)

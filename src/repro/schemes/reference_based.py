@@ -1,0 +1,183 @@
+"""The reference-based data-oriented scheme (section 3.1 / Fig. 3.1(a)).
+
+One *key* per array element, held in shared memory next to the datum
+(Cedar's key/data scheme).  Every access to the element carries its
+sequential *access order* number; the memory-side protocol is
+
+    wait until key >= threshold;  access the datum;  key := key + 1
+
+where the threshold of a write is its access ordinal (every earlier
+access must be done) and the threshold of a read is one past the
+ordinal of the last preceding write -- which is what lets the reads S2
+and S3 of the running example proceed in either order.
+
+Costs the paper attributes to this class, all modelled here:
+
+* one synchronization variable per element ("requires a large number of
+  keys"),
+* key initialization "can result in significant overhead" -- an explicit
+  prologue that zeroes every key through the memory system,
+* busy-waiting is *polled through shared memory*: every re-check is a
+  memory transaction (keys have no broadcast bus).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..depend.graph import DependenceGraph
+from ..depend.model import Loop
+from ..sim.memory import SharedMemory
+from ..sim.ops import (Address, Annotate, Compute, Fence, MemRead, MemWrite,
+                       SyncUpdate, SyncWrite, WaitUntil)
+from ..sim.sync_bus import MemorySyncFabric, SyncFabric
+from ..sim.validate import mix
+from .base import InstrumentedLoop, SyncScheme
+
+
+@dataclass(frozen=True)
+class KeyedAccess:
+    """One planned access of a statement instance, with its key action."""
+
+    kind: str        # "R" or "W"
+    addr: Address
+    threshold: int   # wait until key >= threshold
+    ordinal: int     # this access's position in the element's sequence
+
+
+def _increment(value: int) -> int:
+    return value + 1
+
+
+def plan_accesses(loop: Loop) -> Dict[Tuple[str, int], List[KeyedAccess]]:
+    """Assign access ordinals and wait thresholds per statement instance.
+
+    Walks the iteration space in sequential order, numbering the accesses
+    of every element; within a statement reads precede writes.  Returns,
+    for each tag ``(sid, lpid)``, the instance's accesses in execution
+    order (reads in declaration order, then writes).
+    """
+    ordinals: Dict[Address, int] = defaultdict(int)
+    last_write_ordinal: Dict[Address, int] = {}
+    plan: Dict[Tuple[str, int], List[KeyedAccess]] = {}
+    for index in loop.iteration_space():
+        lpid = loop.lpid(index)
+        for stmt in loop.body:
+            if not stmt.executes_at(index):
+                continue
+            accesses: List[KeyedAccess] = []
+            for ref in stmt.reads:
+                addr = loop.address_of(ref, index)
+                ordinal = ordinals[addr]
+                previous_write = last_write_ordinal.get(addr)
+                threshold = 0 if previous_write is None else previous_write + 1
+                accesses.append(KeyedAccess("R", addr, threshold, ordinal))
+                ordinals[addr] = ordinal + 1
+            for ref in stmt.writes:
+                addr = loop.address_of(ref, index)
+                ordinal = ordinals[addr]
+                accesses.append(KeyedAccess("W", addr, ordinal, ordinal))
+                ordinals[addr] = ordinal + 1
+                last_write_ordinal[addr] = ordinal
+            plan[(stmt.sid, lpid)] = accesses
+    return plan
+
+
+class ReferenceBasedLoop(InstrumentedLoop):
+    """A loop synchronized with per-element access-order keys."""
+
+    def __init__(self, loop: Loop, graph: DependenceGraph,
+                 poll_interval: int, init_workers: int,
+                 charge_init: bool) -> None:
+        super().__init__(loop, graph)
+        self.poll_interval = poll_interval
+        self.init_workers = init_workers
+        self.charge_init = charge_init
+        self.plan = plan_accesses(loop)
+        self.elements: List[Address] = sorted(
+            {access.addr for accesses in self.plan.values()
+             for access in accesses})
+        self._key_of: Dict[Address, int] = {}
+
+    def build_fabric(self, memory: SharedMemory) -> SyncFabric:
+        fabric = MemorySyncFabric(memory, poll_interval=self.poll_interval)
+        for addr in self.elements:
+            self._key_of[addr] = fabric.alloc(1, init=0)[0]
+        return fabric
+
+    def prologue(self) -> List[Generator]:
+        """Zero every key through the memory system, split over workers."""
+        if not self.charge_init:
+            return []
+
+        def init(worker: int) -> Generator:
+            for position, addr in enumerate(self.elements):
+                if position % self.init_workers == worker:
+                    yield SyncWrite(self._key_of[addr], 0)
+
+        return [init(worker) for worker in range(
+            min(self.init_workers, max(1, len(self.elements))))]
+
+    @property
+    def sync_vars(self) -> int:
+        return len(self.elements)
+
+    def make_process(self, pid: int) -> Generator:
+        index = self.loop.index_of_lpid(pid)
+        for stmt in self.loop.body:
+            if not stmt.executes_at(index):
+                continue
+            accesses = self.plan[(stmt.sid, pid)]
+            reads = [a for a in accesses if a.kind == "R"]
+            writes = [a for a in accesses if a.kind == "W"]
+            yield Annotate("tag", {"tag": (stmt.sid, pid)})
+            values: List[Any] = []
+            for access in reads:
+                key = self._key_of[access.addr]
+                yield WaitUntil(key, _at_least(access.threshold),
+                                reason=f"key {access.addr} >= "
+                                       f"{access.threshold}")
+                value = yield MemRead(access.addr)
+                values.append(value)
+                yield SyncUpdate(key, _increment)
+            yield Compute(stmt.cost_at(index))
+            result = mix(stmt.sid, pid, values)
+            for access in writes:
+                key = self._key_of[access.addr]
+                yield WaitUntil(key, _at_least(access.threshold),
+                                reason=f"key {access.addr} >= "
+                                       f"{access.threshold}")
+                yield MemWrite(access.addr, result)
+                yield Fence()  # visible before the key admits successors
+                yield SyncUpdate(key, _increment)
+            yield Annotate("tag", {"tag": None})
+
+
+def _at_least(threshold: int):
+    def predicate(value: int) -> bool:
+        return value >= threshold
+    return predicate
+
+
+class ReferenceBasedScheme(SyncScheme):
+    """Factory for Cedar-style key/data synchronization."""
+
+    name = "reference-based"
+    supports_variable_index = True
+
+    def __init__(self, poll_interval: int = 4, init_workers: int = 8,
+                 charge_init: bool = True) -> None:
+        self.poll_interval = poll_interval
+        self.init_workers = init_workers
+        self.charge_init = charge_init
+
+    def instrument(self, loop: Loop,
+                   graph: Optional[DependenceGraph] = None
+                   ) -> ReferenceBasedLoop:
+        graph = graph or DependenceGraph(loop)
+        return ReferenceBasedLoop(loop, graph,
+                                  poll_interval=self.poll_interval,
+                                  init_workers=self.init_workers,
+                                  charge_init=self.charge_init)

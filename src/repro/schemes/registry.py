@@ -1,0 +1,37 @@
+"""Name -> scheme factory registry.
+
+Benches and examples select schemes by the names the paper's taxonomy
+uses; extra keyword arguments go to the scheme constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import SyncScheme
+from .instance_based import InstanceBasedScheme
+from .process_oriented import ProcessOrientedScheme
+from .reference_based import ReferenceBasedScheme
+from .statement_oriented import StatementOrientedScheme
+
+_SCHEMES: Dict[str, Type[SyncScheme]] = {
+    "reference-based": ReferenceBasedScheme,
+    "instance-based": InstanceBasedScheme,
+    "statement-oriented": StatementOrientedScheme,
+    "process-oriented": ProcessOrientedScheme,
+}
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme names, in the paper's presentation order."""
+    return list(_SCHEMES)
+
+
+def make_scheme(name: str, **kwargs) -> SyncScheme:
+    """Instantiate a scheme by taxonomy name."""
+    try:
+        factory = _SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; known: {sorted(_SCHEMES)}") from None
+    return factory(**kwargs)

@@ -1,0 +1,135 @@
+"""The statement-oriented scheme (section 3.2): Alliant Advance/Await.
+
+Each source statement ``Sa`` gets one *statement counter* ``SC[a]``
+shared by every iteration.  After process ``i`` executes ``Sa`` it
+performs ``Advance(a)``: wait until ``SC[a] = i-1``, then set it to
+``i``.  "Hence, when sc=i, all of the process j, j<i, must have
+completed the execution of Sa" -- the update order is strictly
+sequential, which is exactly the *horizontal sharing* the paper
+criticizes: one slow iteration stalls the Advance chain of every later
+iteration, even when the data dependences themselves would allow
+progress.
+
+Before a sink statement ``Sb`` with source distance D, process ``i``
+performs ``Await(D, a)``: wait until ``SC[a] >= i - D``.
+
+Counters live on the broadcast synchronization bus (the Alliant
+concurrency control bus): local-image waits are free, Advances cost one
+broadcast.  Because Advance serializes each statement's completions, the
+stronger *monotonic* coverage pruning is sound here (a later iteration's
+Advance implies all earlier iterations are done).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..depend.graph import DependenceGraph, SyncArc
+from ..depend.model import Loop
+from ..sim.memory import SharedMemory
+from ..sim.ops import Fence, SyncWrite, WaitUntil
+from ..sim.sync_bus import BroadcastSyncFabric, SyncFabric
+from .base import InstrumentedLoop, SyncScheme, execute_statement
+
+
+def at_least(threshold: int):
+    """Monotone predicate: counter value >= ``threshold``."""
+    def predicate(value: int) -> bool:
+        return value >= threshold
+    return predicate
+
+
+class StatementOrientedLoop(InstrumentedLoop):
+    """A loop synchronized with per-statement counters."""
+
+    def __init__(self, loop: Loop, graph: DependenceGraph,
+                 arcs: List[SyncArc], charge_init: bool) -> None:
+        super().__init__(loop, graph)
+        self.arcs = arcs
+        self.charge_init = charge_init
+        self.source_sids: List[str] = [
+            stmt.sid for stmt in loop.body
+            if any(arc.src == stmt.sid for arc in arcs)]
+        self._sc_vars: Dict[str, int] = {}
+        self._first_pid = 1
+
+    def build_fabric(self, memory: SharedMemory) -> SyncFabric:
+        fabric = BroadcastSyncFabric()
+        initial = self._first_pid - 1  # "sc is set to k-1 if the first
+        for sid in self.source_sids:   # iteration is k"
+            self._sc_vars[sid] = fabric.alloc(1, init=initial)[0]
+        return fabric
+
+    def prologue(self) -> List[Generator]:
+        if not self.charge_init or not self.source_sids:
+            return []
+
+        def init() -> Generator:
+            for sid in self.source_sids:
+                yield SyncWrite(self._sc_vars[sid], self._first_pid - 1)
+
+        return [init()]
+
+    @property
+    def sync_vars(self) -> int:
+        return len(self.source_sids)
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, sid: str, pid: int) -> Generator:
+        """wait until SC[sid] = pid-1; set SC[sid] to pid."""
+        var = self._sc_vars[sid]
+        yield WaitUntil(var, at_least(pid - 1),
+                        reason=f"Advance({sid}) by p{pid}")
+        yield SyncWrite(var, pid, coverable=False)
+
+    def _await(self, sid: str, dist: int, pid: int) -> Generator:
+        """wait until SC[sid] >= pid - dist (skip past loop boundary)."""
+        if pid - dist < self._first_pid:
+            return
+        yield WaitUntil(self._sc_vars[sid], at_least(pid - dist),
+                        reason=f"Await({dist},{sid}) by p{pid}")
+
+    def make_process(self, pid: int) -> Generator:
+        index = self.loop.index_of_lpid(pid)
+        for stmt in self.loop.body:
+            # sink first: Await every incoming arc
+            for arc in self.arcs:
+                if arc.dst == stmt.sid:
+                    yield from self._await(arc.src, arc.distance, pid)
+            executed = stmt.executes_at(index)
+            if executed:
+                yield from execute_statement(self.loop, stmt, index, pid)
+            if stmt.sid in self._sc_vars:
+                if executed:
+                    yield Fence()
+                # Advance runs on every path (Example 3's rule), or sinks
+                # of skipped sources would deadlock the Advance chain.
+                yield from self._advance(stmt.sid, pid)
+
+
+class StatementOrientedScheme(SyncScheme):
+    """Factory for statement-counter synchronization.
+
+    ``prune`` defaults to ``"monotonic"``, which is sound for this scheme
+    (see module docstring); pass ``"exact"`` or ``"none"`` for ablations.
+    """
+
+    name = "statement-oriented"
+    supports_variable_index = False
+
+    def __init__(self, prune: str = "monotonic",
+                 charge_init: bool = True) -> None:
+        self.prune = prune
+        self.charge_init = charge_init
+
+    def instrument(self, loop: Loop,
+                   graph: Optional[DependenceGraph] = None
+                   ) -> StatementOrientedLoop:
+        graph = graph or DependenceGraph(loop)
+        if self.prune == "none":
+            arcs = graph.sync_arcs()
+        else:
+            arcs = graph.pruned_sync_arcs(mode=self.prune)
+        return StatementOrientedLoop(loop, graph, arcs,
+                                     charge_init=self.charge_init)

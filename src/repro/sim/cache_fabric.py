@@ -1,0 +1,147 @@
+"""Coherent-cache synchronization fabric (section 6, first option).
+
+"The PC's could be incorporated in a hardware-maintained coherent cache
+system, even though they may be purged out of a cache."  This fabric
+models that option: synchronization variables live in shared memory, but
+each processor caches the lines it has read, with write-invalidate
+coherence:
+
+* a read *hit* (the requester holds a valid copy) costs one cycle and no
+  transaction -- so busy-waiting on an unchanged variable is free, just
+  as with the broadcast registers;
+* a read *miss* fetches from memory (a charged, contended transaction)
+  and installs a valid copy;
+* a write invalidates every other processor's copy (the writer keeps an
+  exclusive copy) and goes through memory; the next poll by each waiter
+  therefore misses exactly once per change.
+
+Compared to the dedicated broadcast bus: no bus to saturate, but every
+*change* of a watched variable costs one miss per watcher instead of one
+broadcast total -- the trade-off a bench quantifies.
+
+An optional ``capacity`` bounds each processor's cached sync variables
+(FIFO eviction), modelling the paper's "they may be purged out of a
+cache": evicted variables simply miss again.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from .memory import SharedMemory
+from .sync_bus import SyncFabric
+
+
+class CachedSyncFabric(SyncFabric):
+    """Write-invalidate cached synchronization variables."""
+
+    wait_mode = "poll"
+
+    def __init__(self, memory: SharedMemory, poll_interval: int = 2,
+                 space: str = "__csync__",
+                 capacity: Optional[int] = None) -> None:
+        super().__init__()
+        self.memory = memory
+        self.poll_interval = poll_interval
+        self.capacity = capacity
+        self._space = space
+        self._values: Dict[int, Any] = {}
+        self._next = 0
+        #: per-requester cache: ordered set of valid variable ids
+        self._cache: Dict[Any, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def storage_words_allocated(self) -> int:
+        return self._next
+
+    def alloc(self, count: int, init: Any = 0,
+              words_per_var: int = 1) -> range:
+        allocated = super().alloc(count, init, words_per_var)
+        self._next += count
+        return allocated
+
+    def _set_initial(self, var: int, value: Any) -> None:
+        self._values[var] = value
+
+    def value(self, var: int) -> Any:
+        return self._values[var]
+
+    # ------------------------------------------------------------------
+    # cache bookkeeping
+    # ------------------------------------------------------------------
+
+    def _lines_of(self, requester: Any) -> OrderedDict:
+        return self._cache.setdefault(requester, OrderedDict())
+
+    def _install(self, requester: Any, var: int) -> None:
+        lines = self._lines_of(requester)
+        lines[var] = True
+        lines.move_to_end(var)
+        if self.capacity is not None and len(lines) > self.capacity:
+            lines.popitem(last=False)
+            self.evictions += 1
+
+    def _holds(self, requester: Any, var: int) -> bool:
+        return requester is not None and var in self._cache.get(requester,
+                                                                ())
+
+    def _invalidate_others(self, writer: Any, var: int) -> None:
+        for requester, lines in self._cache.items():
+            if requester != writer and var in lines:
+                del lines[var]
+                self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # fabric interface
+    # ------------------------------------------------------------------
+
+    def read_cost(self, var: int, now: int, requester: Any = None) -> int:
+        if self._holds(requester, var):
+            self.hits += 1
+            return now + 1  # cache hit: local, free
+        self.misses += 1
+        self.transactions += 1
+        done = self.memory.access_time((self._space, var), now)
+        if requester is not None:
+            self._install(requester, var)
+        return done
+
+    def write(self, var: int, value: Any, now: int, coverable: bool = False,
+              requester: Any = None) -> int:
+        done = self.memory.access_time((self._space, var), now)
+        self.transactions += 1
+        self._invalidate_others(requester, var)
+        if requester is not None:
+            self._install(requester, var)
+        engine = self._engine
+
+        def commit() -> None:
+            self._values[var] = value
+            engine.notify_var(var)
+
+        engine.schedule_commit(done, commit)
+        return done
+
+    def update(self, var: int, fn, now: int) -> "tuple[int, dict]":
+        done = self.memory.access_time((self._space, var), now)
+        self.transactions += 1
+        self._invalidate_others(None, var)  # RMW invalidates every copy
+        engine = self._engine
+        cell: dict = {}
+
+        def commit() -> None:
+            self._values[var] = fn(self._values[var])
+            cell["value"] = self._values[var]
+            engine.notify_var(var)
+
+        engine.schedule_commit(done, commit)
+        return done, cell
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,363 @@
+"""Event-driven simulation engine.
+
+Simulated processes are Python generators yielding the operation records
+of :mod:`repro.sim.ops`.  The engine owns simulated time, interprets each
+operation against the shared memory and the synchronization fabric, and
+keeps per-task accounting (busy / spin / stall cycles).
+
+Determinism: the event queue orders by ``(time, priority, sequence)``.
+Commits (memory and fabric value installations) run at priority 0,
+process resumptions at priority 1, so a value committed at time *t* is
+visible to every process step executing at *t*.  Sequence numbers break
+remaining ties FIFO, making every simulation fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from .memory import SharedMemory
+from .ops import (Annotate, Compute, Fence, MemRead, MemWrite, SyncRead,
+                  SyncUpdate, SyncWrite, WaitUntil)
+from .sync_bus import SyncFabric
+
+#: Event priorities: commits become visible before any same-cycle resume.
+_PRIORITY_COMMIT = 0
+_PRIORITY_RESUME = 1
+
+
+class DeadlockError(RuntimeError):
+    """Raised when live tasks remain but no event can ever fire."""
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when the simulation exceeds its cycle budget."""
+
+
+@dataclass
+class TaskStats:
+    """Cycle accounting for one task (usually one processor)."""
+
+    name: str = ""
+    busy: int = 0          # Compute cycles
+    spin: int = 0          # busy-wait cycles inside WaitUntil
+    stall: int = 0         # waiting on memory / fabric round trips
+    sync_ops: int = 0      # SyncRead/SyncWrite/WaitUntil operations issued
+    waits_satisfied_immediately: int = 0
+    done_at: int = 0
+
+    @property
+    def accounted(self) -> int:
+        """Cycles attributed to some activity (rest is idle)."""
+        return self.busy + self.spin + self.stall
+
+
+@dataclass
+class AccessRecord:
+    """One shared-memory access, as seen by the validator.
+
+    ``commit`` is when the access became globally visible (write) or when
+    the value was sampled (read); the engine guarantees commit order is
+    value order.
+    """
+
+    commit: int
+    kind: str            # "R" or "W"
+    addr: Tuple[str, int]
+    value: Any
+    task: str
+    tag: Any             # whatever the process last set via Annotate("tag")
+
+
+class _Task:
+    """Internal per-generator bookkeeping."""
+
+    __slots__ = ("gen", "stats", "tag", "pending_value", "alive",
+                 "last_write_commit", "on_done", "store_buffer")
+
+    def __init__(self, gen: Generator, stats: TaskStats,
+                 on_done: Optional[Callable[[], None]] = None) -> None:
+        self.gen = gen
+        self.stats = stats
+        self.tag: Any = None
+        self.pending_value: Any = None
+        self.alive = True
+        self.last_write_commit = 0
+        self.on_done = on_done
+        #: outstanding (uncommitted) writes: addr -> [count, last value];
+        #: reads by this task forward from here (store-to-load forwarding)
+        self.store_buffer: Dict[Tuple[str, int], list] = {}
+
+
+class Engine:
+    """Interprets process generators against the hardware substrate."""
+
+    def __init__(self, memory: SharedMemory, fabric: SyncFabric,
+                 max_cycles: int = 50_000_000, record_trace: bool = True) -> None:
+        self.memory = memory
+        self.fabric = fabric
+        fabric.attach(self)
+        self.now = 0
+        self.max_cycles = max_cycles
+        self.record_trace = record_trace
+        self.trace: List[AccessRecord] = []
+        #: (time, kind, payload) markers from Annotate ops (phase events)
+        self.events: List[Tuple[int, str, dict]] = []
+        #: (task, kind, start, end) activity segments for timelines;
+        #: kind is "busy" or "spin"; only recorded when record_trace is on
+        self.activity: List[Tuple[str, str, int, int]] = []
+        self._queue: List[Tuple[int, int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._live_tasks = 0
+        #: tasks parked in WaitUntil, keyed by fabric variable
+        self._waiters: Dict[int, List[Tuple[_Task, WaitUntil, int]]] = {}
+        self._parked = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives (also used by the fabric)
+    # ------------------------------------------------------------------
+
+    def schedule_commit(self, time: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at ``time``, before any process step at that time."""
+        self._push(time, _PRIORITY_COMMIT, fn)
+
+    def schedule(self, time: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at ``time`` in process-step order."""
+        self._push(time, _PRIORITY_RESUME, fn)
+
+    def _push(self, time: int, priority: int, fn: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"event scheduled in the past: {time} < {self.now}")
+        heapq.heappush(self._queue, (time, priority, next(self._seq), fn))
+
+    def notify_var(self, var: int) -> None:
+        """A fabric variable changed: wake its parked waiters to re-check."""
+        waiters = self._waiters.pop(var, None)
+        if not waiters:
+            return
+        for task, op, parked_at in waiters:
+            self._recheck_wait(task, op, parked_at)
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "",
+              on_done: Optional[Callable[[], None]] = None) -> TaskStats:
+        """Add a process; it starts at the current simulated time."""
+        stats = TaskStats(name=name)
+        task = _Task(gen, stats, on_done)
+        self._live_tasks += 1
+        self.schedule(self.now, lambda: self._step(task))
+        return stats
+
+    def run(self) -> int:
+        """Drain the event queue; return the final simulated time."""
+        while self._queue:
+            time, _priority, _seq, fn = heapq.heappop(self._queue)
+            if time > self.max_cycles:
+                raise SimulationLimitError(
+                    f"simulation exceeded {self.max_cycles} cycles")
+            self.now = time
+            fn()
+        if self._live_tasks > 0:
+            parked = [
+                f"{task.stats.name}: {op.reason or op.predicate}"
+                for waiters in self._waiters.values()
+                for task, op, _t in waiters
+            ]
+            raise DeadlockError(
+                f"{self._live_tasks} task(s) never completed; "
+                f"parked waiters: {parked}")
+        return self.now
+
+    # ------------------------------------------------------------------
+    # operation interpretation
+    # ------------------------------------------------------------------
+
+    def _step(self, task: _Task) -> None:
+        if not task.alive:
+            return
+        try:
+            op = task.gen.send(task.pending_value)
+        except StopIteration:
+            task.alive = False
+            task.stats.done_at = self.now
+            self._live_tasks -= 1
+            if task.on_done is not None:
+                task.on_done()
+            return
+        task.pending_value = None
+        self._dispatch(task, op)
+
+    def _resume_at(self, task: _Task, time: int, value: Any = None) -> None:
+        task.pending_value = value
+        self.schedule(time, lambda: self._step(task))
+
+    def _dispatch(self, task: _Task, op: Any) -> None:
+        if isinstance(op, Compute):
+            task.stats.busy += op.cycles
+            if self.record_trace and op.cycles:
+                self.activity.append((task.stats.name, "busy", self.now,
+                                      self.now + op.cycles))
+            self._resume_at(task, self.now + op.cycles)
+        elif isinstance(op, MemRead):
+            self._mem_read(task, op)
+        elif isinstance(op, MemWrite):
+            self._mem_write(task, op)
+        elif isinstance(op, SyncRead):
+            self._sync_read(task, op)
+        elif isinstance(op, SyncWrite):
+            self._sync_write(task, op)
+        elif isinstance(op, SyncUpdate):
+            task.stats.sync_ops += 1
+            done, cell = self.fabric.update(op.var, op.fn, self.now)
+            task.stats.stall += done - self.now
+            # Commits precede same-cycle resumes, so the cell is filled
+            # when the process wakes with the post-update value.
+            self.schedule(done, lambda: self._resume_at(
+                task, self.now, cell.get("value")))
+        elif isinstance(op, WaitUntil):
+            task.stats.sync_ops += 1
+            self._begin_wait(task, op)
+        elif isinstance(op, Fence):
+            done = max(self.now, task.last_write_commit)
+            task.stats.stall += done - self.now
+            self._resume_at(task, done)
+        elif isinstance(op, Annotate):
+            if op.kind == "tag":
+                task.tag = op.payload.get("tag")
+            else:
+                self.events.append((self.now, op.kind, dict(op.payload)))
+            self._resume_at(task, self.now)
+        else:
+            raise TypeError(f"unknown operation {op!r} from task "
+                            f"{task.stats.name!r}")
+
+    # -- shared memory --------------------------------------------------
+
+    def _mem_read(self, task: _Task, op: MemRead) -> None:
+        pending = task.store_buffer.get(op.addr)
+        if pending is not None:
+            # Store-to-load forwarding: the task sees its own posted
+            # write immediately (one cycle, no memory transaction).
+            value = pending[1]
+            if self.record_trace:
+                self.trace.append(AccessRecord(
+                    commit=self.now + 1, kind="R", addr=op.addr,
+                    value=value, task=task.stats.name, tag=task.tag))
+            self._resume_at(task, self.now + 1, value)
+            return
+        done = self.memory.access_time(op.addr, self.now)
+        task.stats.stall += done - self.now
+        tag = task.tag  # capture at issue: commits run after tag changes
+
+        def complete() -> None:
+            value = self.memory.read(op.addr)
+            if self.record_trace:
+                self.trace.append(AccessRecord(
+                    commit=self.now, kind="R", addr=op.addr, value=value,
+                    task=task.stats.name, tag=tag))
+            self._resume_at(task, self.now, value)
+
+        self.schedule(done, complete)
+
+    def _mem_write(self, task: _Task, op: MemWrite) -> None:
+        done = self.memory.access_time(op.addr, self.now, kind="W")
+        task.last_write_commit = max(task.last_write_commit, done)
+        tag = task.tag  # capture at issue: commits run after tag changes
+        pending = task.store_buffer.setdefault(op.addr, [0, None])
+        pending[0] += 1
+        pending[1] = op.value
+
+        def commit() -> None:
+            self.memory.write(op.addr, op.value)
+            entry = task.store_buffer.get(op.addr)
+            if entry is not None:
+                entry[0] -= 1
+                if entry[0] == 0:
+                    del task.store_buffer[op.addr]
+            if self.record_trace:
+                self.trace.append(AccessRecord(
+                    commit=self.now, kind="W", addr=op.addr, value=op.value,
+                    task=task.stats.name, tag=tag))
+
+        self.schedule_commit(done, commit)
+        # Posted write: the processor proceeds after handing the write to
+        # the memory system; Fence makes it wait for global visibility.
+        self._resume_at(task, self.now + 1)
+
+    # -- synchronization fabric ------------------------------------------
+
+    def _sync_read(self, task: _Task, op: SyncRead) -> None:
+        task.stats.sync_ops += 1
+        done = self.fabric.read_cost(op.var, self.now,
+                                     requester=task.stats.name)
+        task.stats.stall += done - self.now
+        self.schedule(done, lambda: self._resume_at(
+            task, self.now, self.fabric.value(op.var)))
+
+    def _sync_write(self, task: _Task, op: SyncWrite) -> None:
+        task.stats.sync_ops += 1
+        done = self.fabric.write(op.var, op.value, self.now, op.coverable,
+                                 requester=task.stats.name)
+        task.stats.stall += done - self.now
+        self._resume_at(task, done)
+
+    def _begin_wait(self, task: _Task, op: WaitUntil) -> None:
+        if self.fabric.wait_mode == "poll":
+            self._poll_wait(task, op, started=self.now)
+            return
+        # Event-driven wait on the local register image: test now, park
+        # until the variable's committed value changes.
+        if op.predicate(self.fabric.value(op.var)):
+            task.stats.waits_satisfied_immediately += 1
+            self._resume_at(task, self.now + 1)
+        else:
+            self._park(task, op, self.now)
+
+    def _park(self, task: _Task, op: WaitUntil, parked_at: int) -> None:
+        self._waiters.setdefault(op.var, []).append((task, op, parked_at))
+        self._parked += 1
+
+    def _recheck_wait(self, task: _Task, op: WaitUntil, parked_at: int) -> None:
+        self._parked -= 1
+        if op.predicate(self.fabric.value(op.var)):
+            task.stats.spin += self.now - parked_at
+            if self.record_trace and self.now > parked_at:
+                self.activity.append((task.stats.name, "spin", parked_at,
+                                      self.now))
+            self._resume_at(task, self.now + 1)
+        else:
+            self._park(task, op, parked_at)
+
+    def _poll_wait(self, task: _Task, op: WaitUntil, started: int,
+                   first: bool = True) -> None:
+        done = self.fabric.read_cost(op.var, self.now,
+                                     requester=task.stats.name)
+        if first:
+            # The first poll is a mandatory read: account it as a memory
+            # stall.  Only re-polls count as busy-waiting.
+            task.stats.stall += done - self.now
+
+        def check() -> None:
+            if op.predicate(self.fabric.value(op.var)):
+                if first:
+                    task.stats.waits_satisfied_immediately += 1
+                else:
+                    task.stats.spin += self.now - started
+                    if self.record_trace and self.now > started:
+                        self.activity.append((task.stats.name, "spin",
+                                              started, self.now))
+                self._resume_at(task, self.now)
+            else:
+                next_poll = self.now + self.fabric.poll_interval
+                spin_from = done if first else started
+                self.schedule(next_poll,
+                              lambda: self._poll_wait(task, op, spin_from,
+                                                      first=False))
+
+        self.schedule(done, check)

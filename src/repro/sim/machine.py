@@ -1,0 +1,150 @@
+"""The simulated multiprocessor: processors + memory + sync fabric.
+
+:class:`Machine` glues the pieces together: it builds an engine over a
+fresh :class:`~repro.sim.memory.SharedMemory` and the workload's choice of
+synchronization fabric, runs the workload's prologue (e.g. key
+initialization for data-oriented schemes), then runs one coroutine per
+processor which repeatedly grabs a loop iteration from the scheduler and
+executes it.  The result is a :class:`~repro.sim.metrics.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Protocol, Sequence
+
+from .engine import Engine
+from .memory import MemoryConfig, SharedMemory
+from .metrics import RunResult
+from .ops import Address, MemRead
+from .scheduler import (ChunkSelfScheduler, GuidedSelfScheduler,
+                        Scheduler, SelfScheduler, StaticScheduler)
+from .sync_bus import SyncFabric
+
+#: shared self-scheduling counter lives at this address (one hot word)
+SCHED_COUNTER: Address = ("__sched__", 0)
+
+
+class Workload(Protocol):
+    """What a synchronization scheme hands to the machine.
+
+    ``iterations`` is the ordered list of process ids; ``make_process``
+    turns a process id into an operation generator.  ``prologue``
+    generators run to completion (in parallel) before the loop starts and
+    model per-run setup such as initializing data-oriented keys.
+    """
+
+    iterations: Sequence[int]
+
+    def build_fabric(self, memory: SharedMemory) -> SyncFabric: ...
+
+    def make_process(self, iteration: int) -> Generator: ...
+
+    def prologue(self) -> List[Generator]: ...
+
+    def initial_memory(self) -> Dict[Address, Any]: ...
+
+    @property
+    def sync_vars(self) -> int: ...
+
+
+@dataclass
+class MachineConfig:
+    """Size and timing of the simulated multiprocessor.
+
+    The defaults sketch a small bus-based shared-memory machine of the
+    Alliant FX/8 class (the paper's stated target: "small scale
+    multiprocessor systems such as the Cray X-MP, the Alliant FX/8, the
+    Encore Multimax").
+    """
+
+    processors: int = 8
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    #: "self" | "chunk" | "guided" | "cyclic" | "block"
+    schedule: str = "self"
+    #: chunk size for schedule="chunk" (Tang & Yew chunked
+    #: self-scheduling)
+    chunk_size: int = 4
+    record_trace: bool = True
+    max_cycles: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.schedule not in ("self", "chunk", "guided", "cyclic",
+                                 "block"):
+            raise ValueError(f"unknown schedule {self.schedule!r}")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+
+class Machine:
+    """A P-processor shared-memory multiprocessor simulator."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+
+    def _make_scheduler(self, iterations: Sequence[int]) -> Scheduler:
+        if self.config.schedule == "self":
+            return SelfScheduler(iterations)
+        if self.config.schedule == "chunk":
+            return ChunkSelfScheduler(iterations,
+                                      chunk=self.config.chunk_size)
+        if self.config.schedule == "guided":
+            return GuidedSelfScheduler(iterations,
+                                       self.config.processors)
+        return StaticScheduler(iterations, self.config.processors,
+                               policy=self.config.schedule)
+
+    def _processor(self, pid: int, scheduler: Scheduler,
+                   workload: Workload) -> Generator:
+        while True:
+            if scheduler.needs_shared_grab(pid):
+                # fetch&add on the shared iteration counter
+                yield MemRead(SCHED_COUNTER)
+            iteration = scheduler.next_for(pid)
+            if iteration is None:
+                return
+            yield from workload.make_process(iteration)
+
+    def run(self, workload: Workload) -> RunResult:
+        """Simulate ``workload`` to completion and return its metrics."""
+        memory = SharedMemory(self.config.memory)
+        memory.preload(workload.initial_memory())
+        fabric = workload.build_fabric(memory)
+        engine = Engine(memory, fabric,
+                        max_cycles=self.config.max_cycles,
+                        record_trace=self.config.record_trace)
+
+        # Prologue: run setup processes (e.g. key initialization) spread
+        # over the machine's processors before the loop begins.
+        prologue = workload.prologue()
+        if prologue:
+            for index, gen in enumerate(prologue):
+                engine.spawn(gen, name=f"init{index}")
+            engine.run()
+        init_cycles = engine.now
+
+        scheduler = self._make_scheduler(workload.iterations)
+        stats = [
+            engine.spawn(self._processor(pid, scheduler, workload),
+                         name=f"cpu{pid}")
+            for pid in range(self.config.processors)
+        ]
+        makespan = engine.run()
+
+        covered = getattr(fabric, "covered_writes", 0)
+        return RunResult(
+            makespan=makespan,
+            processors=stats,
+            memory_transactions=memory.transactions,
+            memory_hotspot=memory.max_module_traffic(),
+            sync_transactions=fabric.transactions,
+            covered_writes=covered,
+            sync_vars=workload.sync_vars,
+            sync_storage_words=fabric.storage_words,
+            init_cycles=init_cycles,
+            trace=engine.trace,
+            final_memory=memory.snapshot(),
+            extra={"events": engine.events, "activity": engine.activity},
+        )

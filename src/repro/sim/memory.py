@@ -1,0 +1,157 @@
+"""Interleaved shared-memory model with per-module contention.
+
+The multiprocessors the paper targets (Cray X-MP, Alliant FX/8, Cedar)
+share memory through a set of interleaved modules.  Each module serves one
+request per ``service_time`` cycles; concurrent requests to the same
+module queue up.  That queueing is what produces the *hot-spot* effect the
+paper cites against counter-based barriers (section 5, Example 4): P
+processors polling one barrier counter all hit the same module.
+
+Addresses are ``(array, index)`` pairs; an address maps to module
+``hash(array, index) % modules`` so that distinct arrays and neighbouring
+elements spread across modules, while repeated accesses to one element
+always collide on the same module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .ops import Address
+
+
+@dataclass
+class MemoryConfig:
+    """Timing parameters for the shared-memory system.
+
+    ``latency``
+        Fixed read-access latency (cycles) once a request is accepted by
+        its module: wire + module access time.
+    ``write_latency``
+        Latency of a write becoming globally visible; defaults to
+        ``latency``.  Real machines often take longer (store buffers,
+        write-behind), which is exactly why section 2.2's requirement (1)
+        -- signal only after the update "is reflected in the shared
+        memory" -- needs an explicit fence.
+    ``service_time``
+        Module occupancy per request; a module accepts at most one new
+        request every ``service_time`` cycles, so simultaneous requests to
+        one module serialize at this rate.
+    ``modules``
+        Number of interleaved memory modules.
+    ``bus_service``
+        When set, every memory request also occupies a single shared
+        *data bus* for this many cycles before reaching its module --
+        the bus-based organization of the Alliant FX/8 / Multimax class
+        (the paper: sync-bus traffic "is no worse than that in the main
+        data bus").  ``None`` models a crossbar/multistage network where
+        only per-module contention matters (Cedar class).
+    """
+
+    latency: int = 4
+    write_latency: Optional[int] = None
+    service_time: int = 1
+    modules: int = 16
+    bus_service: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        if self.write_latency is None:
+            self.write_latency = self.latency
+        if self.write_latency < 0:
+            raise ValueError("write_latency must be >= 0")
+        if self.service_time < 1:
+            raise ValueError("service_time must be >= 1")
+        if self.modules < 1:
+            raise ValueError("modules must be >= 1")
+        if self.bus_service is not None and self.bus_service < 1:
+            raise ValueError("bus_service must be >= 1 (or None)")
+
+
+class SharedMemory:
+    """Word-addressable shared memory with interleaved modules.
+
+    The object holds both the *functional* state (a dict from address to
+    value) and the *timing* state (when each module is next free).  The
+    engine calls :meth:`access_time` to learn when a request issued at
+    time ``now`` completes, then performs the read/write functionally.
+    """
+
+    def __init__(self, config: Optional[MemoryConfig] = None) -> None:
+        self.config = config or MemoryConfig()
+        self._data: Dict[Address, Any] = {}
+        # next_free[m] = first cycle at which module m can accept a request
+        self._next_free: List[int] = [0] * self.config.modules
+        self.reads = 0
+        self.writes = 0
+        #: per-module accepted-request counts, for hot-spot diagnostics
+        self.module_traffic: List[int] = [0] * self.config.modules
+        # shared data bus occupancy (only used when bus_service is set)
+        self._bus_next_free = 0
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+
+    def module_of(self, addr: Address) -> int:
+        """Return the module an address interleaves to."""
+        array, index = addr
+        return (hash(array) + index) % self.config.modules
+
+    def access_time(self, addr: Address, now: int, kind: str = "R") -> int:
+        """Accept a request at ``now``; return its completion time.
+
+        Charges the module: the module is busy for ``service_time`` cycles
+        starting when it accepts the request (possibly after queueing).
+        ``kind`` selects the read or write latency.
+        """
+        module = self.module_of(addr)
+        accepted = now
+        if self.config.bus_service is not None:
+            # win the shared data bus first (FIFO)
+            grant = max(now, self._bus_next_free)
+            self._bus_next_free = grant + self.config.bus_service
+            accepted = grant + self.config.bus_service - 1
+        start = max(accepted, self._next_free[module])
+        self._next_free[module] = start + self.config.service_time
+        self.module_traffic[module] += 1
+        latency = (self.config.write_latency if kind == "W"
+                   else self.config.latency)
+        return start + self.config.service_time - 1 + latency
+
+    # ------------------------------------------------------------------
+    # functional state
+    # ------------------------------------------------------------------
+
+    def read(self, addr: Address) -> Any:
+        """Return the current value at ``addr`` (``None`` if never written)."""
+        self.reads += 1
+        return self._data.get(addr)
+
+    def write(self, addr: Address, value: Any) -> None:
+        """Store ``value`` at ``addr``."""
+        self.writes += 1
+        self._data[addr] = value
+
+    def peek(self, addr: Address) -> Any:
+        """Read without charging traffic counters (for validation)."""
+        return self._data.get(addr)
+
+    def snapshot(self) -> Dict[Address, Any]:
+        """Return a copy of the functional state."""
+        return dict(self._data)
+
+    def preload(self, values: Dict[Address, Any]) -> None:
+        """Initialize memory contents without charging traffic."""
+        self._data.update(values)
+
+    @property
+    def transactions(self) -> int:
+        """Total accepted requests (reads + writes)."""
+        return self.reads + self.writes
+
+    def max_module_traffic(self) -> int:
+        """Peak per-module request count — the hot-spot indicator."""
+        return max(self.module_traffic)

@@ -1,0 +1,166 @@
+"""Iteration-to-processor scheduling policies.
+
+The paper assumes *processor self-scheduling* [Tang & Yew] in all of its
+examples: idle processors dynamically grab the next loop iteration from a
+shared counter, which both balances load and matches the folding rule
+(process ``X+i`` may reach its process counter long after process ``i``).
+A static pre-partitioned policy is provided as a baseline and for the
+barrier/FFT experiments where each process is pinned to one processor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+
+class Scheduler(ABC):
+    """Hands out process ids (loop iterations) to processors."""
+
+    @abstractmethod
+    def next_for(self, processor: int) -> Optional[int]:
+        """Return the next process id for ``processor``; None when done."""
+
+    @property
+    @abstractmethod
+    def grab_is_shared_access(self) -> bool:
+        """True if claiming an iteration costs one shared-memory access."""
+
+    def needs_shared_grab(self, processor: int) -> bool:
+        """Will the *next* ``next_for`` hit the shared counter?
+
+        Chunked schedulers serve most requests from a per-processor
+        local queue; only refills touch shared state.
+        """
+        return self.grab_is_shared_access
+
+
+class SelfScheduler(Scheduler):
+    """Dynamic self-scheduling from a shared iteration counter.
+
+    Every grab is one fetch&add on a shared counter, so it is charged as a
+    shared-memory access by the machine (``grab_is_shared_access``).
+    """
+
+    def __init__(self, iterations: Sequence[int]) -> None:
+        self._iterations: List[int] = list(iterations)
+        self._cursor = 0
+
+    def next_for(self, processor: int) -> Optional[int]:
+        if self._cursor >= len(self._iterations):
+            return None
+        value = self._iterations[self._cursor]
+        self._cursor += 1
+        return value
+
+    @property
+    def grab_is_shared_access(self) -> bool:
+        return True
+
+
+class ChunkSelfScheduler(Scheduler):
+    """Self-scheduling by fixed-size chunks (Tang & Yew [24]).
+
+    Each grab claims ``chunk`` consecutive iterations with one shared
+    fetch&add, amortizing the scheduling traffic ``chunk``-fold at the
+    cost of coarser load balancing.  ``chunk=1`` degenerates to plain
+    self-scheduling.
+    """
+
+    def __init__(self, iterations: Sequence[int], chunk: int = 4) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self._iterations: List[int] = list(iterations)
+        self._cursor = 0
+        self.chunk = chunk
+        self._local: dict = {}
+
+    def next_for(self, processor: int) -> Optional[int]:
+        queue = self._local.setdefault(processor, [])
+        if not queue:
+            if self._cursor >= len(self._iterations):
+                return None
+            queue.extend(
+                self._iterations[self._cursor:self._cursor + self.chunk])
+            self._cursor += self.chunk
+        return queue.pop(0)
+
+    @property
+    def grab_is_shared_access(self) -> bool:
+        return True
+
+    def needs_shared_grab(self, processor: int) -> bool:
+        return not self._local.get(processor)
+
+
+class GuidedSelfScheduler(Scheduler):
+    """Guided self-scheduling: chunk size = remaining / P (Polychrono-
+    poulos & Kuck), the refinement of [24] used on the Alliant FX/8.
+
+    Early grabs take big chunks (low overhead), late grabs take single
+    iterations (good balancing near the end).
+    """
+
+    def __init__(self, iterations: Sequence[int],
+                 n_processors: int) -> None:
+        if n_processors < 1:
+            raise ValueError("need at least one processor")
+        self._iterations: List[int] = list(iterations)
+        self._cursor = 0
+        self.n_processors = n_processors
+        self._local: dict = {}
+        self.grabs = 0
+
+    def next_for(self, processor: int) -> Optional[int]:
+        queue = self._local.setdefault(processor, [])
+        if not queue:
+            remaining = len(self._iterations) - self._cursor
+            if remaining <= 0:
+                return None
+            size = max(1, remaining // self.n_processors)
+            queue.extend(
+                self._iterations[self._cursor:self._cursor + size])
+            self._cursor += size
+            self.grabs += 1
+        return queue.pop(0)
+
+    @property
+    def grab_is_shared_access(self) -> bool:
+        return True
+
+    def needs_shared_grab(self, processor: int) -> bool:
+        return not self._local.get(processor)
+
+
+class StaticScheduler(Scheduler):
+    """Pre-partitioned iterations: cyclic (round-robin) or block chunks.
+
+    Grabbing from a private queue is free.
+    """
+
+    def __init__(self, iterations: Sequence[int], n_processors: int,
+                 policy: str = "cyclic") -> None:
+        if policy not in ("cyclic", "block"):
+            raise ValueError(f"unknown static policy {policy!r}")
+        items = list(iterations)
+        self._queues: List[List[int]] = [[] for _ in range(n_processors)]
+        if policy == "cyclic":
+            for position, value in enumerate(items):
+                self._queues[position % n_processors].append(value)
+        else:
+            chunk = -(-len(items) // n_processors) if items else 0
+            for p in range(n_processors):
+                self._queues[p] = items[p * chunk:(p + 1) * chunk]
+        self._cursors = [0] * n_processors
+
+    def next_for(self, processor: int) -> Optional[int]:
+        queue = self._queues[processor]
+        cursor = self._cursors[processor]
+        if cursor >= len(queue):
+            return None
+        self._cursors[processor] += 1
+        return queue[cursor]
+
+    @property
+    def grab_is_shared_access(self) -> bool:
+        return False

@@ -1,0 +1,278 @@
+"""Synchronization fabrics: where synchronization variables live.
+
+The paper's taxonomy turns on *how synchronization variables are used*,
+but its hardware discussion (section 6) turns on *where they are stored*:
+
+* Data-oriented keys (Cedar, HEP) live next to the data in shared global
+  memory -- every key operation is a memory transaction and busy-waiting
+  pollutes the memory system.  :class:`MemorySyncFabric` models this.
+* Statement counters (Alliant) and the proposed process counters live in
+  a small register file replicated per processor and kept coherent by a
+  dedicated broadcast bus.  Reads and busy-waits hit the *local image*
+  for free; only writes occupy the bus.  :class:`BroadcastSyncFabric`
+  models this, including the write-coverage optimization ("an issued
+  write need not be sent out if a second write to the same PC arrives
+  before the former has gained the bus access").
+
+Both fabrics expose the same interface so a synchronization scheme can be
+simulated on either storage substrate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict
+
+from .memory import SharedMemory
+
+
+class SyncFabric(ABC):
+    """Storage + timing substrate for synchronization variables.
+
+    Variables are integers allocated with :meth:`alloc`; values are
+    arbitrary (counters, ``<owner, step>`` tuples, full/empty bits).  The
+    engine consults :attr:`wait_mode` to decide how to implement
+    ``WaitUntil``:
+
+    ``"event"``
+        Spinning is free (local register image); the waiter re-checks
+        whenever the variable's committed value changes.
+    ``"poll"``
+        Every re-check is a charged read (memory transaction), repeated
+        every :attr:`poll_interval` cycles.  This is what creates the
+        hot-spot on counter barriers.
+    """
+
+    wait_mode: str = "event"
+    poll_interval: int = 4
+
+    def __init__(self) -> None:
+        self._engine = None
+        self.storage_words = 0
+        self.transactions = 0
+
+    def attach(self, engine) -> None:
+        """Bind the fabric to the engine that schedules its commits."""
+        self._engine = engine
+
+    def alloc(self, count: int, init: Any = 0, words_per_var: int = 1) -> range:
+        """Allocate ``count`` fresh variables, each initialized to ``init``.
+
+        Allocation itself is free; schemes that must *initialize* their
+        variables at run time (data-oriented keys) issue explicit writes
+        in their prologue instead.
+        """
+        start = self.storage_words_allocated()
+        for var in range(start, start + count):
+            self._set_initial(var, init)
+        self.storage_words += count * words_per_var
+        return range(start, start + count)
+
+    @abstractmethod
+    def storage_words_allocated(self) -> int:
+        """Number of variables allocated so far (next free id)."""
+
+    @abstractmethod
+    def _set_initial(self, var: int, value: Any) -> None:
+        """Install an initial committed value for ``var``."""
+
+    @abstractmethod
+    def value(self, var: int) -> Any:
+        """Currently committed (globally visible) value of ``var``."""
+
+    @abstractmethod
+    def write(self, var: int, value: Any, now: int, coverable: bool = False,
+              requester: Any = None) -> int:
+        """Issue a write at ``now``; return when the *writer* may proceed.
+
+        The new value becomes visible (and waiters are notified) at a
+        fabric-dependent later time.  ``requester`` identifies the
+        issuing processor for fabrics with per-processor state (caches).
+        """
+
+    @abstractmethod
+    def read_cost(self, var: int, now: int, requester: Any = None) -> int:
+        """Return the completion time of an explicit read issued at ``now``."""
+
+    @abstractmethod
+    def update(self, var: int, fn, now: int) -> "tuple[int, dict]":
+        """Atomic read-modify-write: commit ``fn(committed value)``.
+
+        One transaction.  Returns ``(done, cell)``: the processor may
+        proceed at ``done``, and ``cell["value"]`` holds the new value
+        once the commit has run (commits precede same-cycle resumes, so
+        the engine can hand the value to the process, like fetch&add).
+        """
+
+
+class MemorySyncFabric(SyncFabric):
+    """Synchronization variables held in shared memory.
+
+    Each variable occupies one pseudo-address in the interleaved memory
+    model, so sync traffic competes with (and exhibits the same contention
+    as) data traffic.  Busy-waiting is polled: every poll is a charged
+    memory read.
+    """
+
+    wait_mode = "poll"
+
+    def __init__(self, memory: SharedMemory, poll_interval: int = 4,
+                 space: str = "__sync__") -> None:
+        super().__init__()
+        self.memory = memory
+        self.poll_interval = poll_interval
+        self._space = space
+        self._values: Dict[int, Any] = {}
+        self._next = 0
+
+    def storage_words_allocated(self) -> int:
+        return self._next
+
+    def alloc(self, count: int, init: Any = 0, words_per_var: int = 1) -> range:
+        allocated = super().alloc(count, init, words_per_var)
+        self._next += count
+        return allocated
+
+    def _set_initial(self, var: int, value: Any) -> None:
+        self._values[var] = value
+
+    def value(self, var: int) -> Any:
+        return self._values[var]
+
+    def write(self, var: int, value: Any, now: int, coverable: bool = False,
+              requester: Any = None) -> int:
+        done = self.memory.access_time((self._space, var), now, kind="W")
+        self.transactions += 1
+        engine = self._engine
+
+        def commit() -> None:
+            self._values[var] = value
+            engine.notify_var(var)
+
+        engine.schedule_commit(done, commit)
+        # A memory write is acknowledged when the module accepts it; the
+        # writer proceeds then (store-and-go), matching posted data writes.
+        return done
+
+    def read_cost(self, var: int, now: int, requester: Any = None) -> int:
+        self.transactions += 1
+        return self.memory.access_time((self._space, var), now)
+
+    def update(self, var: int, fn, now: int) -> "tuple[int, dict]":
+        done = self.memory.access_time((self._space, var), now)
+        self.transactions += 1
+        engine = self._engine
+        cell: dict = {}
+
+        def commit() -> None:
+            self._values[var] = fn(self._values[var])
+            cell["value"] = self._values[var]
+            engine.notify_var(var)
+
+        engine.schedule_commit(done, commit)
+        return done, cell
+
+
+class BroadcastSyncFabric(SyncFabric):
+    """Register file replicated per processor, coherent via broadcast bus.
+
+    Timing model (section 6 of the paper / Alliant concurrency bus):
+
+    * A write is issued by its processor in :attr:`issue_cost` cycles and
+      the processor proceeds immediately (writes never block progress).
+    * Broadcasts serialize on the bus: one transaction per
+      :attr:`bus_service` cycles, FIFO.
+    * A broadcast becomes visible in every local image
+      :attr:`propagation` cycles after it wins the bus; waiters re-check
+      then.
+    * With :attr:`coverage` on, a write that is still queued when a newer
+      ``coverable`` write to the same variable arrives is *covered*: its
+      queue slot is reused for the newer value and no extra bus
+      transaction occurs.
+    """
+
+    wait_mode = "event"
+
+    def __init__(self, issue_cost: int = 1, bus_service: int = 2,
+                 propagation: int = 1, coverage: bool = True) -> None:
+        super().__init__()
+        self.issue_cost = issue_cost
+        self.bus_service = bus_service
+        self.propagation = propagation
+        self.coverage = coverage
+        self._values: Dict[int, Any] = {}
+        self._next = 0
+        self._bus_free_at = 0
+        #: queued-but-uncommitted writes: var -> newest pending entry
+        self._pending: Dict[int, dict] = {}
+        self.covered_writes = 0
+
+    def storage_words_allocated(self) -> int:
+        return self._next
+
+    def alloc(self, count: int, init: Any = 0, words_per_var: int = 1) -> range:
+        allocated = super().alloc(count, init, words_per_var)
+        self._next += count
+        return allocated
+
+    def _set_initial(self, var: int, value: Any) -> None:
+        self._values[var] = value
+
+    def value(self, var: int) -> Any:
+        return self._values[var]
+
+    def write(self, var: int, value: Any, now: int, coverable: bool = False,
+              requester: Any = None) -> int:
+        issue_done = now + self.issue_cost
+        pending = self._pending.get(var)
+        if (self.coverage and coverable and pending is not None
+                and not pending["granted"]):
+            # The earlier broadcast has not won the bus yet; replace its
+            # payload instead of spending another transaction.
+            pending["value"] = value
+            self.covered_writes += 1
+            return issue_done
+
+        grant = max(issue_done, self._bus_free_at)
+        self._bus_free_at = grant + self.bus_service
+        visible = grant + self.bus_service + self.propagation
+        self.transactions += 1
+
+        entry = {"value": value, "granted": False}
+        self._pending[var] = entry
+        engine = self._engine
+
+        def grant_cb() -> None:
+            entry["granted"] = True
+
+        def commit() -> None:
+            self._values[var] = entry["value"]
+            if self._pending.get(var) is entry:
+                del self._pending[var]
+            engine.notify_var(var)
+
+        engine.schedule_commit(grant, grant_cb)
+        engine.schedule_commit(visible, commit)
+        return issue_done
+
+    def read_cost(self, var: int, now: int, requester: Any = None) -> int:
+        # Reading the local image is a register read: one cycle, no bus.
+        return now + 1
+
+    def update(self, var: int, fn, now: int) -> "tuple[int, dict]":
+        issue_done = now + self.issue_cost
+        grant = max(issue_done, self._bus_free_at)
+        self._bus_free_at = grant + self.bus_service
+        visible = grant + self.bus_service + self.propagation
+        self.transactions += 1
+        engine = self._engine
+        cell: dict = {}
+
+        def commit() -> None:
+            self._values[var] = fn(self._values[var])
+            cell["value"] = self._values[var]
+            engine.notify_var(var)
+
+        engine.schedule_commit(visible, commit)
+        # An RMW blocks the issuer until its result is back.
+        return visible, cell

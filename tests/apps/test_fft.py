@@ -1,0 +1,71 @@
+"""Example 5: FFT with pairwise synchronization vs. global barriers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.fft import (BarrierFFT, PairwiseFFT, check_solution,
+                            reference_solution, run_fft, stages_for)
+from repro.barriers import CounterBarrier, PCButterflyBarrier
+from repro.sim import ValidationError
+
+
+def balanced(pid, stage):
+    return 60
+
+
+def imbalanced(pid, stage):
+    return 30 + 90 * ((pid * 7 + stage * 3) % 4 == 0)
+
+
+def test_stages_for():
+    assert stages_for(8) == 3
+    with pytest.raises(ValueError):
+        stages_for(6)
+
+
+@pytest.mark.parametrize("processors", [2, 4, 8, 16])
+def test_pairwise_correct(processors):
+    run_fft(PairwiseFFT(processors, balanced))
+
+
+@pytest.mark.parametrize("processors", [4, 8])
+def test_barrier_variant_correct(processors):
+    run_fft(BarrierFFT(processors, balanced,
+                       CounterBarrier(processors)))
+    run_fft(BarrierFFT(processors, balanced,
+                       PCButterflyBarrier(processors)))
+
+
+def test_pairwise_beats_global_barrier_under_imbalance():
+    """"there is no need for a global barrier ... it only waits for
+    another processor with which it exchanges data"."""
+    pairwise = run_fft(PairwiseFFT(16, imbalanced))
+    barrier = run_fft(BarrierFFT(16, imbalanced, CounterBarrier(16)))
+    pc_barrier = run_fft(BarrierFFT(16, imbalanced, PCButterflyBarrier(16)))
+    assert pairwise.makespan < barrier.makespan
+    assert pairwise.makespan <= pc_barrier.makespan
+    assert pairwise.total_spin < barrier.total_spin
+
+
+def test_pairwise_uses_p_counters():
+    workload = PairwiseFFT(8, balanced)
+    assert workload.sync_vars == 8
+
+
+def test_reference_solution_chains_stages():
+    values = reference_solution(4)
+    assert len(values) == 4 * 2  # P chunks x log P stages
+    # stage-2 value depends on stage-1 values
+    from repro.apps.fft import chunk_address, chunk_value
+    expected = chunk_value(0, 2, values[chunk_address(0, 1)],
+                           values[chunk_address(2, 1)])
+    assert values[chunk_address(0, 2)] == expected
+
+
+def test_check_solution_catches_corruption():
+    result = run_fft(PairwiseFFT(4, balanced))
+    addr = next(iter(reference_solution(4)))
+    result.final_memory[addr] = -1
+    with pytest.raises(ValidationError):
+        check_solution(4, result)

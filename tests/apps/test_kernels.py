@@ -1,0 +1,71 @@
+"""Paper kernels: shapes, classifications, dependence structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kernels import (doall_loop, example2_loop, example3_loop,
+                                fig21_loop, fig21_loop_with_delay,
+                                recurrence_loop, relaxation_loop)
+from repro.depend import DOACROSS, DOALL, DependenceGraph, classify
+
+
+def test_fig21_is_doacross():
+    assert classify(fig21_loop(20)).label == DOACROSS
+
+
+def test_fig21_delay_injection():
+    loop = fig21_loop_with_delay(n=20, cost=10, slow_iteration=5,
+                                 slow_cost=500)
+    s1 = loop.statement("S1")
+    assert s1.cost_at((5,)) == 500
+    assert s1.cost_at((6,)) == 10
+    # same dependence structure as the plain loop
+    plain = {str(d) for d in DependenceGraph(fig21_loop(20)).dependences}
+    slow = {str(d) for d in DependenceGraph(loop).dependences}
+    assert plain == slow
+
+
+def test_example2_structure():
+    loop = example2_loop(n=4, m=3)
+    assert loop.depth == 2
+    assert loop.n_iterations == 12
+    assert classify(loop).label == DOACROSS
+    arcs = {(a.src, a.dst, a.distance)
+            for a in DependenceGraph(loop).sync_arcs()}
+    assert arcs == {("S1", "S2", 1), ("S2", "S3", 4)}  # M+1 = 4
+
+
+def test_example3_guards_partition_iterations():
+    loop = example3_loop(n=12)
+    sb = loop.statement("Sb")
+    sc = loop.statement("Sc")
+    for i in range(1, 13):
+        assert sb.executes_at((i,)) != sc.executes_at((i,))
+
+
+def test_example3_long_branch_cost():
+    loop = example3_loop(n=12, cost=10, long_branch_cost=300)
+    sc = loop.statement("Sc")
+    taken = next(i for i in range(1, 13) if sc.executes_at((i,)))
+    assert sc.cost_at((taken,)) == 300
+
+
+def test_example3_custom_branch_function():
+    loop = example3_loop(n=10, branch=lambda i: "C")
+    assert not loop.statement("Sb").executes_at((1,))
+    assert loop.statement("Sc").executes_at((1,))
+
+
+def test_relaxation_loop_dependences():
+    loop = relaxation_loop(n=6)
+    arcs = {(a.src, a.dst) for a in DependenceGraph(loop).sync_arcs()}
+    assert arcs == {("S", "S")}
+    distances = {d.distance for d in DependenceGraph(loop).dependences
+                 if d.loop_carried}
+    assert distances == {(1, 0), (0, 1)}
+
+
+def test_recurrence_and_doall():
+    assert classify(recurrence_loop(10)).label == DOACROSS
+    assert classify(doall_loop(10)).label == DOALL

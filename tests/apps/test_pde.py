@@ -1,0 +1,84 @@
+"""Example 5 (PDE case): neighbour sync vs global barrier per sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pde import (BarrierPDE, NeighborPDE, check_solution,
+                            reference_solution, run_pde)
+from repro.barriers import CounterBarrier, PCDisseminationBarrier
+from repro.sim import ValidationError
+
+
+def balanced(region, sweep):
+    return 50
+
+
+def roaming_hotspot(region, sweep):
+    """A different region is slow each sweep (transient imbalance)."""
+    return 50 + 200 * (region == sweep % 12)
+
+
+@pytest.mark.parametrize("regions", [2, 3, 8, 12])
+def test_neighbor_pde_correct(regions):
+    run_pde(NeighborPDE(regions, sweeps=6, sweep_cost=balanced))
+
+
+@pytest.mark.parametrize("regions", [4, 12])
+def test_barrier_pde_correct(regions):
+    run_pde(BarrierPDE(regions, 6, balanced, CounterBarrier(regions)))
+    run_pde(BarrierPDE(regions, 6, balanced,
+                       PCDisseminationBarrier(regions)))
+
+
+def test_neighbor_needs_two_regions():
+    with pytest.raises(ValueError):
+        NeighborPDE(1, sweeps=3, sweep_cost=balanced)
+
+
+def test_barrier_width_must_match():
+    with pytest.raises(ValueError):
+        BarrierPDE(8, 3, balanced, CounterBarrier(4))
+
+
+def test_neighbor_beats_barrier_under_transient_imbalance():
+    """The paper's point: local communication only needs local waiting.
+    A roaming slow region delays only its neighbours under neighbour
+    sync, but everyone under a barrier."""
+    regions, sweeps = 12, 12
+    neighbor = run_pde(NeighborPDE(regions, sweeps, roaming_hotspot))
+    barrier = run_pde(BarrierPDE(regions, sweeps, roaming_hotspot,
+                                 PCDisseminationBarrier(regions)))
+    assert neighbor.makespan < barrier.makespan
+    assert neighbor.total_spin < barrier.total_spin
+
+
+def test_sync_vars():
+    assert NeighborPDE(10, 3, balanced).sync_vars == 10
+
+
+def test_reference_solution_chains():
+    values = reference_solution(3, 2)
+    from repro.apps.pde import region_address, region_value
+    expected = region_value(
+        1, 2,
+        values[region_address(0, 1)],
+        values[region_address(1, 1)],
+        values[region_address(2, 1)])
+    assert values[region_address(1, 2)] == expected
+
+
+def test_check_solution_catches_corruption():
+    result = run_pde(NeighborPDE(4, 3, balanced))
+    addr = next(iter(reference_solution(4, 3)))
+    result.final_memory[addr] = -1
+    with pytest.raises(ValidationError):
+        check_solution(4, 3, result)
+
+
+def test_boundary_regions_have_one_neighbour():
+    """Non-periodic domain: region 0 never waits on region -1."""
+    workload = NeighborPDE(4, 3, balanced)
+    result = run_pde(workload)
+    # region 0 and 3 wait once per sweep; inner regions twice
+    assert result.makespan > 0

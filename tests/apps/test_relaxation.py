@@ -1,0 +1,111 @@
+"""Example 1: relaxation strategies all compute the same grid; the
+pipeline beats the wavefront; grouping trades sync for delay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.relaxation import (PipelinedRelaxation, SerialRelaxation,
+                                   StatementPipelinedRelaxation,
+                                   WavefrontRelaxation, check_solution,
+                                   column_groups, reference_solution,
+                                   run_relaxation, serial_cycles)
+from repro.barriers import PCButterflyBarrier
+from repro.sim import ValidationError
+
+N = 14
+P = 4
+
+
+def test_column_groups():
+    assert column_groups(6, 1) == [(2, 2), (3, 3), (4, 4), (5, 5), (6, 6)]
+    assert column_groups(6, 2) == [(2, 3), (4, 5), (6, 6)]
+    assert column_groups(6, 10) == [(2, 6)]
+    with pytest.raises(ValueError):
+        column_groups(6, 0)
+
+
+def test_serial_strategy_correct():
+    result = run_relaxation(SerialRelaxation(N), processors=1)
+    check_solution(N, result)
+    assert result.sync_vars == 0
+
+
+def test_wavefront_correct_and_counts_steps():
+    workload = WavefrontRelaxation(N, PCButterflyBarrier(P))
+    result = run_relaxation(workload, processors=P, schedule="block")
+    assert workload.parallel_steps == 2 * N - 3
+
+
+@pytest.mark.parametrize("group", [1, 2, 4, 13])
+def test_pipeline_correct_for_any_grouping(group):
+    result = run_relaxation(PipelinedRelaxation(N, group=group),
+                            processors=P)
+    assert result.makespan > 0
+
+
+def test_pipeline_beats_wavefront():
+    """Same parallel steps, better efficiency (Fig. 5.1(c) vs (d))."""
+    wavefront = run_relaxation(WavefrontRelaxation(N, PCButterflyBarrier(P)),
+                               processors=P, schedule="block")
+    pipeline = run_relaxation(PipelinedRelaxation(N, group=1), processors=P)
+    assert pipeline.makespan < wavefront.makespan
+    assert pipeline.utilization > wavefront.utilization
+    # identical parallel-step counts
+    assert (PipelinedRelaxation(N, group=1).parallel_steps
+            == WavefrontRelaxation(N, PCButterflyBarrier(P)).parallel_steps)
+
+
+def test_grouping_reduces_sync_at_small_delay():
+    """Fig. 5.1(c): grouping G cuts synchronization ~G-fold while adding
+    bounded pipeline-fill delay."""
+    g1 = run_relaxation(PipelinedRelaxation(N, group=1), processors=P)
+    g4 = run_relaxation(PipelinedRelaxation(N, group=4), processors=P)
+    assert g4.sync_transactions < g1.sync_transactions / 2
+    assert g4.makespan < 1.6 * g1.makespan
+
+
+def test_statement_counters_degrade_when_limited():
+    """Example 1's point: with S << N-1 statement counters the pipeline
+    coarsens and performs worse than the PC scheme."""
+    pc = run_relaxation(PipelinedRelaxation(N, group=1), processors=P)
+    limited_workload = StatementPipelinedRelaxation(N, n_counters=2)
+    limited = run_relaxation(limited_workload, processors=P)
+    assert limited.makespan > pc.makespan
+    assert limited_workload.sync_points_per_row == 2
+
+
+def test_statement_counters_full_set_recovers():
+    """With S = N-1 counters the statement scheme can pipeline fully."""
+    full = StatementPipelinedRelaxation(N, n_counters=N - 1)
+    assert full.group == 1
+    result = run_relaxation(full, processors=P)
+    assert result.sync_vars == N - 1
+
+
+def test_pc_scheme_needs_constant_vars_statement_needs_n():
+    pipeline = PipelinedRelaxation(N, group=1, n_counters=8)
+    statement = StatementPipelinedRelaxation(N, n_counters=N - 1)
+    assert pipeline.sync_vars == 8                    # independent of N
+    assert statement.sync_vars == N - 1               # grows with N
+    assert pipeline.sync_points_per_row == N - 1      # yet full sync
+
+
+def test_reference_solution_matches_serial_run():
+    result = run_relaxation(SerialRelaxation(8), processors=1,
+                            validate=False)
+    expected = reference_solution(8)
+    for addr, value in expected.items():
+        assert result.final_memory[addr] == value
+
+
+def test_check_solution_catches_corruption():
+    result = run_relaxation(SerialRelaxation(8), processors=1)
+    addr = next(iter(reference_solution(8)))
+    result.final_memory[addr] = -1
+    with pytest.raises(ValidationError):
+        check_solution(8, result)
+
+
+def test_serial_cycles_formula():
+    assert serial_cycles(5, 10) == 16 * 10

@@ -1,0 +1,152 @@
+"""Barriers: separation, reuse, variable/operation counts, hot spots."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.barriers import (BarrierViolation, BrooksButterflyBarrier,
+                            CounterBarrier, PCButterflyBarrier,
+                            PhasedWorkload, check_barrier_separation,
+                            stages_for)
+from repro.sim import Machine, MachineConfig
+from repro.sim.metrics import RunResult
+
+ALL_BARRIERS = [CounterBarrier, BrooksButterflyBarrier, PCButterflyBarrier]
+
+
+def run_phased(barrier, n_phases=6, work=lambda pid, phase: 40):
+    workload = PhasedWorkload(barrier, n_phases, work)
+    machine = Machine(MachineConfig(processors=barrier.n_processors,
+                                    schedule="block"))
+    return machine.run(workload)
+
+
+@pytest.mark.parametrize("barrier_cls", ALL_BARRIERS)
+@pytest.mark.parametrize("processors", [2, 4, 8, 16])
+def test_separation_balanced(barrier_cls, processors):
+    barrier = barrier_cls(processors)
+    result = run_phased(barrier)
+    check_barrier_separation(result, processors, 6)
+
+
+@pytest.mark.parametrize("barrier_cls", ALL_BARRIERS)
+def test_separation_imbalanced(barrier_cls):
+    """Separation must hold when arrival times are scattered."""
+    barrier = barrier_cls(8)
+    result = run_phased(barrier, n_phases=5,
+                        work=lambda pid, phase: 10 + 60 * ((pid + phase)
+                                                           % 4))
+    check_barrier_separation(result, 8, 5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       barrier_index=st.integers(min_value=0, max_value=2),
+       log_p=st.integers(min_value=1, max_value=4))
+def test_separation_random_imbalance(seed, barrier_index, log_p):
+    processors = 1 << log_p
+    barrier = ALL_BARRIERS[barrier_index](processors)
+
+    def work(pid, phase):
+        return 5 + (seed * 31 + pid * 17 + phase * 7) % 97
+
+    result = run_phased(barrier, n_phases=4, work=work)
+    check_barrier_separation(result, processors, 4)
+
+
+def test_counter_barrier_two_or_four_variables():
+    assert CounterBarrier(8, hardware_fetch_add=True).sync_vars == 2
+    assert CounterBarrier(8).sync_vars == 4  # + ticket lock words
+
+
+def test_butterfly_variable_counts():
+    """The paper's claim: PC butterfly uses fewer variables than Brooks
+    (P vs P*log2 P)."""
+    for p in (4, 8, 16, 32):
+        brooks = BrooksButterflyBarrier(p)
+        pc = PCButterflyBarrier(p)
+        assert pc.sync_vars == p
+        assert brooks.sync_vars == p * stages_for(p)
+        assert pc.sync_vars < brooks.sync_vars
+
+
+def test_butterfly_operation_counts():
+    """...and fewer operations (2 vs 4 per stage per processor)."""
+    brooks = run_phased(BrooksButterflyBarrier(8), n_phases=4)
+    pc = run_phased(PCButterflyBarrier(8), n_phases=4)
+    assert pc.total_sync_ops < brooks.total_sync_ops
+
+
+def test_counter_barrier_hot_spot():
+    """The counter barrier's polling converges on single modules; the
+    butterflies spread their flags."""
+    counter = run_phased(CounterBarrier(16), n_phases=4)
+    brooks = run_phased(BrooksButterflyBarrier(16), n_phases=4)
+    assert counter.memory_hotspot > brooks.memory_hotspot
+
+
+def test_pc_butterfly_no_memory_traffic():
+    result = run_phased(PCButterflyBarrier(8), n_phases=4)
+    assert result.memory_hotspot == 0   # broadcast registers, not memory
+
+
+def test_butterfly_requires_power_of_two():
+    with pytest.raises(ValueError):
+        BrooksButterflyBarrier(6)
+    with pytest.raises(ValueError):
+        PCButterflyBarrier(12)
+    with pytest.raises(ValueError):
+        CounterBarrier(1)
+
+
+def test_episode_numbering_per_pid():
+    barrier = PCButterflyBarrier(4)
+    assert barrier.next_episode(0) == 1
+    assert barrier.next_episode(0) == 2
+    assert barrier.next_episode(1) == 1
+
+
+def test_check_barrier_separation_detects_violation():
+    result = RunResult(makespan=10, processors=[],
+                       memory_transactions=0, memory_hotspot=0,
+                       sync_transactions=0, covered_writes=0, sync_vars=0,
+                       sync_storage_words=0, init_cycles=0,
+                       extra={"events": [
+                           (5, "phase_done", {"pid": 0, "phase": 0}),
+                           (9, "phase_done", {"pid": 1, "phase": 0}),
+                           (7, "barrier_exit", {"pid": 0, "phase": 0}),
+                           (10, "barrier_exit", {"pid": 1, "phase": 0}),
+                       ]})
+    with pytest.raises(BarrierViolation):
+        check_barrier_separation(result, 2, 1)
+
+
+def test_check_barrier_separation_detects_missing_arrivals():
+    result = RunResult(makespan=10, processors=[],
+                       memory_transactions=0, memory_hotspot=0,
+                       sync_transactions=0, covered_writes=0, sync_vars=0,
+                       sync_storage_words=0, init_cycles=0,
+                       extra={"events": [
+                           (5, "phase_done", {"pid": 0, "phase": 0}),
+                           (7, "barrier_exit", {"pid": 0, "phase": 0}),
+                       ]})
+    with pytest.raises(BarrierViolation):
+        check_barrier_separation(result, 2, 1)
+
+
+def test_lock_based_counter_slower_than_hardware_fa():
+    locked = run_phased(CounterBarrier(8), n_phases=4)
+    hardware = run_phased(CounterBarrier(8, hardware_fetch_add=True),
+                          n_phases=4)
+    assert locked.makespan > hardware.makespan
+
+
+def test_butterflies_beat_lock_based_counter():
+    """Example 4's headline: butterfly > counter on a machine without
+    hardware fetch&add, already at P = 8."""
+    counter = run_phased(CounterBarrier(8), n_phases=6)
+    brooks = run_phased(BrooksButterflyBarrier(8), n_phases=6)
+    pc = run_phased(PCButterflyBarrier(8), n_phases=6)
+    assert brooks.makespan < counter.makespan
+    assert pc.makespan < counter.makespan

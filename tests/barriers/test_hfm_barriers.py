@@ -1,0 +1,109 @@
+"""Dissemination and tournament barriers ([11]), any-P support."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.barriers import (DisseminationBarrier, PCDisseminationBarrier,
+                            PCButterflyBarrier, PhasedWorkload,
+                            TournamentBarrier, check_barrier_separation,
+                            rounds_for)
+from repro.sim import Machine, MachineConfig
+
+HFM_BARRIERS = [DisseminationBarrier, PCDisseminationBarrier,
+                TournamentBarrier]
+
+
+def run_phased(barrier, n_phases=5, work=lambda pid, phase: 40):
+    workload = PhasedWorkload(barrier, n_phases, work)
+    machine = Machine(MachineConfig(processors=barrier.n_processors,
+                                    schedule="block"))
+    return machine.run(workload)
+
+
+def test_rounds_for():
+    assert rounds_for(2) == 1
+    assert rounds_for(3) == 2
+    assert rounds_for(8) == 3
+    assert rounds_for(9) == 4
+    with pytest.raises(ValueError):
+        rounds_for(1)
+
+
+@pytest.mark.parametrize("barrier_cls", HFM_BARRIERS)
+@pytest.mark.parametrize("processors", [2, 3, 5, 7, 8, 12, 16])
+def test_any_processor_count(barrier_cls, processors):
+    """Unlike the XOR butterfly, these work for non-powers-of-two --
+    the paper's "minor modification [11]"."""
+    barrier = barrier_cls(processors)
+    result = run_phased(barrier)
+    check_barrier_separation(result, processors, 5)
+
+
+@pytest.mark.parametrize("barrier_cls", HFM_BARRIERS)
+def test_imbalanced_arrivals(barrier_cls):
+    barrier = barrier_cls(11)
+    result = run_phased(barrier, n_phases=4,
+                        work=lambda pid, phase: 10 + 70 * ((pid + phase)
+                                                           % 3))
+    check_barrier_separation(result, 11, 4)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=9999),
+       barrier_index=st.integers(min_value=0, max_value=2),
+       processors=st.integers(min_value=2, max_value=13))
+def test_separation_random(seed, barrier_index, processors):
+    barrier = HFM_BARRIERS[barrier_index](processors)
+
+    def work(pid, phase):
+        return 5 + (seed * 13 + pid * 31 + phase * 7) % 83
+
+    result = run_phased(barrier, n_phases=3, work=work)
+    check_barrier_separation(result, processors, 3)
+
+
+def test_variable_counts():
+    p = 12
+    rounds = rounds_for(p)
+    assert DisseminationBarrier(p).sync_vars == p * rounds
+    assert PCDisseminationBarrier(p).sync_vars == p
+    # tournament: one arrival + one release flag per match, P-1 matches
+    tournament = TournamentBarrier(p)
+    tournament.build_fabric(__import__(
+        "repro.sim.memory", fromlist=["SharedMemory"]).SharedMemory())
+    assert tournament.sync_vars == 2 * (p - 1)
+
+
+def test_pc_dissemination_matches_butterfly_cost_at_power_of_two():
+    """At P = 2^k both PC barriers do log2 P set+wait pairs; their
+    episode costs should be close."""
+    p = 16
+    butterfly = run_phased(PCButterflyBarrier(p), n_phases=6)
+    dissemination = run_phased(PCDisseminationBarrier(p), n_phases=6)
+    assert abs(butterfly.makespan - dissemination.makespan) \
+        <= 0.15 * butterfly.makespan
+    assert dissemination.sync_vars == butterfly.sync_vars == p
+
+
+def test_pc_dissemination_no_memory_traffic():
+    result = run_phased(PCDisseminationBarrier(8))
+    assert result.memory_hotspot == 0
+
+
+def test_dissemination_flags_spread_over_memory():
+    result = run_phased(DisseminationBarrier(8))
+    assert result.memory_hotspot > 0   # memory-resident flags
+    assert result.sync_transactions > 0
+
+
+def test_tournament_no_concurrent_writers():
+    """Tournament flags are single-writer: losers write arrival flags,
+    winners write release flags, never the same variable."""
+    barrier = TournamentBarrier(8)
+    from repro.sim.memory import SharedMemory
+    barrier.build_fabric(SharedMemory())
+    arrival_vars = set(barrier._arrival.values())
+    release_vars = set(barrier._release.values())
+    assert not arrival_vars & release_vars

@@ -1,0 +1,113 @@
+"""The compile pipeline: classification, selection, instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kernels import doall_loop, fig21_loop
+from repro.compiler import CompileError, compile_loop
+from repro.depend.model import AffineExpr, ArrayRef, Loop, Statement, ref1
+from repro.sim import Machine, MachineConfig
+
+
+def test_doacross_chooses_process_oriented_for_time(fig21):
+    result = compile_loop(fig21, objective="time")
+    assert result.classification.label == "doacross"
+    assert result.chosen_scheme == "process-oriented"
+    assert result.runs_parallel
+    assert result.instrumented is not None
+
+
+def test_storage_objective_prefers_statement_counters(fig21):
+    result = compile_loop(fig21, objective="storage")
+    assert result.chosen_scheme == "statement-oriented"  # 4 vars
+
+
+def test_serial_loop_not_instrumented():
+    body = [
+        Statement("S1", writes=(ref1("A", 1, 0),)),
+        Statement("S2", reads=(ArrayRef("A", (AffineExpr((2,), 0),)),)),
+    ]
+    loop = Loop("serial", bounds=((1, 10),), body=body)
+    result = compile_loop(loop)
+    assert result.chosen_scheme == "serial"
+    assert result.instrumented is None
+    assert not result.runs_parallel
+
+
+def test_doall_needs_no_sync(doall):
+    result = compile_loop(doall)
+    assert result.chosen_scheme == "process-oriented"
+    assert "DOALL" in result.rationale
+    # the instrumented DOALL emits no waits or marks
+    machine = Machine(MachineConfig(processors=4))
+    run = machine.run(result.instrumented)
+    result.instrumented.validate(run)
+    assert run.total_sync_ops == 0
+
+
+def test_compiled_loop_simulates_and_validates(fig21):
+    result = compile_loop(fig21)
+    machine = Machine(MachineConfig(processors=8))
+    run = machine.run(result.instrumented)
+    result.instrumented.validate(run)
+
+
+def test_force_scheme(fig21):
+    result = compile_loop(fig21, force_scheme="reference-based")
+    assert result.chosen_scheme == "reference-based"
+    assert "forced" in result.rationale
+
+
+def test_candidate_restriction(fig21):
+    result = compile_loop(fig21, candidates=["reference-based",
+                                             "instance-based"])
+    assert result.chosen_scheme in ("reference-based", "instance-based")
+
+
+def test_errors():
+    loop = fig21_loop(n=10)
+    with pytest.raises(CompileError):
+        compile_loop(loop, objective="vibes")
+    with pytest.raises(CompileError):
+        compile_loop(loop, force_scheme="quantum")
+    with pytest.raises(CompileError):
+        compile_loop(loop, candidates=["quantum"])
+
+
+def test_explain_is_readable(fig21):
+    text = compile_loop(fig21).explain()
+    assert "doacross" in text
+    assert "<== chosen" in text
+    assert "rationale" in text
+
+
+def test_explain_serial():
+    body = [
+        Statement("S1", writes=(ref1("A", 1, 0),)),
+        Statement("S2", reads=(ArrayRef("A", (AffineExpr((2,), 0),)),)),
+    ]
+    loop = Loop("serial", bounds=((1, 10),), body=body)
+    text = compile_loop(loop).explain()
+    assert "serial" in text.lower()
+
+
+def test_profitability_gate():
+    """serialize_unprofitable refuses pipelines the delay model says
+    cannot pay off, and leaves profitable loops alone."""
+    from repro.apps.kernels import recurrence_loop
+    gated = compile_loop(recurrence_loop(n=40), processors=8,
+                         serialize_unprofitable=True)
+    assert gated.chosen_scheme == "serial"
+    assert gated.instrumented is None
+    assert "not worthwhile" in gated.rationale
+
+    fine = compile_loop(fig21_loop(n=40), processors=8,
+                        serialize_unprofitable=True)
+    assert fine.chosen_scheme != "serial"
+
+    # forcing a scheme overrides the gate
+    forced = compile_loop(recurrence_loop(n=40), processors=8,
+                          serialize_unprofitable=True,
+                          force_scheme="process-oriented")
+    assert forced.chosen_scheme == "process-oriented"

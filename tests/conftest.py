@@ -1,0 +1,49 @@
+"""Shared fixtures: canonical loops and machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kernels import (doall_loop, example2_loop, example3_loop,
+                                fig21_loop, recurrence_loop)
+from repro.sim import Machine, MachineConfig
+
+
+@pytest.fixture
+def fig21():
+    """The paper's running example, small enough for fast simulation."""
+    return fig21_loop(n=30)
+
+
+@pytest.fixture
+def nested():
+    """The multiply-nested Example 2 loop."""
+    return example2_loop(n=6, m=4)
+
+
+@pytest.fixture
+def branchy():
+    """The Example 3 loop with sources in branches."""
+    return example3_loop(n=24)
+
+
+@pytest.fixture
+def recurrence():
+    return recurrence_loop(n=20)
+
+
+@pytest.fixture
+def doall():
+    return doall_loop(n=20)
+
+
+@pytest.fixture
+def machine4():
+    """A 4-processor self-scheduled machine."""
+    return Machine(MachineConfig(processors=4))
+
+
+@pytest.fixture
+def machine8():
+    """An 8-processor self-scheduled machine."""
+    return Machine(MachineConfig(processors=8))

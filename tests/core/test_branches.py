@@ -1,0 +1,83 @@
+"""Step cursor: branch-path equalization (Example 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.branches import StepCursor, publication_schedule
+
+
+def test_all_executed_publishes_each_nonfinal_step():
+    assert publication_schedule((True, True, True)) == [1, 2, None]
+
+
+def test_eager_publishes_skipped_steps():
+    """Paper: "mark_PC(3), though not required, is added as the first
+    statement in branch B" -- the skipped position is published."""
+    assert publication_schedule((True, False, True, True),
+                                eager=True) == [1, 2, 3, None]
+
+
+def test_lazy_skips_ride_on_next_executed_source():
+    """Lazy: a skipped step is covered by the next executed source's
+    higher step ("after Sd in branch C, mark_PC(3) is executed instead
+    of mark_PC(2)")."""
+    assert publication_schedule((True, False, True, True),
+                                eager=False) == [1, None, 3, None]
+
+
+def test_lazy_trailing_skips_fall_to_transfer():
+    assert publication_schedule((True, False, False),
+                                eager=False) == [1, None, None]
+
+
+def test_eager_never_republishes():
+    """A published step is not re-published by a later skip."""
+    cursor = StepCursor(n_sources=4, eager=True)
+    assert cursor.advance(True) == 1
+    assert cursor.advance(True) == 2
+    assert cursor.advance(False) == 3
+    assert cursor.advance(False) is None  # last position: transfer's job
+    assert cursor.finished
+    assert cursor.published == 3
+
+
+def test_last_position_never_published():
+    for mask in [(True,), (False,), (True, True), (True, False)]:
+        assert publication_schedule(mask)[-1] is None
+
+
+def test_advance_past_end_raises():
+    cursor = StepCursor(n_sources=1)
+    cursor.advance(True)
+    with pytest.raises(RuntimeError):
+        cursor.advance(True)
+
+
+def test_not_finished_midway():
+    cursor = StepCursor(n_sources=3)
+    cursor.advance(True)
+    assert not cursor.finished
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=10), st.booleans())
+def test_published_steps_strictly_increasing(mask, eager):
+    """Published step values are strictly increasing and bounded by the
+    source count -- the monotonicity the PC hardware relies on."""
+    schedule = publication_schedule(tuple(mask), eager=eager)
+    published = [s for s in schedule if s is not None]
+    assert all(b > a for a, b in zip(published, published[1:]))
+    assert all(1 <= s < len(mask) + 1 for s in published)
+    assert schedule[-1] is None
+
+
+@given(st.lists(st.booleans(), min_size=2, max_size=10))
+def test_eager_covers_every_executed_prefix(mask):
+    """Eager mode: after passing source position k, the published value
+    is at least the number of positions passed (minus the final one) --
+    so no sink ever waits on a passed position."""
+    cursor = StepCursor(n_sources=len(mask), eager=True)
+    for position, executed in enumerate(mask[:-1], start=1):
+        cursor.advance(executed)
+        assert cursor.published == position

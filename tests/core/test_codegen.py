@@ -1,0 +1,91 @@
+"""Synchronization planning: the plan must reproduce Fig. 4.2(b)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codegen import build_sync_plan
+from repro.depend.graph import DependenceGraph
+from repro.depend.model import Loop, Statement, ref1
+
+
+def test_fig42b_plan_exact(fig21):
+    """Source numbering S1=1, S2=2, S3=3, S4=last; waits exactly as the
+    paper's transformed loop."""
+    plan = build_sync_plan(fig21)
+    assert plan.step_of == {"S1": 1, "S2": 2, "S3": 3, "S4": 4}
+    assert plan.n_sources == 4
+    assert plan.last_source == "S4"
+
+    by_sid = {p.sid: p for p in plan.statements}
+    assert [(w.dist, w.step) for w in by_sid["S1"].waits] == []
+    assert [(w.dist, w.step) for w in by_sid["S2"].waits] == [(2, 1)]
+    assert [(w.dist, w.step) for w in by_sid["S3"].waits] == [(1, 1)]
+    assert [(w.dist, w.step) for w in by_sid["S4"].waits] == [(1, 2), (2, 3)]
+    assert [(w.dist, w.step) for w in by_sid["S5"].waits] == [(1, 4)]
+
+    assert by_sid["S1"].source_step == 1 and not by_sid["S1"].is_last_source
+    assert by_sid["S4"].source_step == 4 and by_sid["S4"].is_last_source
+    assert by_sid["S5"].source_step is None
+
+
+def test_pseudocode_matches_fig42b_shape(fig21):
+    text = build_sync_plan(fig21).pseudocode()
+    for fragment in ("set_PC(1)", "wait_PC(2, 1)", "set_PC(2)",
+                     "wait_PC(1, 1)", "set_PC(3)", "wait_PC(1, 2)",
+                     "wait_PC(2, 3)", "release_PC()", "wait_PC(1, 4)"):
+        assert fragment in text, f"missing {fragment} in:\n{text}"
+    assert text.count("release_PC") == 1
+
+
+def test_prune_none_keeps_covered_arcs(fig21):
+    pruned = build_sync_plan(fig21, prune="exact")
+    full = build_sync_plan(fig21, prune="none")
+    assert len(full.arcs) == 7
+    assert len(pruned.arcs) == 5
+    # the covered S1->S4 wait appears only in the unpruned plan
+    s4_full = next(p for p in full.statements if p.sid == "S4")
+    assert (3, 1) in [(w.dist, w.step) for w in s4_full.waits]
+
+
+def test_sink_before_source_ordering(recurrence):
+    """A[i] = A[i-1]: the single statement is both sink and source; the
+    plan puts the wait before and the release after."""
+    plan = build_sync_plan(recurrence)
+    stmt = plan.statements[0]
+    assert [(w.dist, w.step) for w in stmt.waits] == [(1, 1)]
+    assert stmt.is_last_source
+
+
+def test_doall_plan_is_empty(doall):
+    plan = build_sync_plan(doall)
+    assert plan.n_sources == 0
+    assert plan.last_source is None
+    assert all(not p.waits and p.source_step is None
+               for p in plan.statements)
+
+
+def test_max_wait_distance(fig21, doall):
+    assert build_sync_plan(fig21).max_wait_distance == 2
+    assert build_sync_plan(doall).max_wait_distance == 0
+
+
+def test_waits_reference_source_sids(fig21):
+    plan = build_sync_plan(fig21)
+    for statement_plan in plan.statements:
+        for wait in statement_plan.waits:
+            assert plan.step_of[wait.src] == wait.step
+
+
+def test_nested_plan_uses_linear_distances(nested):
+    plan = build_sync_plan(nested)
+    m = nested.extents[1]
+    by_sid = {p.sid: p for p in plan.statements}
+    assert [(w.dist, w.step) for w in by_sid["S2"].waits] == [(1, 1)]
+    assert [(w.dist, w.step) for w in by_sid["S3"].waits] == [(m + 1, 2)]
+
+
+def test_plan_with_explicit_graph(fig21):
+    graph = DependenceGraph(fig21)
+    plan = build_sync_plan(fig21, graph=graph)
+    assert plan.step_of["S1"] == 1

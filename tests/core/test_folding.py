@@ -1,0 +1,70 @@
+"""Folding arithmetic: power-of-two sizing and the masking rule."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.folding import (choose_counters, is_power_of_two,
+                                next_power_of_two, ownership_throttle,
+                                slot_mask)
+
+
+def test_is_power_of_two():
+    assert [x for x in range(1, 20) if is_power_of_two(x)] == [1, 2, 4, 8, 16]
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(-4)
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(0) == 1
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(5) == 8
+    assert next_power_of_two(8) == 8
+    assert next_power_of_two(9) == 16
+
+
+def test_choose_counters_paper_rule():
+    """A power of two, at least multiple * P."""
+    assert choose_counters(8) == 16
+    assert choose_counters(8, multiple=4) == 32
+    assert choose_counters(6) == 16   # 12 -> 16
+    assert choose_counters(1, multiple=1) == 1
+
+
+def test_choose_counters_validation():
+    with pytest.raises(ValueError):
+        choose_counters(0)
+    with pytest.raises(ValueError):
+        choose_counters(4, multiple=0)
+
+
+def test_slot_mask_power_of_two_only():
+    assert slot_mask(16) == 15
+    assert slot_mask(1) == 0
+    with pytest.raises(ValueError):
+        slot_mask(12)
+
+
+@given(st.integers(min_value=0, max_value=10),
+       st.integers(min_value=0, max_value=10_000))
+def test_mask_equals_modulus(log_x, pid):
+    """Taking the low bits of a pid is exactly pid mod X (section 6)."""
+    x = 1 << log_x
+    assert pid & slot_mask(x) == pid % x
+
+
+def test_ownership_throttle():
+    assert ownership_throttle(16, 8) == 2.0
+    assert ownership_throttle(4, 8) == 0.5
+    with pytest.raises(ValueError):
+        ownership_throttle(0, 8)
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=8))
+def test_choose_counters_properties(processors, multiple):
+    x = choose_counters(processors, multiple)
+    assert is_power_of_two(x)
+    assert x >= multiple * processors
+    assert x < 2 * multiple * processors  # smallest such power of two

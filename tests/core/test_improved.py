@@ -1,0 +1,109 @@
+"""Improved primitives (Fig. 4.3): deferred ownership, mark skipping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.improved import ImprovedPrimitives
+from repro.core.process_counter import ProcessCounterFile
+from repro.sim import (BroadcastSyncFabric, Compute, Engine, SharedMemory)
+
+
+def run_procs(counters, *gens):
+    fabric = BroadcastSyncFabric()
+    counters.allocate(fabric)
+    engine = Engine(SharedMemory(), fabric)
+    stats = [engine.spawn(gen(), name=f"p{i}")
+             for i, gen in enumerate(gens)]
+    engine.run()
+    return fabric, stats
+
+
+def test_mark_skips_before_ownership_arrives():
+    """Process 5 on a 4-counter file: slot owned by process 1 until it
+    releases; an early mark_PC must skip, the transfer must still
+    complete everything."""
+    counters = ProcessCounterFile(n_counters=4, first_pid=1)
+    p5 = {}
+
+    def process5():
+        primitives = ImprovedPrimitives(counters, 5)
+        yield from primitives.mark_pc(1)     # ownership not arrived: skip
+        p5["skipped_after_first"] = primitives.skipped_marks
+        yield Compute(100)                   # process 1 releases meanwhile
+        yield from primitives.mark_pc(2)     # now owned: publishes
+        p5["owned"] = primitives.owned
+        yield from primitives.transfer_pc()
+
+    def process1():
+        primitives = ImprovedPrimitives(counters, 1)
+        yield Compute(10)
+        yield from primitives.mark_pc(1)
+        yield from primitives.transfer_pc()  # hands slot to process 5
+
+    fabric, _stats = run_procs(counters, process5, process1)
+    assert p5["skipped_after_first"] == 1
+    assert p5["owned"] is True
+    # after process 5's transfer, the slot belongs to process 9
+    assert counters.value_of(5) == (9, 0)
+
+
+def test_transfer_acquires_if_never_owned():
+    """A process whose marks all skipped still transfers correctly: the
+    transfer first waits for ownership."""
+    counters = ProcessCounterFile(n_counters=2, first_pid=1)
+    order = []
+
+    def process3():
+        primitives = ImprovedPrimitives(counters, 3)
+        yield from primitives.mark_pc(1)     # skipped: owner is 1
+        order.append(("p3_marked", primitives.owned))
+        yield from primitives.transfer_pc()  # blocks until p1 releases
+        order.append(("p3_transferred", True))
+
+    def process1():
+        primitives = ImprovedPrimitives(counters, 1)
+        yield Compute(50)
+        yield from primitives.transfer_pc()
+        order.append(("p1_transferred", True))
+
+    run_procs(counters, process3, process1)
+    assert ("p3_marked", False) in order
+    assert order.index(("p1_transferred", True)) < order.index(
+        ("p3_transferred", True))
+    assert counters.value_of(3) == (5, 0)
+
+
+def test_initial_owner_marks_immediately():
+    counters = ProcessCounterFile(n_counters=4, first_pid=1)
+
+    def process2():
+        primitives = ImprovedPrimitives(counters, 2)
+        yield from primitives.mark_pc(1)
+        assert primitives.owned
+        assert primitives.skipped_marks == 0
+        yield from primitives.transfer_pc()
+
+    run_procs(counters, process2)
+    assert counters.value_of(2) == (6, 0)
+
+
+def test_mark_rejects_step_zero():
+    counters = ProcessCounterFile(n_counters=2)
+    counters.allocate(BroadcastSyncFabric())
+    primitives = ImprovedPrimitives(counters, 1)
+    with pytest.raises(ValueError):
+        list(primitives.mark_pc(0))
+
+
+def test_marks_track_last_step():
+    counters = ProcessCounterFile(n_counters=2, first_pid=1)
+
+    def process1():
+        primitives = ImprovedPrimitives(counters, 1)
+        yield from primitives.mark_pc(1)
+        yield from primitives.mark_pc(2)
+        assert primitives.last_step == 2
+        yield from primitives.transfer_pc()
+
+    run_procs(counters, process1)

@@ -1,0 +1,51 @@
+"""Coalescing accounting: extra dependences, boundary-check cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.linearize import (boundary_check_cost, coalesced_iterations,
+                                  extra_dependences)
+from repro.depend.graph import DependenceGraph
+from repro.apps.kernels import example2_loop, fig21_loop
+
+
+def test_extra_dependences_example2():
+    """N=4, M=3: S1->S2 at (0,1) has M-boundary waits on (i, 1) sinks;
+    S2->S3 at (1,1) crosses rows."""
+    n, m = 4, 3
+    loop = example2_loop(n=n, m=m)
+    graph = DependenceGraph(loop)
+    reports = {r.dependence: r for r in extra_dependences(loop, graph)}
+
+    s12 = next(v for k, v in reports.items() if k.startswith("S1->S2"))
+    # true sinks: every (i, j>=2) -> N*(M-1); extra: (i, 1) for i>=2
+    # (lpid > 1): N-1 spurious waits on the previous row's last column
+    assert s12.linear_distance == 1
+    assert s12.true_instances == n * (m - 1)
+    assert s12.extra_instances == n - 1
+
+    s23 = next(v for k, v in reports.items() if k.startswith("S2->S3"))
+    # distance M+1: sinks at lpid > M+1; true ones need j >= 2
+    assert s23.linear_distance == m + 1
+    assert s23.true_instances == (n - 1) * (m - 1)
+    assert s23.extra_instances == (n - 1) * 1 - 1  # (i,1) rows, lpid > M+1
+
+
+def test_extra_dependences_zero_for_single_level():
+    loop = fig21_loop(n=10)
+    graph = DependenceGraph(loop)
+    for report in extra_dependences(loop, graph):
+        assert report.extra_instances == 0
+
+
+def test_boundary_check_cost_scales_with_refs_and_depth():
+    nested = example2_loop(n=4, m=3)      # 4 refs, depth 2
+    flat = fig21_loop(n=10)               # 5 refs, depth 1
+    assert boundary_check_cost(nested, per_check=2) == 2 * 4 * 2
+    assert boundary_check_cost(flat, per_check=2) == 2 * 5 * 1
+
+
+def test_coalesced_iterations_dense():
+    loop = example2_loop(n=3, m=4)
+    assert coalesced_iterations(loop) == list(range(1, 13))

@@ -1,0 +1,71 @@
+"""Basic primitives (Fig. 4.2a): op shapes and boundary behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.primitives import get_pc, release_pc, set_pc, wait_pc
+from repro.core.process_counter import ProcessCounterFile
+from repro.sim.ops import SyncWrite, WaitUntil
+from repro.sim.sync_bus import BroadcastSyncFabric
+
+
+@pytest.fixture
+def counters():
+    pcs = ProcessCounterFile(n_counters=4, first_pid=1)
+    pcs.allocate(BroadcastSyncFabric())
+    return pcs
+
+
+def test_set_pc_publishes_step(counters):
+    ops = list(set_pc(counters, 2, 3))
+    assert len(ops) == 1
+    assert isinstance(ops[0], SyncWrite)
+    assert ops[0].var == counters.var_of(2)
+    assert ops[0].value == (2, 3)
+
+
+def test_set_pc_rejects_step_zero(counters):
+    with pytest.raises(ValueError):
+        list(set_pc(counters, 2, 0))
+
+
+def test_release_pc_hands_to_pid_plus_x(counters):
+    ops = list(release_pc(counters, 2))
+    assert ops[0].value == (2 + 4, 0)
+
+
+def test_wait_pc_targets_source_process(counters):
+    ops = list(wait_pc(counters, 5, dist=2, step=1))
+    assert len(ops) == 1
+    wait = ops[0]
+    assert isinstance(wait, WaitUntil)
+    assert wait.var == counters.var_of(3)   # pid 5 - dist 2
+    assert wait.predicate((3, 1))           # source reached the step
+    assert wait.predicate((3, 2))           # or beyond
+    assert wait.predicate((7, 0))           # or released
+    assert not wait.predicate((3, 0))       # not yet
+    assert not wait.predicate((2, 9))       # earlier owner irrelevant step
+
+
+def test_wait_pc_skipped_past_loop_boundary(counters):
+    """wait_PC on a source iteration that does not exist emits nothing
+    (the boundary rule of section 5)."""
+    assert list(wait_pc(counters, 2, dist=5, step=1)) == []
+    assert list(wait_pc(counters, 1, dist=1, step=1)) == []
+
+
+def test_get_pc_waits_for_ownership(counters):
+    ops = list(get_pc(counters, 6))
+    wait = ops[0]
+    assert wait.var == counters.var_of(6)
+    assert not wait.predicate((2, 3))   # slot still with process 2
+    assert wait.predicate((6, 0))       # ownership arrived
+    assert wait.predicate((6, 2))
+
+
+def test_wait_reasons_are_descriptive(counters):
+    wait = list(wait_pc(counters, 5, dist=2, step=1))[0]
+    assert "wait_PC(2,1)" in wait.reason
+    get = list(get_pc(counters, 5))[0]
+    assert "get_PC" in get.reason

@@ -1,0 +1,150 @@
+"""Process counters: ordering algebra, folding layout, field updates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.process_counter import (ProcessCounterFile, pc_at_least,
+                                        split_owner_first_intermediate)
+from repro.sim.ops import SyncWrite
+from repro.sim.sync_bus import BroadcastSyncFabric
+
+
+def pc_values(draw_owner=st.integers(min_value=0, max_value=100),
+              draw_step=st.integers(min_value=0, max_value=20)):
+    return st.tuples(draw_owner, draw_step)
+
+
+@given(pc_values(), pc_values())
+def test_tuple_order_is_the_papers_order(a, b):
+    """<w,x> >= <y,z> iff w > y, or w = y and x >= z."""
+    w, x = a
+    y, z = b
+    paper = w > y or (w == y and x >= z)
+    assert (a >= b) == paper
+    assert pc_at_least(b)(a) == paper
+
+
+@given(pc_values(), st.integers(min_value=1, max_value=10),
+       st.integers(min_value=1, max_value=20))
+def test_release_exceeds_every_step_of_previous_owner(value, x, step):
+    """<owner+X, 0> >= <owner, step> for any step: release signals all."""
+    owner, _ = value
+    assert (owner + x, 0) >= (owner, step)
+
+
+def test_slot_layout_matches_folding_rule():
+    """Processes i, X+i, 2X+i share slot i-1 (0-based), owner starts at
+    first_pid + slot."""
+    counters = ProcessCounterFile(n_counters=4, first_pid=1)
+    assert counters.slot(1) == 0
+    assert counters.slot(5) == 0
+    assert counters.slot(9) == 0
+    assert counters.slot(4) == 3
+    assert counters.initial_owner(0) == 1
+    assert counters.initial_owner(3) == 4
+
+
+def test_slot_layout_with_offset_first_pid():
+    counters = ProcessCounterFile(n_counters=4, first_pid=2)
+    assert counters.slot(2) == 0
+    assert counters.slot(6) == 0
+    assert counters.initial_owner(0) == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProcessCounterFile(n_counters=0)
+    with pytest.raises(ValueError):
+        ProcessCounterFile(n_counters=2, split_order="sideways")
+
+
+def test_allocation_and_initial_values():
+    counters = ProcessCounterFile(n_counters=3, first_pid=1)
+    fabric = BroadcastSyncFabric()
+    counters.allocate(fabric)
+    assert counters.value_of(1) == (1, 0)
+    assert counters.value_of(2) == (2, 0)
+    assert counters.value_of(3) == (3, 0)
+    assert counters.value_of(4) == (1, 0)  # folds onto slot 0
+    assert fabric.storage_words == 3
+
+
+def test_split_fields_allocates_two_words_each():
+    counters = ProcessCounterFile(n_counters=3, split_fields=True)
+    fabric = BroadcastSyncFabric()
+    counters.allocate(fabric)
+    assert fabric.storage_words == 6
+
+
+def test_unallocated_use_raises():
+    counters = ProcessCounterFile(n_counters=2)
+    with pytest.raises(RuntimeError):
+        counters.var_of(1)
+    with pytest.raises(RuntimeError):
+        counters.value_of(1)
+
+
+def ops_of(gen):
+    return list(gen)
+
+
+def test_write_step_is_one_coverable_write():
+    counters = ProcessCounterFile(n_counters=2)
+    counters.allocate(BroadcastSyncFabric())
+    ops = ops_of(counters.write_step(1, 3))
+    assert len(ops) == 1
+    assert isinstance(ops[0], SyncWrite)
+    assert ops[0].value == (1, 3)
+    assert ops[0].coverable
+
+
+def test_write_release_atomic_mode():
+    counters = ProcessCounterFile(n_counters=4)
+    counters.allocate(BroadcastSyncFabric())
+    ops = ops_of(counters.write_release(3))
+    assert len(ops) == 1
+    assert ops[0].value == (7, 0)
+    assert not ops[0].coverable
+
+
+def test_write_release_split_step_first():
+    """Safe order: <i, j> -> <i, 0> -> <i+X, 0>."""
+    counters = ProcessCounterFile(n_counters=4, split_fields=True,
+                                  split_order="step_first")
+    counters.allocate(BroadcastSyncFabric())
+    ops = ops_of(counters.write_release(3, current_step=2))
+    assert [op.value for op in ops] == [(3, 0), (7, 0)]
+
+
+def test_write_release_split_owner_first_exposes_hazard():
+    """Unsafe order: the transient <i+X, old step> satisfies waits for
+    early steps of process i+X that has not run."""
+    counters = ProcessCounterFile(n_counters=4, split_fields=True,
+                                  split_order="owner_first")
+    counters.allocate(BroadcastSyncFabric())
+    ops = ops_of(counters.write_release(3, current_step=2))
+    assert [op.value for op in ops] == [(7, 2), (7, 0)]
+    transient = ops[0].value
+    # the hazard: a wait for <7, 1> passes although process 7 never ran
+    assert pc_at_least((7, 1))(transient)
+    assert split_owner_first_intermediate((3, 2), 7) == transient
+
+
+@given(st.integers(min_value=1, max_value=16),
+       st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=5))
+def test_slot_chain_values_monotone(x, pid, steps):
+    """The value sequence a slot takes is strictly increasing: steps of
+    one owner, then the next owner at step 0 -- the property that makes
+    folding safe for any X (module docstring of repro.core.folding)."""
+    chain = []
+    owner = 1 + (pid - 1) % x
+    for _round in range(3):
+        for step in range(steps + 1):
+            chain.append((owner, step))
+        owner += x
+    assert chain == sorted(chain)
+    for earlier, later in zip(chain, chain[1:]):
+        assert later >= earlier

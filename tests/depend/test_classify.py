@@ -1,0 +1,47 @@
+"""DOALL / DOACROSS / serial classification."""
+
+from __future__ import annotations
+
+from repro.depend.classify import DOACROSS, DOALL, SERIAL, classify
+from repro.depend.model import AffineExpr, ArrayRef, Loop, Statement, ref1
+
+
+def test_doall(doall):
+    outcome = classify(doall)
+    assert outcome.label == DOALL
+    assert outcome.carried_arcs == 0
+
+
+def test_doacross(fig21):
+    outcome = classify(fig21)
+    assert outcome.label == DOACROSS
+    assert outcome.carried_arcs == 7
+
+
+def test_recurrence_is_doacross(recurrence):
+    assert classify(recurrence).label == DOACROSS
+
+
+def test_serial_on_unknown_distance():
+    body = [
+        Statement("S1", writes=(ref1("A", 1, 0),)),
+        Statement("S2", reads=(ArrayRef("A", (AffineExpr((2,), 0),)),)),
+    ]
+    loop = Loop("t", bounds=((1, 10),), body=body)
+    outcome = classify(loop)
+    assert outcome.label == SERIAL
+    assert "not provably constant" in outcome.reason
+
+
+def test_intra_iteration_only_is_doall():
+    """S1 writes A[i], S2 reads A[i]: dependence, but not loop-carried."""
+    body = [
+        Statement("S1", writes=(ref1("A", 1, 0),)),
+        Statement("S2", reads=(ref1("A", 1, 0),)),
+    ]
+    loop = Loop("t", bounds=((1, 10),), body=body)
+    assert classify(loop).label == DOALL
+
+
+def test_nested_is_doacross(nested):
+    assert classify(nested).label == DOACROSS

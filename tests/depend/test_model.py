@@ -1,0 +1,170 @@
+"""Loop IR: expressions, references, iteration space, sequential exec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.depend.model import (AffineExpr, ArrayRef, Loop, Statement,
+                                index_expr, ref1)
+from repro.sim.validate import mix
+
+
+def test_affine_eval():
+    expr = AffineExpr((2, -1), 5)  # 2i - j + 5
+    assert expr.eval((3, 4)) == 2 * 3 - 4 + 5
+
+
+def test_affine_arity_mismatch():
+    with pytest.raises(ValueError):
+        AffineExpr((1,), 0).eval((1, 2))
+
+
+def test_affine_str():
+    assert str(index_expr(0, 1, 3)) == "i+3"
+    assert str(index_expr(0, 1, -1)) == "i-1"
+    assert str(index_expr(1, 2)) == "j"
+    assert str(AffineExpr((0,), 7)) == "7"
+
+
+def test_index_expr_and_ref1():
+    ref = ref1("A", 2, offset=3, dim=1)
+    assert ref.element((10, 20)) == (23,)
+    assert str(ref) == "A[j+3]"
+
+
+def test_statement_cost_constant_and_callable():
+    fixed = Statement("S", cost=7)
+    varying = Statement("T", cost=lambda index: index[0] * 2)
+    assert fixed.cost_at((5,)) == 7
+    assert varying.cost_at((5,)) == 10
+
+
+def test_statement_guard():
+    stmt = Statement("S", guard=lambda index: index[0] % 2 == 0)
+    assert stmt.executes_at((4,))
+    assert not stmt.executes_at((5,))
+    assert Statement("T").executes_at((1,))
+
+
+def test_statement_refs_order():
+    stmt = Statement("S", writes=(ref1("A", 1),), reads=(ref1("B", 1),))
+    assert [(kind, ref.array) for kind, ref in stmt.refs()] == [
+        ("W", "A"), ("R", "B")]
+
+
+def test_loop_rejects_bad_bounds_and_duplicate_sids():
+    with pytest.raises(ValueError):
+        Loop("bad", bounds=((5, 1),), body=[Statement("S")])
+    with pytest.raises(ValueError):
+        Loop("dup", bounds=((1, 2),),
+             body=[Statement("S"), Statement("S")])
+
+
+def test_iteration_space_lexicographic():
+    loop = Loop("l", bounds=((1, 2), (3, 4)), body=[Statement("S")])
+    assert loop.iteration_space() == [(1, 3), (1, 4), (2, 3), (2, 4)]
+    assert loop.n_iterations == 4
+    assert loop.extents == (2, 2)
+    assert loop.depth == 2
+
+
+def test_lpid_matches_paper_formula():
+    """Example 2: lpid = (i-1)*M + j for 1-based (i, j)."""
+    m = 5
+    loop = Loop("l", bounds=((1, 4), (1, m)), body=[Statement("S")])
+    for i in range(1, 5):
+        for j in range(1, m + 1):
+            assert loop.lpid((i, j)) == (i - 1) * m + j
+
+
+@given(st.integers(min_value=1, max_value=4),
+       st.data())
+def test_lpid_roundtrip(depth, data):
+    bounds = tuple(
+        (lo, lo + data.draw(st.integers(min_value=0, max_value=4)))
+        for lo in (data.draw(st.integers(min_value=-3, max_value=3))
+                   for _ in range(depth)))
+    loop = Loop("l", bounds=bounds, body=[Statement("S")])
+    space = loop.iteration_space()
+    lpids = [loop.lpid(index) for index in space]
+    assert lpids == list(range(1, len(space) + 1))  # dense, 1-based, ordered
+    for index in space:
+        assert loop.index_of_lpid(loop.lpid(index)) == index
+
+
+def test_in_bounds():
+    loop = Loop("l", bounds=((1, 3), (2, 4)), body=[Statement("S")])
+    assert loop.in_bounds((1, 2))
+    assert loop.in_bounds((3, 4))
+    assert not loop.in_bounds((0, 2))
+    assert not loop.in_bounds((1, 5))
+
+
+def test_flatten_1d_default_and_shaped():
+    loop = Loop("l", bounds=((1, 2),), body=[Statement("S")],
+                array_shapes={"B": (3, 4)})
+    assert loop.flatten("A", (7,)) == ("A", 7)
+    assert loop.flatten("B", (2, 3)) == ("B", 2 * 4 + 3)
+    with pytest.raises(ValueError):
+        loop.flatten("A", (1, 2))     # undeclared shape, 2 subscripts
+    with pytest.raises(ValueError):
+        loop.flatten("B", (1,))       # declared 2-D, 1 subscript
+
+
+def test_statement_lookup_and_position():
+    loop = Loop("l", bounds=((1, 2),),
+                body=[Statement("S1"), Statement("S2")])
+    assert loop.statement("S2").sid == "S2"
+    assert loop.position("S1") == 0
+    with pytest.raises(KeyError):
+        loop.statement("S9")
+    with pytest.raises(KeyError):
+        loop.position("S9")
+
+
+def test_sequential_execution_semantics():
+    """A[i] = A[i-1] chains values exactly like a hand evaluation."""
+    body = [Statement("S", writes=(ref1("A", 1, 0),),
+                      reads=(ref1("A", 1, -1),))]
+    loop = Loop("chain", bounds=((1, 3),), body=body)
+    final, reads = loop.execute_sequential()
+    v1 = mix("S", 1, [None])
+    v2 = mix("S", 2, [v1])
+    v3 = mix("S", 3, [v2])
+    assert final[("A", 1)] == v1
+    assert final[("A", 2)] == v2
+    assert final[("A", 3)] == v3
+    assert reads[("S", 2)] == [v1]
+
+
+def test_sequential_execution_respects_guards():
+    body = [Statement("S", writes=(ref1("A", 1, 0),),
+                      guard=lambda index: index[0] != 2)]
+    loop = Loop("g", bounds=((1, 3),), body=body)
+    final, reads = loop.execute_sequential()
+    assert ("A", 2) not in final
+    assert ("S", 2) not in reads
+    assert ("A", 1) in final and ("A", 3) in final
+
+
+def test_sequential_execution_uses_initial_memory():
+    body = [Statement("S", writes=(ref1("B", 1, 0),),
+                      reads=(ref1("A", 1, 0),))]
+    loop = Loop("init", bounds=((1, 1),), body=body)
+    final, _ = loop.execute_sequential({("A", 1): 77})
+    assert final[("B", 1)] == mix("S", 1, [77])
+
+
+def test_serial_cycles():
+    body = [Statement("S", writes=(ref1("A", 1, 0),), cost=5,
+                      reads=(ref1("A", 1, -1),))]
+    loop = Loop("c", bounds=((1, 4),), body=body)
+    assert loop.serial_cycles() == 4 * 5
+    assert loop.serial_cycles(per_access=3) == 4 * (5 + 2 * 3)
+
+
+def test_serial_cycles_skips_guarded():
+    body = [Statement("S", cost=5, guard=lambda index: index[0] == 1)]
+    loop = Loop("g", bounds=((1, 4),), body=body)
+    assert loop.serial_cycles() == 5

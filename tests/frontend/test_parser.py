@@ -1,0 +1,150 @@
+"""Mini-Fortran front-end: the paper's loops parse to the right IR."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.kernels import example2_loop, fig21_loop
+from repro.depend import DependenceGraph
+from repro.frontend import ParseError, parse_affine, parse_loop
+
+FIG21 = """
+DO I = 1, N
+  S1: A(I+3) = ...
+  S2: ...    = A(I+1)
+  S3: ...    = A(I+2)
+  S4: A(I)   = ...
+  S5: ...    = A(I-1)
+END DO
+"""
+
+EXAMPLE2 = """
+DO I = 1, N
+  DO J = 1, M
+    S1: A(I,J) = ...
+    S2: B(I,J) = A(I,J-1)
+    S3: C(I,J) = B(I-1,J-1)
+  END DO
+END DO
+"""
+
+
+def test_fig21_parses_to_the_same_graph():
+    parsed = parse_loop(FIG21, N=30)
+    built = fig21_loop(n=30)
+    parsed_arcs = {str(a) for a in DependenceGraph(parsed).sync_arcs()}
+    built_arcs = {str(a) for a in DependenceGraph(built).sync_arcs()}
+    assert parsed_arcs == built_arcs
+    assert [s.sid for s in parsed.body] == ["S1", "S2", "S3", "S4", "S5"]
+    assert parsed.bounds == ((1, 30),)
+
+
+def test_nested_parse_matches_kernel():
+    parsed = parse_loop(EXAMPLE2, N=6, M=4)
+    assert parsed.depth == 2
+    assert parsed.bounds == ((1, 6), (1, 4))
+    arcs = {(a.src, a.dst, a.distance)
+            for a in DependenceGraph(parsed).sync_arcs()}
+    assert arcs == {("S1", "S2", 1), ("S2", "S3", 5)}
+
+
+def test_shapes_inferred_to_cover_accesses():
+    parsed = parse_loop(EXAMPLE2, N=6, M=4)
+    for array in ("A", "B", "C"):
+        shape = parsed.array_shapes[array]
+        assert shape[0] >= 7 and shape[1] >= 5
+
+
+def test_unlabelled_statements_get_positional_ids():
+    loop = parse_loop("DO I = 1, 4\n  A(I) = B(I)\n  C(I) = A(I-1)\nEND DO")
+    assert [s.sid for s in loop.body] == ["S1", "S2"]
+
+
+def test_comments_and_blank_lines_ignored():
+    loop = parse_loop("""
+    DO I = 1, 4   ! outer loop
+
+      A(I) = ...  ! a write
+    END DO
+    """)
+    assert len(loop.body) == 1
+
+
+def test_numeric_and_symbolic_bounds():
+    loop = parse_loop("DO K = 2, LIMIT\n  A(K) = A(K-1)\nEND DO", LIMIT=9)
+    assert loop.bounds == ((2, 9),)
+
+
+def test_parsed_loop_simulates():
+    from repro.schemes import make_scheme
+    loop = parse_loop(FIG21, N=20)
+    result = make_scheme("process-oriented").run(loop)
+    assert result.makespan > 0
+
+
+def test_parse_affine_terms():
+    assert parse_affine("I+3", ["I"]).eval((5,)) == 8
+    assert parse_affine("2*I-1", ["I"]).eval((5,)) == 9
+    assert parse_affine("I - J + 2", ["I", "J"]).eval((5, 3)) == 4
+    assert parse_affine("-I", ["I"]).eval((5,)) == -5
+    assert parse_affine("7", ["I"]).eval((5,)) == 7
+
+
+@pytest.mark.parametrize("bad, message", [
+    ("DO I = 1, 4\n  A(I) = ...\n", "unclosed"),
+    ("A(I) = ...\n", "outside"),
+    ("DO I = 1, 4\nEND DO\n", "no statements"),
+    ("DO I = 1, Q\n  A(I) = ...\nEND DO", "unbound"),
+    ("DO I = 1, 4\n  A(I*I) = ...\nEND DO", "unsupported"),
+    ("DO I = 1, 4\n  A(K) = ...\nEND DO", "unknown index"),
+    ("DO I = 1, 4\n  S: A(I)\nEND DO", "no assignment"),
+    ("DO I = 1, 4\n  A(I) = ...\nEND DO\nX(I) = ...", "after the outermost"),
+    ("END DO", "without DO"),
+    ("DO I = 1, 4\n  A(I) = ...\n  DO J = 1, 2\n  B(J) = ...\n  END DO\n"
+     "END DO", "perfect nests"),
+])
+def test_parse_errors(bad, message):
+    with pytest.raises(ParseError) as excinfo:
+        parse_loop(bad)
+    assert message in str(excinfo.value)
+
+
+@given(st.integers(min_value=-9, max_value=9),
+       st.integers(min_value=-9, max_value=9))
+def test_affine_roundtrip_offsets(coefficient, const):
+    if coefficient == 0:
+        text = str(const)
+    else:
+        sign = "" if const >= 0 else "-"
+        text = f"{coefficient}*I{sign and '-' or '+'}{abs(const)}" \
+            if const else f"{coefficient}*I"
+        text = f"{coefficient}*I+{const}" if const >= 0 else \
+            f"{coefficient}*I-{abs(const)}"
+    expr = parse_affine(text, ["I"])
+    assert expr.eval((3,)) == coefficient * 3 + const
+
+
+def test_parse_program_splits_nests():
+    from repro.frontend import parse_program
+    loops = parse_program("""
+! name: one
+DO I = 1, 4
+  A(I) = ...
+END DO
+DO I = 1, 3
+  DO J = 1, 2
+    B(I,J) = B(I-1,J)
+  END DO
+END DO
+""")
+    assert [loop.name for loop in loops] == ["one", "L2"]
+    assert loops[1].depth == 2
+
+
+def test_parse_program_errors():
+    from repro.frontend import parse_program
+    with pytest.raises(ParseError):
+        parse_program("DO I = 1, 4\n  A(I) = ...\n")   # unterminated
+    with pytest.raises(ParseError):
+        parse_program("! just a comment\n")            # no nests

@@ -1,0 +1,77 @@
+"""Render/parse round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.kernels import example2_loop, fig21_loop, recurrence_loop
+from repro.depend import DependenceGraph
+from repro.depend.model import AffineExpr, Loop, Statement, ref1
+from repro.frontend import (parse_affine, parse_loop, render_affine,
+                            render_loop, render_statement)
+
+
+@pytest.mark.parametrize("loop", [fig21_loop(8), example2_loop(4, 3),
+                                  recurrence_loop(6)])
+def test_roundtrip_preserves_dependence_structure(loop):
+    text = render_loop(loop)
+    reparsed = parse_loop(text, array_shapes=dict(loop.array_shapes))
+    original = {str(a) for a in DependenceGraph(loop).sync_arcs()}
+    roundtrip = {str(a) for a in DependenceGraph(reparsed).sync_arcs()}
+    assert original == roundtrip
+    assert reparsed.bounds == loop.bounds
+    assert [s.sid for s in reparsed.body] == [s.sid for s in loop.body]
+
+
+def test_render_statement_shapes():
+    stmt = Statement("S1", writes=(ref1("A", 1, 3),),
+                     reads=(ref1("B", 1, -1),))
+    assert render_statement(stmt) == "S1: A(I+3) = B(I-1)"
+    bare_read = Statement("S2", reads=(ref1("A", 1, 0),))
+    assert render_statement(bare_read) == "S2: ... = A(I)"
+    bare_write = Statement("S3", writes=(ref1("A", 1, 0),))
+    assert render_statement(bare_write) == "S3: A(I) = ..."
+
+
+def test_guarded_loops_rejected():
+    body = [Statement("S", writes=(ref1("A", 1, 0),),
+                      guard=lambda index: True)]
+    loop = Loop("g", bounds=((1, 3),), body=body)
+    with pytest.raises(ValueError):
+        render_loop(loop)
+
+
+@given(st.lists(st.integers(min_value=-5, max_value=5), min_size=1,
+                max_size=3),
+       st.integers(min_value=-9, max_value=9))
+def test_affine_render_parse_roundtrip(coefs, const):
+    expr = AffineExpr(tuple(coefs), const)
+    names = ["I", "J", "K"][:len(coefs)]
+    text = render_affine(expr)
+    reparsed = parse_affine(text, names)
+    probe = tuple(range(2, 2 + len(coefs)))
+    assert reparsed.eval(probe) == expr.eval(probe)
+
+
+@given(st.data())
+def test_random_loop_roundtrip(data):
+    """Generate a random constant-offset loop, render, parse, compare."""
+    n_statements = data.draw(st.integers(min_value=1, max_value=4))
+    body = []
+    for position in range(n_statements):
+        writes = ()
+        reads = ()
+        if data.draw(st.booleans()):
+            writes = (ref1(data.draw(st.sampled_from(["A", "B"])), 1,
+                           data.draw(st.integers(-3, 3))),)
+        if data.draw(st.booleans()) or not writes:
+            reads = (ref1(data.draw(st.sampled_from(["A", "B"])), 1,
+                          data.draw(st.integers(-3, 3))),)
+        body.append(Statement(f"S{position}", writes=writes, reads=reads))
+    loop = Loop("rand", bounds=((1, data.draw(st.integers(4, 12))),),
+                body=body)
+    reparsed = parse_loop(render_loop(loop))
+    original = {str(d) for d in DependenceGraph(loop).dependences}
+    roundtrip = {str(d) for d in DependenceGraph(reparsed).dependences}
+    assert original == roundtrip

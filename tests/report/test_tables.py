@@ -1,0 +1,36 @@
+"""Table formatting."""
+
+from __future__ import annotations
+
+from repro.report import format_table, summarize_runs
+from repro.sim.metrics import RunResult
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"],
+                        [["short", 1], ["a-longer-name", 22]],
+                        title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].startswith("name")
+    assert "-----" in lines[2]
+    assert len(lines) == 5
+    # columns aligned: "value" column starts at same offset everywhere
+    offset = lines[1].index("value")
+    assert lines[3][offset:offset + 1] == "1"
+
+
+def test_format_table_no_title():
+    text = format_table(["a"], [["x"]])
+    assert text.splitlines()[0] == "a"
+
+
+def test_summarize_runs():
+    result = RunResult(makespan=10, processors=[], memory_transactions=0,
+                       memory_hotspot=0, sync_transactions=3,
+                       covered_writes=0, sync_vars=2, sync_storage_words=2,
+                       init_cycles=1)
+    text = summarize_runs({"demo": result}, fields=("makespan",
+                                                    "sync_vars"))
+    assert "demo" in text
+    assert "10" in text and "2" in text

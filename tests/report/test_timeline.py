@@ -1,0 +1,60 @@
+"""Timeline rendering and utilization profiles."""
+
+from __future__ import annotations
+
+from repro.apps import PipelinedRelaxation, run_relaxation
+from repro.apps.pde import BarrierPDE, run_pde
+from repro.barriers import CounterBarrier
+from repro.report import render_timeline, utilization_profile
+from repro.sim import Machine, MachineConfig
+from repro.sim.metrics import RunResult
+
+
+def test_render_contains_all_processors():
+    result = run_relaxation(PipelinedRelaxation(12, group=1), processors=4)
+    text = render_timeline(result, width=40)
+    for pid in range(4):
+        assert f"cpu{pid}" in text
+    assert "#" in text            # computation happened
+    assert "#=compute" in text    # legend
+
+
+def test_render_respects_width():
+    result = run_relaxation(PipelinedRelaxation(10, group=1), processors=2)
+    text = render_timeline(result, width=30)
+    rows = [line for line in text.splitlines() if line.startswith("cpu")]
+    for row in rows:
+        _name, cells = row.split(" ", 1)
+        assert len(cells.strip()) <= 31
+
+
+def test_render_without_activity():
+    empty = RunResult(makespan=10, processors=[], memory_transactions=0,
+                      memory_hotspot=0, sync_transactions=0,
+                      covered_writes=0, sync_vars=0, sync_storage_words=0,
+                      init_cycles=0)
+    assert "no activity" in render_timeline(empty)
+
+
+def test_pipeline_profile_has_fill_and_drain():
+    """A pipeline ramps up, plateaus, and drains: the middle buckets
+    beat the first and last."""
+    result = run_relaxation(PipelinedRelaxation(18, group=1), processors=6)
+    profile = utilization_profile(result, buckets=6)
+    middle = sum(profile[2:4]) / 2
+    assert middle > profile[0]
+    assert middle > profile[-1]
+
+
+def test_profile_bounded():
+    result = run_relaxation(PipelinedRelaxation(10, group=1), processors=3)
+    for value in utilization_profile(result, buckets=5):
+        assert 0.0 <= value <= 1.0
+
+
+def test_spin_visible_for_barrier_workload():
+    result = run_pde(BarrierPDE(
+        4, 4, lambda region, sweep: 30 + 120 * (region == 0),
+        CounterBarrier(4)))
+    text = render_timeline(result, width=60)
+    assert "~" in text   # the fast regions' barrier waits show up

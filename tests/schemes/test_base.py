@@ -1,0 +1,78 @@
+"""Scheme base: statement execution and the validate() harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.depend.graph import DependenceGraph
+from repro.schemes.base import execute_statement
+from repro.schemes.process_oriented import ProcessOrientedScheme
+from repro.sim import (Annotate, BroadcastSyncFabric, Compute, Engine,
+                       Machine, MachineConfig, MemRead, MemWrite,
+                       SharedMemory, ValidationError, mix)
+from repro.apps.kernels import fig21_loop
+
+
+def test_execute_statement_op_sequence(fig21):
+    stmt = fig21.statement("S2")  # reads A[i+1]
+    ops = list(execute_statement(fig21, stmt, (4,), 4))
+    kinds = [type(op).__name__ for op in ops]
+    assert kinds == ["Annotate", "MemRead", "Compute", "Annotate"]
+    assert ops[0].payload["tag"] == ("S2", 4)
+    assert ops[1].addr == ("A", 5)
+    assert ops[-1].payload["tag"] is None
+
+
+def test_execute_statement_writes_mixed_value(fig21):
+    stmt = fig21.statement("S1")  # writes A[i+3]
+    memory = SharedMemory()
+    engine = Engine(memory, BroadcastSyncFabric())
+    engine.spawn(execute_statement(fig21, stmt, (2,), 2), name="p")
+    engine.run()
+    assert memory.peek(("A", 5)) == mix("S1", 2, [])
+
+
+def test_validate_accepts_correct_run(fig21, machine4):
+    scheme = ProcessOrientedScheme(processors=4)
+    instrumented = scheme.instrument(fig21)
+    result = machine4.run(instrumented)
+    instrumented.validate(result)  # should not raise
+
+
+def test_validate_rejects_corrupted_final_state(fig21, machine4):
+    scheme = ProcessOrientedScheme(processors=4)
+    instrumented = scheme.instrument(fig21)
+    result = machine4.run(instrumented)
+    first_a = next(addr for addr in result.final_memory
+                   if addr[0] == "A")
+    result.final_memory[first_a] = -1
+    with pytest.raises(ValidationError):
+        instrumented.validate(result)
+
+
+def test_validate_rejects_corrupted_reads(fig21, machine4):
+    scheme = ProcessOrientedScheme(processors=4)
+    instrumented = scheme.instrument(fig21)
+    result = machine4.run(instrumented)
+    read = next(r for r in result.trace if r.kind == "R"
+                and r.tag is not None)
+    read.value = -12345
+    with pytest.raises(ValidationError):
+        instrumented.validate(result)
+
+
+def test_run_helper_requires_trace_for_validation(fig21):
+    scheme = ProcessOrientedScheme(processors=4)
+    machine = Machine(MachineConfig(processors=4, record_trace=False))
+    with pytest.raises(ValueError):
+        scheme.run(fig21, machine=machine, validate=True)
+    # but runs fine without validation
+    result = scheme.run(fig21, machine=machine, validate=False)
+    assert result.makespan > 0
+
+
+def test_iterations_are_lpids(nested):
+    scheme = ProcessOrientedScheme(processors=4)
+    instrumented = scheme.instrument(nested)
+    assert list(instrumented.iterations) == list(
+        range(1, nested.n_iterations + 1))

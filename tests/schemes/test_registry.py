@@ -1,0 +1,40 @@
+"""Scheme registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schemes import (InstanceBasedScheme, ProcessOrientedScheme,
+                           ReferenceBasedScheme, StatementOrientedScheme,
+                           make_scheme, scheme_names)
+
+
+def test_names_in_paper_order():
+    assert scheme_names() == ["reference-based", "instance-based",
+                              "statement-oriented", "process-oriented"]
+
+
+def test_factories():
+    assert isinstance(make_scheme("reference-based"), ReferenceBasedScheme)
+    assert isinstance(make_scheme("instance-based"), InstanceBasedScheme)
+    assert isinstance(make_scheme("statement-oriented"),
+                      StatementOrientedScheme)
+    assert isinstance(make_scheme("process-oriented"),
+                      ProcessOrientedScheme)
+
+
+def test_kwargs_forwarded():
+    scheme = make_scheme("process-oriented", n_counters=32, style="basic")
+    assert scheme.n_counters == 32
+    assert scheme.style == "basic"
+
+
+def test_unknown_name():
+    with pytest.raises(ValueError) as excinfo:
+        make_scheme("quantum")
+    assert "quantum" in str(excinfo.value)
+
+
+def test_names_match_scheme_name_attribute():
+    for name in scheme_names():
+        assert make_scheme(name).name == name

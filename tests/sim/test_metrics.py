@@ -1,0 +1,51 @@
+"""RunResult derived metrics."""
+
+from __future__ import annotations
+
+from repro.sim.engine import TaskStats
+from repro.sim.metrics import RunResult
+
+
+def make_result(makespan=100, busy=(40, 30), spin=(5, 10)):
+    processors = [TaskStats(name=f"cpu{i}", busy=b, spin=s)
+                  for i, (b, s) in enumerate(zip(busy, spin))]
+    return RunResult(makespan=makespan, processors=processors,
+                     memory_transactions=7, memory_hotspot=3,
+                     sync_transactions=11, covered_writes=2, sync_vars=4,
+                     sync_storage_words=8, init_cycles=6)
+
+
+def test_totals():
+    result = make_result()
+    assert result.total_busy == 70
+    assert result.total_spin == 15
+    assert result.total_stall == 0
+
+
+def test_utilization_and_spin_fraction():
+    result = make_result(makespan=100, busy=(40, 30), spin=(5, 10))
+    assert result.utilization == 70 / 200
+    assert result.spin_fraction == 15 / 200
+
+
+def test_zero_makespan_guarded():
+    result = make_result(makespan=0)
+    assert result.utilization == 0.0
+    assert result.spin_fraction == 0.0
+    assert result.speedup_over(50) == float("inf")
+
+
+def test_speedup():
+    result = make_result(makespan=100)
+    assert result.speedup_over(400) == 4.0
+
+
+def test_summary_fields():
+    summary = make_result().summary()
+    for field in ("makespan", "utilization", "sync_vars", "init_cycles",
+                  "sync_transactions", "covered_writes",
+                  "memory_transactions", "memory_hotspot", "sync_ops",
+                  "spin_fraction"):
+        assert field in summary
+    assert summary["sync_vars"] == 4
+    assert summary["covered_writes"] == 2

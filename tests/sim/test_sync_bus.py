@@ -1,0 +1,186 @@
+"""Fabric semantics: broadcast bus, coverage, memory-backed variables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (BroadcastSyncFabric, Compute, Engine, MemoryConfig,
+                       MemorySyncFabric, SharedMemory, SyncRead, SyncWrite,
+                       WaitUntil)
+
+
+def drive(fabric, procs, memory=None):
+    memory = memory or SharedMemory()
+    engine = Engine(memory, fabric)
+    for index, proc in enumerate(procs):
+        engine.spawn(proc, name=f"p{index}")
+    makespan = engine.run()
+    return engine, makespan
+
+
+# ----------------------------------------------------------------------
+# broadcast fabric
+# ----------------------------------------------------------------------
+
+def test_broadcast_write_becomes_visible_later():
+    fabric = BroadcastSyncFabric(issue_cost=1, bus_service=2, propagation=1)
+    var = fabric.alloc(1, init=0)[0]
+    times = {}
+
+    def writer():
+        yield SyncWrite(var, 7)
+        times["writer_free"] = engine.now
+
+    def reader():
+        yield WaitUntil(var, lambda v: v == 7)
+        times["visible"] = engine.now
+
+    memory = SharedMemory()
+    engine = Engine(memory, fabric)
+    engine.spawn(writer(), name="w")
+    engine.spawn(reader(), name="r")
+    engine.run()
+    # writer proceeds after issue (1 cycle); visibility after bus + prop
+    assert times["writer_free"] == 1
+    assert times["visible"] >= 1 + 2 + 1
+
+
+def test_broadcast_writes_serialize_on_the_bus():
+    fabric = BroadcastSyncFabric(issue_cost=1, bus_service=5, propagation=0)
+    a, b = fabric.alloc(2, init=0)
+    visible = {}
+
+    def writers():
+        yield SyncWrite(a, 1)
+        yield SyncWrite(b, 1)
+
+    def watcher(var, key):
+        yield WaitUntil(var, lambda v: v == 1)
+        visible[key] = engine.now
+
+    memory = SharedMemory()
+    engine = Engine(memory, fabric)
+    engine.spawn(writers(), name="w")
+    engine.spawn(watcher(a, "a"), name="wa")
+    engine.spawn(watcher(b, "b"), name="wb")
+    engine.run()
+    assert visible["b"] >= visible["a"] + 5  # second broadcast queues
+
+
+def test_local_image_read_is_one_cycle_and_free():
+    fabric = BroadcastSyncFabric()
+    var = fabric.alloc(1, init=3)[0]
+    got = []
+
+    def reader():
+        value = yield SyncRead(var)
+        got.append(value)
+
+    _engine, makespan = drive(fabric, [reader()])
+    assert got == [3]
+    assert makespan == 1
+    assert fabric.transactions == 0  # reads never hit the bus
+
+
+def test_write_coverage_merges_queued_writes():
+    fabric = BroadcastSyncFabric(issue_cost=0, bus_service=50,
+                                 propagation=0, coverage=True)
+    var = fabric.alloc(1, init=0)[0]
+
+    def writer():
+        yield SyncWrite(var, 1, coverable=True)
+        yield SyncWrite(var, 2, coverable=True)  # covers the queued 1? no:
+        # the first write is already granted at issue (bus was free); the
+        # *third* write arrives while the second is still queued.
+        yield SyncWrite(var, 3, coverable=True)
+
+    drive(fabric, [writer()])
+    assert fabric.covered_writes == 1
+    assert fabric.transactions == 2
+    assert fabric.value(var) == 3
+
+
+def test_coverage_disabled_broadcasts_everything():
+    fabric = BroadcastSyncFabric(issue_cost=0, bus_service=50,
+                                 propagation=0, coverage=False)
+    var = fabric.alloc(1, init=0)[0]
+
+    def writer():
+        for value in (1, 2, 3):
+            yield SyncWrite(var, value, coverable=True)
+
+    drive(fabric, [writer()])
+    assert fabric.covered_writes == 0
+    assert fabric.transactions == 3
+    assert fabric.value(var) == 3
+
+
+def test_non_coverable_write_never_covered():
+    fabric = BroadcastSyncFabric(issue_cost=0, bus_service=50,
+                                 propagation=0, coverage=True)
+    var = fabric.alloc(1, init=0)[0]
+
+    def writer():
+        yield SyncWrite(var, 1, coverable=True)
+        yield SyncWrite(var, 2, coverable=True)
+        yield SyncWrite(var, 3, coverable=False)  # e.g. release_PC
+
+    drive(fabric, [writer()])
+    # the 2 covers nothing (1 already granted); the 3 must broadcast
+    assert fabric.transactions == 3 - fabric.covered_writes
+    assert fabric.value(var) == 3
+
+
+@given(st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                max_size=20),
+       st.booleans())
+def test_coverage_final_value_always_last_write(values, coverage):
+    """Coverage is transparent: the committed end state is the last
+    write's value regardless of how many broadcasts were saved."""
+    fabric = BroadcastSyncFabric(issue_cost=0, bus_service=7,
+                                 propagation=2, coverage=coverage)
+    var = fabric.alloc(1, init=0)[0]
+
+    def writer():
+        for value in values:
+            yield SyncWrite(var, value, coverable=True)
+
+    drive(fabric, [writer()])
+    assert fabric.value(var) == values[-1]
+    assert fabric.transactions + fabric.covered_writes == len(values)
+
+
+# ----------------------------------------------------------------------
+# memory-backed fabric
+# ----------------------------------------------------------------------
+
+def test_memory_fabric_charges_memory_traffic():
+    memory = SharedMemory(MemoryConfig(latency=3))
+    fabric = MemorySyncFabric(memory)
+    var = fabric.alloc(1, init=0)[0]
+
+    def proc():
+        yield SyncWrite(var, 1)
+        value = yield SyncRead(var)
+        assert value == 1
+
+    drive(fabric, [proc()], memory=memory)
+    assert fabric.transactions == 2
+    assert memory.transactions == 0  # sync space tracked by the fabric
+    assert memory.max_module_traffic() >= 2  # but occupies the modules
+
+
+def test_memory_fabric_is_polling():
+    assert MemorySyncFabric(SharedMemory()).wait_mode == "poll"
+    assert BroadcastSyncFabric().wait_mode == "event"
+
+
+def test_alloc_assigns_distinct_vars_and_counts_storage():
+    fabric = BroadcastSyncFabric()
+    first = fabric.alloc(3, init=0)
+    second = fabric.alloc(2, init=(0, 0), words_per_var=2)
+    assert list(first) == [0, 1, 2]
+    assert list(second) == [3, 4]
+    assert fabric.storage_words == 3 + 4
+    assert fabric.value(4) == (0, 0)

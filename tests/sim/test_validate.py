@@ -1,0 +1,140 @@
+"""Validators: they must accept correct runs and reject corrupted ones."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import AccessRecord
+from repro.sim.validate import (ValidationError, check_dependence_instances,
+                                check_final_state,
+                                check_reads_match_sequential, mix,
+                                statement_reads)
+
+
+def rec(commit, kind, addr, value, tag, task="t"):
+    return AccessRecord(commit=commit, kind=kind, addr=addr, value=value,
+                        task=task, tag=tag)
+
+
+def test_mix_deterministic_and_read_sensitive():
+    assert mix("S1", 3, [1, 2]) == mix("S1", 3, [1, 2])
+    assert mix("S1", 3, [1, 2]) != mix("S1", 3, [2, 1])
+    assert mix("S1", 3, [None]) == mix("S1", 3, [None])
+    assert mix("S1", 3, []) != mix("S2", 3, [])
+    assert mix("S1", 3, []) != mix("S1", 4, [])
+
+
+def test_statement_reads_groups_by_tag_in_order():
+    trace = [
+        rec(5, "R", ("A", 0), 10, ("S1", 1)),
+        rec(7, "R", ("A", 1), 11, ("S1", 1)),
+        rec(6, "R", ("A", 2), 12, ("S2", 1)),
+        rec(8, "W", ("A", 3), 13, ("S1", 1)),  # writes excluded
+        rec(9, "R", ("A", 4), 14, None),       # untagged excluded
+    ]
+    assert statement_reads(trace) == {("S1", 1): [10, 11], ("S2", 1): [12]}
+
+
+def test_reads_match_sequential_accepts_equal():
+    trace = [rec(1, "R", ("A", 0), 10, ("S1", 1))]
+    check_reads_match_sequential(trace, {("S1", 1): [10]})
+
+
+def test_reads_match_sequential_rejects_wrong_value():
+    trace = [rec(1, "R", ("A", 0), 999, ("S1", 1))]
+    with pytest.raises(ValidationError):
+        check_reads_match_sequential(trace, {("S1", 1): [10]})
+
+
+def test_reads_match_sequential_rejects_missing_instance():
+    with pytest.raises(ValidationError):
+        check_reads_match_sequential([], {("S1", 1): [10]})
+
+
+def test_reads_match_strict_mode_rejects_extras():
+    trace = [rec(1, "R", ("A", 0), 1, ("ghost", 9))]
+    check_reads_match_sequential(trace, {}, ignore_untagged=True)
+    with pytest.raises(ValidationError):
+        check_reads_match_sequential(trace, {}, ignore_untagged=False)
+
+
+def test_final_state_scoped_to_arrays():
+    final = {("A", 0): 1, ("B", 0): 999}
+    expected = {("A", 0): 1, ("B", 0): 2}
+    check_final_state(final, expected, arrays=["A"])  # B ignored
+    with pytest.raises(ValidationError):
+        check_final_state(final, expected, arrays=["A", "B"])
+
+
+def test_dependence_instances_accepts_ordered():
+    trace = [
+        rec(5, "W", ("A", 3), 1, ("S1", 1)),
+        rec(9, "R", ("A", 3), 1, ("S2", 2)),
+    ]
+    check_dependence_instances(
+        trace, [(("S1", 1), ("S2", 2), ("A", 3), "W", "R")])
+
+
+def test_dependence_instances_rejects_reversed():
+    trace = [
+        rec(9, "W", ("A", 3), 1, ("S1", 1), task="cpu0"),
+        rec(5, "R", ("A", 3), 1, ("S2", 2), task="cpu1"),
+    ]
+    with pytest.raises(ValidationError):
+        check_dependence_instances(
+            trace, [(("S1", 1), ("S2", 2), ("A", 3), "W", "R")])
+
+
+def test_dependence_instances_same_task_reversal_allowed():
+    """A sink commit preceding its source commit is legal when both
+    accesses are by the same processor: program order plus
+    store-to-load forwarding already delivered the right value."""
+    trace = [
+        rec(9, "W", ("A", 3), 1, ("S1", 1), task="cpu0"),
+        rec(5, "R", ("A", 3), 1, ("S2", 2), task="cpu0"),
+    ]
+    check_dependence_instances(
+        trace, [(("S1", 1), ("S2", 2), ("A", 3), "W", "R")])
+
+
+def test_dependence_instances_rejects_missing_access():
+    with pytest.raises(ValidationError):
+        check_dependence_instances(
+            [], [(("S1", 1), ("S2", 2), ("A", 3), "W", "R")])
+
+
+def test_dependence_instances_kind_filter():
+    """An instance that both reads and writes one element: the anti arc
+    (its own read before its own write) must not be confused by the
+    later write commit (regression for a validator false positive)."""
+    trace = [
+        rec(7, "R", ("A", 1), 1, ("S1", 1), task="cpu0"),
+        rec(9, "W", ("A", 1), 2, ("S1", 1), task="cpu1"),
+    ]
+    check_dependence_instances(
+        trace, [(("S1", 1), ("S1", 1), ("A", 1), "R", "W")])
+    with pytest.raises(ValidationError):
+        check_dependence_instances(
+            trace, [(("S1", 1), ("S1", 1), ("A", 1), "W", "R")])
+
+
+def test_dependence_instances_simultaneous_commit_allowed():
+    """Equal commit times are legal: commits at t precede reads at t."""
+    trace = [
+        rec(5, "W", ("A", 3), 1, ("S1", 1)),
+        rec(5, "R", ("A", 3), 1, ("S2", 2)),
+    ]
+    check_dependence_instances(
+        trace, [(("S1", 1), ("S2", 2), ("A", 3), "W", "R")])
+
+
+@given(st.text(min_size=1, max_size=5),
+       st.integers(min_value=0, max_value=1000),
+       st.lists(st.one_of(st.none(), st.integers(min_value=0,
+                                                 max_value=2**31)),
+                max_size=5))
+def test_mix_is_stable_and_bounded(sid, iteration, reads):
+    value = mix(sid, iteration, reads)
+    assert 0 <= value < 2**32
+    assert value == mix(sid, iteration, list(reads))

@@ -1,0 +1,90 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import DEMO_SOURCE, build_parser, main
+
+
+def test_demo_runs(capsys):
+    assert main(["--demo", "--processors", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "doacross" in out
+    assert "<== chosen" in out
+    assert "validated against sequential semantics" in out
+    assert "#=compute" in out
+
+
+def test_file_input(tmp_path, capsys):
+    source = tmp_path / "loop.f"
+    source.write_text("DO I = 1, N\n  A(I) = A(I-1)\nEND DO\n")
+    assert main([str(source), "--bind", "N=20",
+                 "--processors", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "loop 'loop'" in out
+
+
+def test_forced_scheme(capsys):
+    assert main(["--demo", "--scheme", "statement-oriented",
+                 "--processors", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "forced by caller" in out
+
+
+def test_serial_loop_reports_and_exits(tmp_path, capsys):
+    source = tmp_path / "serial.f"
+    # A(2*I) vs A(I): non-constant distance -> serial classification
+    source.write_text("DO I = 1, 9\n  A(I) = ...\n  B(I) = A(2*I)\n"
+                      "END DO\n")
+    assert main([str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "runs serially" in out
+
+
+def test_bad_bind_rejected(capsys):
+    assert main(["--demo", "--bind", "oops"]) == 2
+    assert "NAME=VALUE" in capsys.readouterr().err
+
+
+def test_missing_source_rejected(capsys):
+    assert main([]) == 2
+    assert "--demo" in capsys.readouterr().err
+
+
+def test_objective_and_schedule_flags(capsys):
+    assert main(["--demo", "--objective", "storage",
+                 "--schedule", "cyclic", "--processors", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cyclic scheduling" in out
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["--demo"])
+    assert args.processors == 8
+    assert args.objective == "time"
+    assert args.schedule == "self"
+
+
+def test_demo_source_is_fig21():
+    assert "A(I+3)" in DEMO_SOURCE
+    assert DEMO_SOURCE.count(":") == 5
+
+
+def test_program_mode(tmp_path, capsys):
+    source = tmp_path / "prog.f"
+    source.write_text("""
+DO I = 1, N
+  A(I) = ...
+END DO
+DO I = 2, N
+  B(I) = A(I) + B(I-1)
+END DO
+""")
+    assert main([str(source), "--program", "--bind", "N=12",
+                 "--processors", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2-loop program" in out
+    assert "validated" in out
