@@ -1,0 +1,99 @@
+"""E-chaos -- graceful degradation under injected hardware faults.
+
+The robustness claim behind the fault layer, as one sweep: for every
+synchronization scheme, under every preset fault plan and several seeds,
+a run must end in exactly one of
+
+* ``ok`` -- completed and validated against sequential semantics
+  (mandatory for the timing-only plans: jitter and stalls are legal
+  executions of a correct scheme);
+* ``deadlock-diagnosed`` / ``limit-diagnosed`` -- died with a structured
+  :class:`HazardReport` naming each blocked task and, when one exists,
+  the blocking wait-for cycle;
+* ``corruption-detected`` -- the validator caught the damage.
+
+Never a hang, never silent corruption.  The companion zero-overhead
+check pins the fault layer's default-off contract: an empty plan must
+reproduce the clean run's metrics and trace exactly.
+"""
+
+from __future__ import annotations
+
+from repro.apps.kernels import fig21_loop
+from repro.faults import FaultPlan
+from repro.faults.chaos import (ACCEPTABLE_OUTCOMES, run_chaos_sweep,
+                                summarize)
+from repro.report import print_table
+from repro.schemes import make_scheme, scheme_names
+from repro.sim import Machine, MachineConfig
+
+N = 16
+P = 4
+SEEDS = range(3)
+PLANS = ["jitter", "stalls", "lossy-bus", "flaky-rmw", "crashy"]
+TIMING_ONLY = {"jitter", "stalls"}
+
+
+def run_sweep():
+    return run_chaos_sweep(schemes=scheme_names(), plans=PLANS,
+                           seeds=SEEDS, n=N, processors=P)
+
+
+def test_chaos_sweep_degrades_gracefully(once):
+    outcomes = once(run_sweep)
+    assert len(outcomes) == 4 * len(PLANS) * len(SEEDS)
+
+    bad = [o for o in outcomes if not o.acceptable]
+    assert not bad, "degradation contract violated: " + "; ".join(
+        f"{o.scheme}/{o.plan}/seed{o.seed}: {o.outcome} ({o.detail})"
+        for o in bad)
+
+    # timing-only faults are legal executions: they must all validate
+    for o in outcomes:
+        if o.plan in TIMING_ONLY:
+            assert o.outcome == "ok", (o.plan, o.scheme, o.seed, o.detail)
+
+    # every diagnosed failure names at least one blocked task, and every
+    # cycle-carrying diagnosis names tasks that are actually blocked
+    for o in outcomes:
+        if o.outcome.endswith("-diagnosed"):
+            assert o.blocked_tasks, (o.scheme, o.plan, o.seed)
+        if o.cycle:
+            assert set(o.cycle) <= set(o.blocked_tasks)
+
+    histogram = summarize(outcomes)
+    assert set(histogram) <= set(ACCEPTABLE_OUTCOMES)
+    print_table(
+        ["scheme", "plan", "seed", "outcome", "fault events", "detail"],
+        [[o.scheme, o.plan, o.seed, o.outcome, o.fault_events,
+          (" -> ".join(o.cycle) if o.cycle else o.detail)[:44]]
+         for o in outcomes],
+        title=f"Chaos sweep: 4 schemes x {len(PLANS)} plans x "
+              f"{len(SEEDS)} seeds, Fig 2.1 loop, N={N}, P={P} -- "
+              + ", ".join(f"{k}={v}" for k, v in sorted(histogram.items())))
+
+
+def run_identity_check():
+    rows = []
+    for name in scheme_names():
+        loop = fig21_loop(n=24, cost=8)
+        scheme = make_scheme(name)
+        clean = Machine(MachineConfig(processors=P)).run(
+            scheme.instrument(loop))
+        empty = Machine(MachineConfig(processors=P,
+                                      fault_plan=FaultPlan())).run(
+            scheme.instrument(loop))
+        rows.append((name, clean, empty))
+    return rows
+
+
+def test_empty_plan_is_zero_overhead(once):
+    """The fault layer must be invisible when unused: an all-zero plan
+    reproduces the clean run's metrics and trace byte-for-byte."""
+    for name, clean, empty in once(run_identity_check):
+        assert clean.makespan == empty.makespan, name
+        assert clean.summary() == empty.summary(), name
+        assert [(r.commit, r.kind, r.addr, r.value) for r in clean.trace] \
+            == [(r.commit, r.kind, r.addr, r.value) for r in empty.trace], name
+        assert "faults" not in empty.extra, name
+        assert empty.fault_events == 0

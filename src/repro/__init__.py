@@ -33,11 +33,31 @@ Packages
     Counter, Brooks-butterfly and PC-butterfly barriers (Example 4).
 ``repro.apps``
     The paper's worked examples as runnable workloads.
+``repro.faults``
+    Deterministic fault injection, hazard diagnosis, chaos harness.
+
+Error taxonomy (re-exported here for callers)
+---------------------------------------------
+``ValidationError``
+    the run finished but diverged from sequential semantics;
+``DeadlockError``
+    no task can ever make progress -- carries a ``HazardReport`` with
+    per-task wait state and the blocking wait-for cycle;
+``SimulationLimitError``
+    the cycle budget ran out first -- same structured report.
 """
 
 __version__ = "1.0.0"
 
-from . import apps, barriers, core, depend, report, schemes, sim
+from . import apps, barriers, core, depend, faults, report, schemes, sim
+from .faults import (FaultInjector, FaultPlan, HazardReport, TaskDiagnosis,
+                     WaitForGraph, diagnose, make_plan, plan_names)
+from .sim import (DeadlockError, HazardError, SimulationLimitError,
+                  ValidationError)
 
-__all__ = ["apps", "barriers", "core", "depend", "report", "schemes", "sim",
-           "__version__"]
+__all__ = ["apps", "barriers", "core", "depend", "faults", "report",
+           "schemes", "sim", "__version__",
+           "DeadlockError", "FaultInjector", "FaultPlan", "HazardError",
+           "HazardReport", "SimulationLimitError", "TaskDiagnosis",
+           "ValidationError", "WaitForGraph", "diagnose", "make_plan",
+           "plan_names"]

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro LOOP.f [options]
     python -m repro --demo
+    python -m repro chaos [chaos options]
 
 Reads a mini-Fortran ``DO`` nest (see :mod:`repro.frontend`), runs the
 full pipeline -- dependence analysis, classification, doacross-delay
@@ -19,6 +20,13 @@ Options::
     --bind NAME=VALUE   bind a symbolic loop bound (repeatable)
     --timeline-width W  timeline width in characters (default 72)
     --demo              run the built-in Fig 2.1 demo instead of a file
+
+``chaos`` mode sweeps seeded fault plans (lost broadcasts, stalls,
+crashes, flaky RMW commits, latency jitter) across every
+synchronization scheme and checks the degradation contract: each run
+either validates against sequential semantics or dies with a diagnosed
+structured error -- never a hang, never silent corruption.  See
+``python -m repro chaos --help``.
 """
 
 from __future__ import annotations
@@ -73,8 +81,81 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro chaos``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Fault-injection sweep: run every synchronization "
+                    "scheme under seeded fault plans and verify each "
+                    "run either validates or fails with a diagnosed "
+                    "structured error.")
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="seeds per (scheme, plan) cell (default 3)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed value (default 0)")
+    parser.add_argument("--schemes", default="all",
+                        help="comma-separated scheme names, or 'all'")
+    parser.add_argument("--plans", default="all",
+                        help="comma-separated fault plan presets, or 'all'")
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--n", type=int, default=16,
+                        help="trip count of the swept loop (default 16)")
+    return parser
+
+
+def _chaos_mode(argv) -> int:
+    """Run the chaos sweep and print the outcome table."""
+    from .faults.chaos import (ACCEPTABLE_OUTCOMES, run_chaos_sweep,
+                               summarize)
+    from .faults.plan import plan_names
+    from .report import print_table
+    from .schemes import scheme_names
+
+    parser = build_chaos_parser()
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        # a 0-seed sweep would vacuously report the contract as holding
+        parser.error("--seeds must be at least 1")
+    schemes = (scheme_names() if args.schemes == "all"
+               else args.schemes.split(","))
+    plans = plan_names() if args.plans == "all" else args.plans.split(",")
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+
+    outcomes = run_chaos_sweep(schemes=schemes, plans=plans, seeds=seeds,
+                               n=args.n, processors=args.processors)
+    rows = []
+    for o in outcomes:
+        note = o.detail
+        if o.cycle:
+            note = f"cycle: {' -> '.join(o.cycle)}"
+        rows.append([o.scheme, o.plan, o.seed, o.outcome, note[:48]])
+    print_table(
+        ["scheme", "plan", "seed", "outcome", "detail"], rows,
+        title=f"chaos sweep: {len(schemes)} scheme(s) x {len(plans)} "
+              f"plan(s) x {args.seeds} seed(s) on {args.processors} "
+              f"processors")
+    histogram = summarize(outcomes)
+    print("\noutcomes: " + ", ".join(
+        f"{name}={count}" for name, count in sorted(histogram.items())))
+    bad = [o for o in outcomes if not o.acceptable]
+    if bad:
+        print(f"\nDEGRADATION CONTRACT VIOLATED by {len(bad)} run(s) "
+              f"(allowed: {', '.join(ACCEPTABLE_OUTCOMES)}):")
+        for o in bad:
+            print(f"  {o.scheme} / {o.plan} / seed {o.seed}: "
+                  f"{o.outcome} -- {o.detail}")
+        return 1
+    print("degradation contract holds: every run validated or died "
+          "with a diagnosed structured error")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "chaos":
+        return _chaos_mode(argv[1:])
     args = build_parser().parse_args(argv)
 
     bindings = {}

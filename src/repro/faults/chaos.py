@@ -1,0 +1,138 @@
+"""Chaos harness: sweep fault plans across synchronization schemes.
+
+The acceptance contract for the fault layer: under *any* injected fault
+mix, a run must end in exactly one of
+
+``ok``
+    the simulation completed and validated against sequential semantics
+    (timing-only faults -- jitter, stalls -- must always land here);
+``deadlock-diagnosed`` / ``limit-diagnosed``
+    the run died, but with a structured :class:`HazardReport` naming
+    per-task blocking state and (when one exists) the wait-for cycle;
+``corruption-detected``
+    the run completed with wrong values and the validator caught it
+    (e.g. a duplicated RMW commit releasing a sink early).
+
+What must *never* happen: a hang (bounded by ``max_cycles``, the
+stagnation watchdog and the per-wait spin budget) or silent corruption
+(bounded by :meth:`InstrumentedLoop.validate`).  Outcomes outside the
+acceptable set -- an undiagnosed error, or an unexpected crash -- fail
+the sweep.
+
+Run it as ``python -m repro chaos`` or via :func:`run_chaos_sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..apps.kernels import fig21_loop
+from ..schemes.registry import make_scheme, scheme_names
+from ..sim import (DeadlockError, Machine, MachineConfig,
+                   SimulationLimitError, ValidationError)
+from .plan import FaultPlan, make_plan, plan_names
+
+#: every outcome the degradation contract allows
+ACCEPTABLE_OUTCOMES = ("ok", "deadlock-diagnosed", "limit-diagnosed",
+                       "corruption-detected")
+
+
+@dataclass
+class ChaosOutcome:
+    """Result of one (scheme, plan, seed) chaos run."""
+
+    scheme: str
+    plan: str
+    seed: int
+    outcome: str
+    #: first line of the error / headline metric
+    detail: str = ""
+    makespan: Optional[int] = None
+    fault_events: int = 0
+    #: the blocking wait-for cycle, when the diagnosis found one
+    cycle: Optional[List[str]] = None
+    #: per-task blocked states from the hazard report
+    blocked_tasks: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def acceptable(self) -> bool:
+        return self.outcome in ACCEPTABLE_OUTCOMES
+
+
+def _hazard_outcome(scheme: str, plan: FaultPlan, kind: str,
+                    err) -> ChaosOutcome:
+    report = err.report
+    diagnosed = report is not None and bool(report.tasks)
+    return ChaosOutcome(
+        scheme=scheme, plan=plan.name or "custom", seed=plan.seed,
+        outcome=f"{kind}-diagnosed" if diagnosed else f"{kind}-undiagnosed",
+        detail=str(err).splitlines()[0],
+        cycle=report.cycle if report is not None else None,
+        blocked_tasks={diag.task: diag.state
+                       for diag in (report.blocked() if diagnosed else [])})
+
+
+def run_chaos_case(scheme_name: str, plan: FaultPlan, *,
+                   n: int = 16, processors: int = 4,
+                   max_cycles: int = 2_000_000,
+                   stagnation_limit: int = 20_000,
+                   wait_bound: Optional[int] = 100_000,
+                   loop=None) -> ChaosOutcome:
+    """Run one scheme under one fault plan and classify the outcome."""
+    loop = loop if loop is not None else fig21_loop(n=n, cost=8)
+    scheme = make_scheme(scheme_name)
+    instrumented = scheme.instrument(loop)
+    if wait_bound is not None:
+        instrumented.bound_waits(wait_bound)
+    machine = Machine(MachineConfig(
+        processors=processors, fault_plan=plan, max_cycles=max_cycles,
+        stagnation_limit=stagnation_limit))
+    label = plan.name or "custom"
+    try:
+        result = machine.run(instrumented)
+    except DeadlockError as err:
+        return _hazard_outcome(scheme_name, plan, "deadlock", err)
+    except SimulationLimitError as err:
+        return _hazard_outcome(scheme_name, plan, "limit", err)
+    try:
+        instrumented.validate(result)
+    except ValidationError as err:
+        return ChaosOutcome(
+            scheme=scheme_name, plan=label, seed=plan.seed,
+            outcome="corruption-detected",
+            detail=str(err).splitlines()[0],
+            makespan=result.makespan, fault_events=result.fault_events)
+    return ChaosOutcome(
+        scheme=scheme_name, plan=label, seed=plan.seed, outcome="ok",
+        detail=f"makespan {result.makespan}",
+        makespan=result.makespan, fault_events=result.fault_events)
+
+
+def run_chaos_sweep(schemes: Optional[Sequence[str]] = None,
+                    plans: Optional[Sequence[str]] = None,
+                    seeds: Iterable[int] = range(3),
+                    **case_kwargs) -> List[ChaosOutcome]:
+    """Sweep seeds x schemes x fault plans; return every outcome.
+
+    ``schemes`` defaults to all four registered schemes, ``plans`` to
+    every named preset.  Keyword arguments pass through to
+    :func:`run_chaos_case`.
+    """
+    schemes = list(schemes) if schemes else scheme_names()
+    plans = list(plans) if plans else plan_names()
+    outcomes: List[ChaosOutcome] = []
+    for scheme in schemes:
+        for plan_name in plans:
+            for seed in seeds:
+                plan = make_plan(plan_name, seed=seed)
+                outcomes.append(run_chaos_case(scheme, plan, **case_kwargs))
+    return outcomes
+
+
+def summarize(outcomes: Sequence[ChaosOutcome]) -> Dict[str, int]:
+    """Outcome histogram of a sweep."""
+    histogram: Dict[str, int] = {}
+    for outcome in outcomes:
+        histogram[outcome.outcome] = histogram.get(outcome.outcome, 0) + 1
+    return histogram

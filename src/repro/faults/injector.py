@@ -1,0 +1,129 @@
+"""Runtime fault injection driven by one seeded random stream.
+
+The engine and fabrics call the probe methods below at fixed hook
+points; each probe consults the :class:`~repro.faults.plan.FaultPlan`
+and, only when the corresponding knob is non-zero, draws from the
+injector's single ``random.Random(seed)``.  Hook order follows the
+engine's deterministic event order, so the whole faulty execution is a
+pure function of (workload, machine config, plan): a failing run replays
+byte-for-byte under the same seed.
+
+Disabled knobs consume no randomness at all, so enabling one fault class
+does not perturb the draw sequence of another.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from .plan import CycleSpan, FaultPlan
+
+
+class FaultInjector:
+    """Draws per-event fault decisions for one simulation run.
+
+    ``counters`` tallies what was actually injected; the machine copies
+    it into ``RunResult.extra["faults"]`` so benches and the chaos
+    harness can report fault pressure next to the usual metrics.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._crash_after: Dict[str, int] = dict(plan.crash_after_ops)
+        self.counters: Dict[str, int] = {
+            "injected_stalls": 0,
+            "injected_stall_cycles": 0,
+            "crashes": 0,
+            "lost_broadcasts": 0,
+            "delayed_broadcasts": 0,
+            "jittered_accesses": 0,
+            "dropped_updates": 0,
+            "duplicated_updates": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # draw helpers (never touch the RNG when the knob is off)
+    # ------------------------------------------------------------------
+
+    def _chance(self, probability: float) -> bool:
+        return probability > 0.0 and self._rng.random() < probability
+
+    def _span(self, span: CycleSpan) -> int:
+        low, high = span
+        if high <= 0:
+            return 0
+        return self._rng.randint(low, high)
+
+    # ------------------------------------------------------------------
+    # engine probes
+    # ------------------------------------------------------------------
+
+    def stall_cycles(self, task: str) -> int:
+        """Extra cycles to stall ``task`` before its next step (0 = none)."""
+        if not self._chance(self.plan.stall_prob):
+            return 0
+        cycles = self._span(self.plan.stall_cycles)
+        if cycles:
+            self.counters["injected_stalls"] += 1
+            self.counters["injected_stall_cycles"] += cycles
+        return cycles
+
+    def should_crash(self, task: str, ops_interpreted: int) -> bool:
+        """Kill ``task`` now?  Deterministic targets fire exactly once."""
+        target = self._crash_after.get(task)
+        if target is not None and ops_interpreted >= target:
+            del self._crash_after[task]
+            self.counters["crashes"] += 1
+            return True
+        if self._chance(self.plan.crash_prob):
+            self.counters["crashes"] += 1
+            return True
+        return False
+
+    def memory_extra(self) -> int:
+        """Extra wire latency for one shared-memory data access."""
+        extra = self._span(self.plan.memory_jitter)
+        if extra:
+            self.counters["jittered_accesses"] += 1
+        return extra
+
+    def update_fate(self, var: int) -> str:
+        """Fate of one SyncUpdate commit: "ok" | "drop" | "dup"."""
+        if self._chance(self.plan.update_drop):
+            self.counters["dropped_updates"] += 1
+            return "drop"
+        if self._chance(self.plan.update_dup):
+            self.counters["duplicated_updates"] += 1
+            return "dup"
+        return "ok"
+
+    # ------------------------------------------------------------------
+    # fabric probes
+    # ------------------------------------------------------------------
+
+    def broadcast_fate(self, var: int) -> Tuple[bool, int]:
+        """(lost?, extra delay) for one sync-bus broadcast."""
+        lost = self._chance(self.plan.broadcast_loss)
+        extra = self._span(self.plan.broadcast_jitter)
+        if lost:
+            self.counters["lost_broadcasts"] += 1
+        elif extra:
+            self.counters["delayed_broadcasts"] += 1
+        return lost, extra
+
+    def broadcast_delay(self, var: int) -> int:
+        """Extra delay for a broadcast that cannot be lost (RMW result)."""
+        extra = self._span(self.plan.broadcast_jitter)
+        if extra:
+            self.counters["delayed_broadcasts"] += 1
+        return extra
+
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> int:
+        """Total number of injected fault events (not cycle sums)."""
+        return sum(count for key, count in self.counters.items()
+                   if not key.endswith("_cycles"))

@@ -1,0 +1,195 @@
+"""Hazard diagnosis: turn a stuck simulation into a structured report.
+
+When the engine detects that live tasks remain but progress has stopped
+(event queue drained, cycle budget exhausted, stagnation, or an expired
+bounded wait), it calls :func:`diagnose` with itself.  The watchdog
+walks every spawned task, classifies its blocking state, builds the
+wait-for graph (waiter -> last known writer of the awaited variable) and
+extracts the blocking cycle.  The resulting :class:`HazardReport` rides
+on the raised :class:`~repro.sim.engine.DeadlockError` /
+:class:`~repro.sim.engine.SimulationLimitError`, so callers get per-task
+state -- which variable, which predicate, who owns it, how long parked
+-- instead of a flat string.
+
+This module deliberately imports nothing from :mod:`repro.sim`: it
+duck-types the engine (``_tasks``, ``_waiters``, ``var_writers``,
+``fabric``), which keeps the import graph acyclic (the engine imports
+the watchdog lazily at diagnosis time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class TaskDiagnosis:
+    """One live (or crashed) task's blocking state at diagnosis time."""
+
+    task: str
+    #: "parked" | "polling" | "stalled" | "crashed" | "running"
+    state: str
+    #: synchronization variable involved, when known
+    var: Optional[int]
+    #: human-readable reason (a WaitUntil reason, an op description)
+    reason: str
+    #: cycle at which the task entered this state
+    since: Optional[int]
+    #: cycles spent in this state up to the diagnosis
+    blocked_for: int
+    #: task that last wrote ``var`` (the presumed owner of the PC/SC)
+    waits_on: Optional[str]
+    #: committed value of ``var`` at diagnosis time
+    value: Any = None
+
+    def describe(self) -> str:
+        bits = [f"{self.task}: {self.state}"]
+        if self.var is not None:
+            bits.append(f"on var {self.var}")
+        if self.blocked_for:
+            bits.append(f"for {self.blocked_for} cycles")
+        if self.reason:
+            bits.append(f"({self.reason})")
+        if self.var is not None:
+            owner = self.waits_on or "<never written>"
+            bits.append(f"[last writer: {owner}, value: {self.value!r}]")
+        return " ".join(bits)
+
+
+class WaitForGraph:
+    """Directed graph: an edge A -> B means A waits on a variable B owns.
+
+    "Owns" is the last-writer heuristic: the engine records which task
+    most recently wrote or updated each synchronization variable, which
+    for single-writer protocols (process counters, statement counters)
+    is exactly the owner.  Variables nobody has written map to the
+    pseudo-node ``"<never written>"``.
+    """
+
+    def __init__(self) -> None:
+        self._edges: Dict[str, Dict[str, Tuple[int, str]]] = {}
+
+    def add_edge(self, waiter: str, owner: str, var: Optional[int],
+                 reason: str) -> None:
+        self._edges.setdefault(waiter, {})[owner] = (
+            -1 if var is None else var, reason)
+
+    def edges(self) -> List[Tuple[str, str, int, str]]:
+        """All (waiter, owner, var, reason) edges, deterministic order."""
+        return [(waiter, owner, var, reason)
+                for waiter, targets in sorted(self._edges.items())
+                for owner, (var, reason) in sorted(targets.items())]
+
+    def find_cycle(self) -> Optional[List[str]]:
+        """A blocking cycle as a task list (first node not repeated).
+
+        Iterative colored DFS over the wait-for edges; returns the first
+        cycle found in deterministic order, or ``None``.
+        """
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {}
+        for root in sorted(self._edges):
+            if color.get(root, WHITE) != WHITE:
+                continue
+            path: List[str] = []
+            stack: List[Tuple[str, bool]] = [(root, False)]
+            while stack:
+                node, leaving = stack.pop()
+                if leaving:
+                    color[node] = BLACK
+                    path.pop()
+                    continue
+                if color.get(node, WHITE) == GRAY:
+                    continue
+                color[node] = GRAY
+                path.append(node)
+                stack.append((node, True))
+                for succ in sorted(self._edges.get(node, {})):
+                    state = color.get(succ, WHITE)
+                    if state == GRAY and succ in path:
+                        return path[path.index(succ):]
+                    if state == WHITE:
+                        stack.append((succ, False))
+        return None
+
+
+@dataclass
+class HazardReport:
+    """Structured diagnosis of a stuck (or over-budget) simulation."""
+
+    now: int
+    live_tasks: int
+    tasks: List[TaskDiagnosis]
+    graph: WaitForGraph
+    #: the blocking wait-for cycle, when one exists
+    cycle: Optional[List[str]]
+    #: loop iterations the scheduler never handed out (set by Machine)
+    unclaimed_iterations: Optional[int] = None
+    #: task names killed by fault injection
+    crashed: List[str] = field(default_factory=list)
+
+    def blocked(self) -> List[TaskDiagnosis]:
+        """Diagnoses of tasks that are not plainly runnable."""
+        return [diag for diag in self.tasks if diag.state != "running"]
+
+    def by_task(self) -> Dict[str, TaskDiagnosis]:
+        return {diag.task: diag for diag in self.tasks}
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering (used in error messages)."""
+        lines = [f"hazard diagnosis at cycle {self.now}: "
+                 f"{self.live_tasks} live task(s), "
+                 f"{len(self.blocked())} blocked"]
+        if self.cycle:
+            ring = " -> ".join(self.cycle + [self.cycle[0]])
+            lines.append(f"  blocking wait-for cycle: {ring}")
+        for diag in self.tasks:
+            lines.append(f"  {diag.describe()}")
+        if self.crashed:
+            lines.append(f"  crashed by fault injection: "
+                         f"{', '.join(self.crashed)}")
+        if self.unclaimed_iterations:
+            lines.append(f"  loop iterations never claimed: "
+                         f"{self.unclaimed_iterations}")
+        return "\n".join(lines)
+
+
+def diagnose(engine) -> HazardReport:
+    """Build a :class:`HazardReport` from a (possibly stuck) engine."""
+    now = engine.now
+    graph = WaitForGraph()
+    diagnoses: List[TaskDiagnosis] = []
+    for task in getattr(engine, "_tasks", []):
+        crashed = getattr(task, "crashed", False)
+        if not task.alive and not crashed:
+            continue  # completed normally
+        name = task.stats.name
+        wait_state = getattr(task, "wait_state", None)
+        if wait_state is not None:
+            state, var, reason, since = wait_state
+        else:
+            state, var, reason, since = (
+                "running", None, "has a pending event", None)
+        if crashed:
+            state = "crashed"
+        owner = engine.var_writers.get(var) if var is not None else None
+        value = None
+        if var is not None:
+            try:
+                value = engine.fabric.value(var)
+            except Exception:
+                value = None
+        blocked_for = now - since if since is not None else 0
+        diagnoses.append(TaskDiagnosis(
+            task=name, state=state, var=var, reason=reason, since=since,
+            blocked_for=blocked_for, waits_on=owner, value=value))
+        if state in ("parked", "polling"):
+            graph.add_edge(name, owner or "<never written>", var, reason)
+    return HazardReport(
+        now=now,
+        live_tasks=getattr(engine, "_live_tasks", len(diagnoses)),
+        tasks=diagnoses,
+        graph=graph,
+        cycle=graph.find_cycle(),
+        crashed=list(getattr(engine, "crashed", [])))

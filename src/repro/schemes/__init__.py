@@ -9,7 +9,8 @@ interface:
 * ``process-oriented`` -- the paper's proposal: folded process counters
 """
 
-from .base import InstrumentedLoop, SyncScheme, execute_statement
+from .base import (InstrumentedLoop, SyncScheme, bound_waits,
+                   execute_statement)
 from .instance_based import (InstanceBasedLoop, InstanceBasedScheme,
                              Instance, ReadBinding, rename)
 from .process_oriented import ProcessOrientedLoop, ProcessOrientedScheme
@@ -24,7 +25,7 @@ __all__ = [
     "InstanceBasedScheme", "KeyedAccess", "ProcessOrientedLoop",
     "ProcessOrientedScheme", "ReadBinding", "ReferenceBasedLoop",
     "ReferenceBasedScheme", "StatementOrientedLoop",
-    "StatementOrientedScheme", "SyncScheme", "at_least",
+    "StatementOrientedScheme", "SyncScheme", "at_least", "bound_waits",
     "execute_statement", "make_scheme", "plan_accesses", "rename",
     "scheme_names",
 ]

@@ -17,6 +17,7 @@ validators compare those reads/stores against a sequential execution.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import replace
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from ..depend.graph import DependenceGraph
@@ -24,7 +25,8 @@ from ..depend.model import Index, Loop, Statement
 from ..sim.machine import Machine, MachineConfig
 from ..sim.memory import SharedMemory
 from ..sim.metrics import RunResult
-from ..sim.ops import Address, Annotate, Compute, MemRead, MemWrite
+from ..sim.ops import (Address, Annotate, Compute, MemRead, MemWrite,
+                       WaitUntil)
 from ..sim.sync_bus import SyncFabric
 from ..sim.validate import (check_dependence_instances, check_final_state,
                             check_reads_match_sequential, mix)
@@ -48,6 +50,28 @@ def execute_statement(loop: Loop, stmt: Statement, index: Index,
     for ref in stmt.writes:
         yield MemWrite(loop.address_of(ref, index), result)
     yield Annotate("tag", {"tag": None})
+
+
+def bound_waits(process: Generator, max_spin: int) -> Generator:
+    """Give every unbounded wait a spin budget (bounded-wait option).
+
+    Rewrites each ``WaitUntil`` the process yields so the engine raises
+    a *diagnosed* DeadlockError once a single wait exceeds ``max_spin``
+    cycles, instead of parking (or polling) forever.  Under fault
+    injection a lost release then surfaces as a structured hazard in
+    bounded time; for correct schemes on clean hardware the budget is
+    never hit as long as it exceeds the longest legitimate wait.  Waits
+    that already carry their own budget are left alone.
+    """
+    try:
+        op = next(process)
+        while True:
+            if isinstance(op, WaitUntil) and op.max_spin is None:
+                op = replace(op, max_spin=max_spin)
+            value = yield op
+            op = process.send(value)
+    except StopIteration:
+        return
 
 
 class InstrumentedLoop(ABC):
@@ -84,6 +108,12 @@ class InstrumentedLoop(ABC):
     def prologue(self) -> List[Generator]:
         """Setup processes (e.g. key initialization); default: none."""
         return []
+
+    def bound_waits(self, max_spin: int) -> None:
+        """Bound every wait this loop emits (see :func:`bound_waits`)."""
+        original = self.make_process
+        self.make_process = (  # type: ignore[method-assign]
+            lambda iteration: bound_waits(original(iteration), max_spin))
 
     def initial_memory(self) -> Dict[Address, Any]:
         """Pre-run contents of shared memory (the seed, by default)."""
@@ -152,10 +182,18 @@ class SyncScheme(ABC):
     def run(self, loop: Loop,
             graph: Optional[DependenceGraph] = None,
             machine: Optional[Machine] = None,
-            validate: bool = True) -> RunResult:
-        """Convenience: instrument, simulate, optionally validate."""
+            validate: bool = True,
+            wait_bound: Optional[int] = None) -> RunResult:
+        """Convenience: instrument, simulate, optionally validate.
+
+        ``wait_bound`` caps every emitted wait at that many cycles (the
+        bounded-wait option): a starved wait then raises a diagnosed
+        DeadlockError instead of hanging until the cycle budget.
+        """
         machine = machine or Machine(MachineConfig())
         instrumented = self.instrument(loop, graph)
+        if wait_bound is not None:
+            instrumented.bound_waits(wait_bound)
         result = machine.run(instrumented)
         if validate:
             if not machine.config.record_trace:

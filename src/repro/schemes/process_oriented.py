@@ -122,10 +122,13 @@ class ProcessOrientedLoop(InstrumentedLoop):
                 yield from execute_statement(self.loop, stmt, index, pid)
             if stmt_plan.source_step is None:
                 continue
-            if executed:
-                # Requirement (1) of section 2.2: the source's effect must
-                # be globally visible before its completion is signalled.
-                yield Fence()
+            # Requirement (1) of section 2.2: the source's effect must be
+            # globally visible before its completion is signalled.  The
+            # fence runs even when a guard skipped this source: arc
+            # pruning lets sinks infer *earlier* statements' completion
+            # from this step, so their posted writes must drain before
+            # the step is published.  (No outstanding writes: free.)
+            yield Fence()
             step = cursor.advance(executed)
             if stmt_plan.is_last_source:
                 if not acquired:
@@ -154,8 +157,9 @@ class ProcessOrientedLoop(InstrumentedLoop):
                 yield from execute_statement(self.loop, stmt, index, pid)
             if stmt_plan.source_step is None:
                 continue
-            if executed:
-                yield Fence()
+            # Fence on every path, skipped sources included (see
+            # _basic_process): pruning relies on it.
+            yield Fence()
             step = cursor.advance(executed)
             if stmt_plan.is_last_source:
                 primitives.last_step = cursor.published

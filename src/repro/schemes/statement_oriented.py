@@ -101,8 +101,13 @@ class StatementOrientedLoop(InstrumentedLoop):
             if executed:
                 yield from execute_statement(self.loop, stmt, index, pid)
             if stmt.sid in self._sc_vars:
-                if executed:
-                    yield Fence()
+                # Fence even when the guard skipped the statement: arc
+                # pruning treats Advance as proof that everything
+                # program-order-before it in this process is complete
+                # AND visible, so earlier statements' posted writes must
+                # drain before the counter moves.  (A fence with no
+                # outstanding writes is free.)
+                yield Fence()
                 # Advance runs on every path (Example 3's rule), or sinks
                 # of skipped sources would deadlock the Advance chain.
                 yield from self._advance(stmt.sid, pid)

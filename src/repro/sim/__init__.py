@@ -8,7 +8,7 @@ register images and write coverage (section 6 of the paper), dynamic
 self-scheduling, and per-processor cycle accounting.
 """
 
-from .engine import (AccessRecord, DeadlockError, Engine,
+from .engine import (AccessRecord, DeadlockError, Engine, HazardError,
                      SimulationLimitError, TaskStats)
 from .machine import Machine, MachineConfig, SCHED_COUNTER, Workload
 from .memory import MemoryConfig, SharedMemory
@@ -25,7 +25,8 @@ from .validate import (DependenceInstance, Tag, ValidationError,
 __all__ = [
     "AccessRecord", "Address", "Annotate", "BroadcastSyncFabric",
     "CachedSyncFabric", "Compute",
-    "DeadlockError", "DependenceInstance", "Engine", "Fence", "Machine",
+    "DeadlockError", "DependenceInstance", "Engine", "Fence",
+    "HazardError", "Machine",
     "MachineConfig", "MemRead", "MemWrite", "MemoryConfig",
     "MemorySyncFabric", "RunResult", "SCHED_COUNTER", "Scheduler",
     "SelfScheduler", "SharedMemory", "SimulationLimitError", "StaticScheduler",

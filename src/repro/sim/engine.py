@@ -10,6 +10,23 @@ Commits (memory and fabric value installations) run at priority 0,
 process resumptions at priority 1, so a value committed at time *t* is
 visible to every process step executing at *t*.  Sequence numbers break
 remaining ties FIFO, making every simulation fully reproducible.
+
+Robustness hooks (all inert by default):
+
+* An optional :class:`~repro.faults.injector.FaultInjector` perturbs the
+  run -- per-step stall windows and crashes, memory-latency jitter,
+  dropped or duplicated ``SyncUpdate`` commits.  Draws happen in event
+  order, so a seeded plan replays byte-for-byte.
+* Every blocking path records the task's ``wait_state`` so that when the
+  simulation gets stuck the engine can hand the whole task table to the
+  hazard watchdog (:mod:`repro.faults.watchdog`) and raise a *diagnosed*
+  :class:`DeadlockError` / :class:`SimulationLimitError` carrying the
+  wait-for graph and its blocking cycle.
+* ``stagnation_limit`` bounds the number of consecutive events processed
+  without any process stepping forward, catching poll-mode livelocks
+  (which keep the event queue busy forever) long before the cycle
+  budget; ``WaitUntil.max_spin`` bounds individual waits the same way
+  for event-mode parks.
 """
 
 from __future__ import annotations
@@ -29,11 +46,38 @@ _PRIORITY_COMMIT = 0
 _PRIORITY_RESUME = 1
 
 
-class DeadlockError(RuntimeError):
-    """Raised when live tasks remain but no event can ever fire."""
+class HazardError(RuntimeError):
+    """Base for simulation failures carrying a structured diagnosis.
+
+    ``report`` is a :class:`repro.faults.watchdog.HazardReport` (or
+    ``None`` for errors raised outside a running engine): per-task
+    blocking state, the wait-for graph, and -- when one exists -- the
+    blocking cycle.  The report's rendering is appended to the message,
+    so ``str(err)`` stays fully informative.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        if report is not None:
+            message = f"{message}\n{report.format()}"
+        super().__init__(message)
+        self.report = report
+
+    @property
+    def tasks(self):
+        """Per-task diagnoses (empty when no report was attached)."""
+        return self.report.tasks if self.report is not None else []
+
+    @property
+    def cycle(self):
+        """The blocking wait-for cycle as task names, when one exists."""
+        return self.report.cycle if self.report is not None else None
 
 
-class SimulationLimitError(RuntimeError):
+class DeadlockError(HazardError):
+    """Raised when live tasks remain but no progress can ever happen."""
+
+
+class SimulationLimitError(HazardError):
     """Raised when the simulation exceeds its cycle budget."""
 
 
@@ -76,7 +120,8 @@ class _Task:
     """Internal per-generator bookkeeping."""
 
     __slots__ = ("gen", "stats", "tag", "pending_value", "alive",
-                 "last_write_commit", "on_done", "store_buffer")
+                 "last_write_commit", "on_done", "store_buffer",
+                 "crashed", "ops", "wait_state", "wait_timeout")
 
     def __init__(self, gen: Generator, stats: TaskStats,
                  on_done: Optional[Callable[[], None]] = None) -> None:
@@ -90,19 +135,37 @@ class _Task:
         #: outstanding (uncommitted) writes: addr -> [count, last value];
         #: reads by this task forward from here (store-to-load forwarding)
         self.store_buffer: Dict[Tuple[str, int], list] = {}
+        #: killed by fault injection (still counts as never-completed)
+        self.crashed = False
+        #: operations interpreted so far (crash-targeting, diagnosis)
+        self.ops = 0
+        #: current blocking state, or None while runnable:
+        #: (state, var, reason, since) with state in
+        #: "parked" | "polling" | "stalled" | "crashed"
+        self.wait_state: Optional[Tuple[str, Optional[int], str, int]] = None
+        #: armed bounded-wait timeout event, cancelled when the wait is
+        #: satisfied (cancelled events are skipped without advancing time)
+        self.wait_timeout: Optional[Callable[[], None]] = None
 
 
 class Engine:
     """Interprets process generators against the hardware substrate."""
 
     def __init__(self, memory: SharedMemory, fabric: SyncFabric,
-                 max_cycles: int = 50_000_000, record_trace: bool = True) -> None:
+                 max_cycles: int = 50_000_000, record_trace: bool = True,
+                 injector=None,
+                 stagnation_limit: Optional[int] = None) -> None:
         self.memory = memory
         self.fabric = fabric
         fabric.attach(self)
         self.now = 0
         self.max_cycles = max_cycles
         self.record_trace = record_trace
+        #: optional FaultInjector perturbing this run (None = clean)
+        self.injector = injector
+        #: max consecutive events without a process step before the run
+        #: is declared stagnant (None disables the watchdog)
+        self.stagnation_limit = stagnation_limit
         self.trace: List[AccessRecord] = []
         #: (time, kind, payload) markers from Annotate ops (phase events)
         self.events: List[Tuple[int, str, dict]] = []
@@ -112,9 +175,16 @@ class Engine:
         self._queue: List[Tuple[int, int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._live_tasks = 0
+        #: every task ever spawned (hazard diagnosis walks this)
+        self._tasks: List[_Task] = []
         #: tasks parked in WaitUntil, keyed by fabric variable
         self._waiters: Dict[int, List[Tuple[_Task, WaitUntil, int]]] = {}
         self._parked = 0
+        #: last task to write/update each sync variable (wait-for edges)
+        self.var_writers: Dict[int, str] = {}
+        #: task names killed by fault injection
+        self.crashed: List[str] = []
+        self._idle_events = 0
 
     # ------------------------------------------------------------------
     # scheduling primitives (also used by the fabric)
@@ -151,36 +221,84 @@ class Engine:
         stats = TaskStats(name=name)
         task = _Task(gen, stats, on_done)
         self._live_tasks += 1
+        self._tasks.append(task)
         self.schedule(self.now, lambda: self._step(task))
         return stats
 
     def run(self) -> int:
-        """Drain the event queue; return the final simulated time."""
+        """Drain the event queue; return the final simulated time.
+
+        Raises a diagnosed :class:`SimulationLimitError` when the cycle
+        budget is exceeded and a diagnosed :class:`DeadlockError` when
+        live tasks remain with an empty queue (classic deadlock) or when
+        ``stagnation_limit`` consecutive events fire without any process
+        stepping (poll-mode livelock).
+        """
         while self._queue:
             time, _priority, _seq, fn = heapq.heappop(self._queue)
+            if getattr(fn, "cancelled", False):
+                # A disarmed bounded-wait timeout: dropping it without
+                # touching ``self.now`` keeps satisfied waits from
+                # stretching the makespan out to their deadlines.
+                continue
             if time > self.max_cycles:
                 raise SimulationLimitError(
-                    f"simulation exceeded {self.max_cycles} cycles")
+                    f"simulation exceeded {self.max_cycles} cycles",
+                    report=self._diagnose())
+            if (self.stagnation_limit is not None and self._live_tasks > 0
+                    and self._idle_events > self.stagnation_limit):
+                raise DeadlockError(
+                    f"stagnation: {self._idle_events} consecutive events "
+                    f"without any process making progress "
+                    f"(stagnation_limit={self.stagnation_limit})",
+                    report=self._diagnose())
             self.now = time
+            self._idle_events += 1
             fn()
         if self._live_tasks > 0:
-            parked = [
-                f"{task.stats.name}: {op.reason or op.predicate}"
-                for waiters in self._waiters.values()
-                for task, op, _t in waiters
-            ]
             raise DeadlockError(
-                f"{self._live_tasks} task(s) never completed; "
-                f"parked waiters: {parked}")
+                f"{self._live_tasks} task(s) never completed and no "
+                f"event can ever fire",
+                report=self._diagnose())
         return self.now
+
+    def _diagnose(self):
+        # Imported lazily: repro.faults must stay importable without
+        # repro.sim (it duck-types the engine), and vice versa.
+        from ..faults.watchdog import diagnose
+        return diagnose(self)
 
     # ------------------------------------------------------------------
     # operation interpretation
     # ------------------------------------------------------------------
 
-    def _step(self, task: _Task) -> None:
+    def _step(self, task: _Task, fresh: bool = True) -> None:
         if not task.alive:
             return
+        injector = self.injector
+        if injector is not None and fresh:
+            if injector.should_crash(task.stats.name, task.ops):
+                task.alive = False
+                task.crashed = True
+                # _live_tasks is NOT decremented: the task's work is
+                # lost, so the run must end in a diagnosed error rather
+                # than complete silently short of iterations.
+                task.wait_state = (
+                    "crashed", None,
+                    f"fault-injected crash after {task.ops} ops", self.now)
+                self.crashed.append(task.stats.name)
+                return
+            extra = injector.stall_cycles(task.stats.name)
+            if extra:
+                task.stats.stall += extra
+                task.wait_state = (
+                    "stalled", None,
+                    f"fault-injected stall of {extra} cycles", self.now)
+                self.schedule(self.now + extra,
+                              lambda: self._step(task, fresh=False))
+                return
+        task.wait_state = None
+        self._idle_events = 0
         try:
             op = task.gen.send(task.pending_value)
         except StopIteration:
@@ -190,6 +308,7 @@ class Engine:
             if task.on_done is not None:
                 task.on_done()
             return
+        task.ops += 1
         task.pending_value = None
         self._dispatch(task, op)
 
@@ -214,7 +333,21 @@ class Engine:
             self._sync_write(task, op)
         elif isinstance(op, SyncUpdate):
             task.stats.sync_ops += 1
-            done, cell = self.fabric.update(op.var, op.fn, self.now)
+            self.var_writers[op.var] = task.stats.name
+            fn = op.fn
+            if self.injector is not None:
+                fate = self.injector.update_fate(op.var)
+                if fate == "drop":
+                    # The commit is lost: the variable keeps its old
+                    # value and the issuer reads that old value back.
+                    fn = lambda value: value
+                elif fate == "dup":
+                    original = op.fn
+                    fn = lambda value: original(original(value))
+            task.wait_state = ("stalled", op.var,
+                               f"sync update round trip on var {op.var}",
+                               self.now)
+            done, cell = self.fabric.update(op.var, fn, self.now)
             task.stats.stall += done - self.now
             # Commits precede same-cycle resumes, so the cell is filled
             # when the process wakes with the post-update value.
@@ -226,6 +359,10 @@ class Engine:
         elif isinstance(op, Fence):
             done = max(self.now, task.last_write_commit)
             task.stats.stall += done - self.now
+            if done > self.now:
+                task.wait_state = ("stalled", None,
+                                   "fence: draining posted writes",
+                                   self.now)
             self._resume_at(task, done)
         elif isinstance(op, Annotate):
             if op.kind == "tag":
@@ -252,7 +389,11 @@ class Engine:
             self._resume_at(task, self.now + 1, value)
             return
         done = self.memory.access_time(op.addr, self.now)
+        if self.injector is not None:
+            done += self.injector.memory_extra()
         task.stats.stall += done - self.now
+        task.wait_state = ("stalled", None,
+                           f"memory read round trip to {op.addr}", self.now)
         tag = task.tag  # capture at issue: commits run after tag changes
 
         def complete() -> None:
@@ -267,6 +408,8 @@ class Engine:
 
     def _mem_write(self, task: _Task, op: MemWrite) -> None:
         done = self.memory.access_time(op.addr, self.now, kind="W")
+        if self.injector is not None:
+            done += self.injector.memory_extra()
         task.last_write_commit = max(task.last_write_commit, done)
         tag = task.tag  # capture at issue: commits run after tag changes
         pending = task.store_buffer.setdefault(op.addr, [0, None])
@@ -297,11 +440,14 @@ class Engine:
         done = self.fabric.read_cost(op.var, self.now,
                                      requester=task.stats.name)
         task.stats.stall += done - self.now
+        task.wait_state = ("stalled", op.var,
+                           f"sync read of var {op.var}", self.now)
         self.schedule(done, lambda: self._resume_at(
             task, self.now, self.fabric.value(op.var)))
 
     def _sync_write(self, task: _Task, op: SyncWrite) -> None:
         task.stats.sync_ops += 1
+        self.var_writers[op.var] = task.stats.name
         done = self.fabric.write(op.var, op.value, self.now, op.coverable,
                                  requester=task.stats.name)
         task.stats.stall += done - self.now
@@ -322,10 +468,30 @@ class Engine:
     def _park(self, task: _Task, op: WaitUntil, parked_at: int) -> None:
         self._waiters.setdefault(op.var, []).append((task, op, parked_at))
         self._parked += 1
+        reason = op.reason or f"wait on var {op.var}"
+        task.wait_state = ("parked", op.var, reason, parked_at)
+        if op.max_spin is not None and parked_at == self.now:
+            # Bounded wait: armed once at first park (re-parks after a
+            # failed re-check keep the original parked_at and deadline).
+            deadline_state = ("parked", op.var, reason, parked_at)
+
+            def expire() -> None:
+                if task.alive and task.wait_state == deadline_state:
+                    raise DeadlockError(
+                        f"bounded wait expired: task {task.stats.name!r} "
+                        f"spent over {op.max_spin} cycles in "
+                        f"{reason!r}", report=self._diagnose())
+
+            task.wait_timeout = expire
+            self.schedule(parked_at + op.max_spin, expire)
 
     def _recheck_wait(self, task: _Task, op: WaitUntil, parked_at: int) -> None:
         self._parked -= 1
         if op.predicate(self.fabric.value(op.var)):
+            task.wait_state = None
+            if task.wait_timeout is not None:
+                task.wait_timeout.cancelled = True  # type: ignore[attr-defined]
+                task.wait_timeout = None
             task.stats.spin += self.now - parked_at
             if self.record_trace and self.now > parked_at:
                 self.activity.append((task.stats.name, "spin", parked_at,
@@ -336,15 +502,20 @@ class Engine:
 
     def _poll_wait(self, task: _Task, op: WaitUntil, started: int,
                    first: bool = True) -> None:
+        if not task.alive:
+            return
         done = self.fabric.read_cost(op.var, self.now,
                                      requester=task.stats.name)
         if first:
             # The first poll is a mandatory read: account it as a memory
             # stall.  Only re-polls count as busy-waiting.
             task.stats.stall += done - self.now
+        task.wait_state = ("polling", op.var,
+                           op.reason or f"poll on var {op.var}", started)
 
         def check() -> None:
             if op.predicate(self.fabric.value(op.var)):
+                task.wait_state = None
                 if first:
                     task.stats.waits_satisfied_immediately += 1
                 else:
@@ -354,6 +525,13 @@ class Engine:
                                               started, self.now))
                 self._resume_at(task, self.now)
             else:
+                if (op.max_spin is not None
+                        and self.now - started > op.max_spin):
+                    raise DeadlockError(
+                        f"bounded wait expired: task {task.stats.name!r} "
+                        f"polled over {op.max_spin} cycles in "
+                        f"{op.reason or f'poll on var {op.var}'!r}",
+                        report=self._diagnose())
                 next_poll = self.now + self.fabric.poll_interval
                 spin_from = done if first else started
                 self.schedule(next_poll,

@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Protocol, Sequence
 
-from .engine import Engine
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from .engine import Engine, HazardError
 from .memory import MemoryConfig, SharedMemory
 from .metrics import RunResult
 from .ops import Address, MemRead
@@ -67,6 +69,13 @@ class MachineConfig:
     chunk_size: int = 4
     record_trace: bool = True
     max_cycles: int = 50_000_000
+    #: seeded fault plan to inject (None or an empty plan: clean run,
+    #: no injector is built and the event sequence is byte-identical)
+    fault_plan: Optional[FaultPlan] = None
+    #: max consecutive engine events without process progress before a
+    #: diagnosed DeadlockError (catches poll-mode livelocks early);
+    #: None disables the stagnation watchdog
+    stagnation_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.processors < 1:
@@ -76,6 +85,8 @@ class MachineConfig:
             raise ValueError(f"unknown schedule {self.schedule!r}")
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if self.stagnation_limit is not None and self.stagnation_limit < 1:
+            raise ValueError("stagnation_limit must be >= 1 (or None)")
 
 
 class Machine:
@@ -112,9 +123,15 @@ class Machine:
         memory = SharedMemory(self.config.memory)
         memory.preload(workload.initial_memory())
         fabric = workload.build_fabric(memory)
+        injector = None
+        plan = self.config.fault_plan
+        if plan is not None and not plan.is_empty:
+            injector = FaultInjector(plan)
         engine = Engine(memory, fabric,
                         max_cycles=self.config.max_cycles,
-                        record_trace=self.config.record_trace)
+                        record_trace=self.config.record_trace,
+                        injector=injector,
+                        stagnation_limit=self.config.stagnation_limit)
 
         # Prologue: run setup processes (e.g. key initialization) spread
         # over the machine's processors before the loop begins.
@@ -131,9 +148,20 @@ class Machine:
                          name=f"cpu{pid}")
             for pid in range(self.config.processors)
         ]
-        makespan = engine.run()
+        try:
+            makespan = engine.run()
+        except HazardError as err:
+            # Enrich the diagnosis with scheduler state: how much loop
+            # work was never even handed out when the run died.
+            if err.report is not None:
+                err.report.unclaimed_iterations = scheduler.remaining()
+            raise
 
         covered = getattr(fabric, "covered_writes", 0)
+        extra: Dict[str, Any] = {"events": engine.events,
+                                 "activity": engine.activity}
+        if injector is not None:
+            extra["faults"] = dict(injector.counters)
         return RunResult(
             makespan=makespan,
             processors=stats,
@@ -146,5 +174,5 @@ class Machine:
             init_cycles=init_cycles,
             trace=engine.trace,
             final_memory=memory.snapshot(),
-            extra={"events": engine.events, "activity": engine.activity},
+            extra=extra,
         )

@@ -58,6 +58,23 @@ class RunResult:
         return sum(p.sync_ops for p in self.processors)
 
     @property
+    def faults(self) -> Dict[str, int]:
+        """Fault-injection counters (empty when the run was clean).
+
+        Populated by the machine from the
+        :class:`~repro.faults.injector.FaultInjector` when a non-empty
+        fault plan was active; keys are counter names such as
+        ``injected_stalls`` or ``lost_broadcasts``.
+        """
+        return self.extra.get("faults", {})
+
+    @property
+    def fault_events(self) -> int:
+        """Total injected fault events (cycle sums excluded)."""
+        return sum(count for key, count in self.faults.items()
+                   if not key.endswith("_cycles"))
+
+    @property
     def utilization(self) -> float:
         """Fraction of processor-cycles doing useful computation."""
         capacity = self.makespan * len(self.processors)

@@ -35,7 +35,7 @@ substrate (which *executes* them):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 #: A shared-memory address: an (array name, flat element index) pair.
 Address = Tuple[str, int]
@@ -117,6 +117,10 @@ class WaitUntil:
     predicate: Callable[[Any], bool]
     #: human-readable reason, kept in the trace (e.g. "wait_PC(2,1)").
     reason: str = ""
+    #: optional spin budget in cycles: when set, the engine raises a
+    #: diagnosed DeadlockError if the wait is still unsatisfied after
+    #: this many cycles (bounded wait; see schemes.base.bound_waits).
+    max_spin: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,14 @@ class Scheduler(ABC):
         """
         return self.grab_is_shared_access
 
+    def remaining(self) -> Optional[int]:
+        """Iterations not yet handed to any processor (None if unknown).
+
+        Used by hazard diagnosis: when a run dies, the count of
+        never-claimed iterations quantifies the lost work.
+        """
+        return None
+
 
 class SelfScheduler(Scheduler):
     """Dynamic self-scheduling from a shared iteration counter.
@@ -56,6 +64,9 @@ class SelfScheduler(Scheduler):
     @property
     def grab_is_shared_access(self) -> bool:
         return True
+
+    def remaining(self) -> int:
+        return len(self._iterations) - self._cursor
 
 
 class ChunkSelfScheduler(Scheduler):
@@ -91,6 +102,10 @@ class ChunkSelfScheduler(Scheduler):
 
     def needs_shared_grab(self, processor: int) -> bool:
         return not self._local.get(processor)
+
+    def remaining(self) -> int:
+        local = sum(len(queue) for queue in self._local.values())
+        return len(self._iterations) - self._cursor + local
 
 
 class GuidedSelfScheduler(Scheduler):
@@ -131,6 +146,10 @@ class GuidedSelfScheduler(Scheduler):
     def needs_shared_grab(self, processor: int) -> bool:
         return not self._local.get(processor)
 
+    def remaining(self) -> int:
+        local = sum(len(queue) for queue in self._local.values())
+        return len(self._iterations) - self._cursor + local
+
 
 class StaticScheduler(Scheduler):
     """Pre-partitioned iterations: cyclic (round-robin) or block chunks.
@@ -164,3 +183,7 @@ class StaticScheduler(Scheduler):
     @property
     def grab_is_shared_access(self) -> bool:
         return False
+
+    def remaining(self) -> int:
+        return sum(len(queue) - cursor for queue, cursor
+                   in zip(self._queues, self._cursors))

@@ -206,6 +206,8 @@ class BroadcastSyncFabric(SyncFabric):
         #: queued-but-uncommitted writes: var -> newest pending entry
         self._pending: Dict[int, dict] = {}
         self.covered_writes = 0
+        #: broadcasts dropped by fault injection (never became visible)
+        self.lost_broadcasts = 0
 
     def storage_words_allocated(self) -> int:
         return self._next
@@ -241,16 +243,27 @@ class BroadcastSyncFabric(SyncFabric):
         entry = {"value": value, "granted": False}
         self._pending[var] = entry
         engine = self._engine
+        # Fault injection: a broadcast may be delayed by bus jitter or
+        # lost outright (it wins the bus but never reaches the local
+        # images, so waiters are never notified).
+        injector = getattr(engine, "injector", None)
+        lost = False
+        if injector is not None:
+            lost, extra = injector.broadcast_fate(var)
+            visible += extra
 
         def grant_cb() -> None:
             entry["granted"] = True
 
         def commit() -> None:
-            self._values[var] = entry["value"]
             if self._pending.get(var) is entry:
                 del self._pending[var]
-            engine.notify_var(var)
+            if not lost:
+                self._values[var] = entry["value"]
+                engine.notify_var(var)
 
+        if lost:
+            self.lost_broadcasts += 1
         engine.schedule_commit(grant, grant_cb)
         engine.schedule_commit(visible, commit)
         return issue_done
@@ -266,6 +279,12 @@ class BroadcastSyncFabric(SyncFabric):
         visible = grant + self.bus_service + self.propagation
         self.transactions += 1
         engine = self._engine
+        # RMW results can be delayed by bus jitter but not lost here:
+        # dropped/duplicated RMW commits are injected at the engine,
+        # which rewrites the update function itself.
+        injector = getattr(engine, "injector", None)
+        if injector is not None:
+            visible += injector.broadcast_delay(var)
         cell: dict = {}
 
         def commit() -> None:

@@ -1,0 +1,1 @@
+"""Fault injection, hazard diagnosis and the chaos harness."""

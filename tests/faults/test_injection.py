@@ -1,0 +1,207 @@
+"""Engine- and machine-level fault injection semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kernels import fig21_loop
+from repro.faults import FaultInjector, FaultPlan
+from repro.schemes import make_scheme
+from repro.sim import (BroadcastSyncFabric, Compute, DeadlockError, Engine,
+                       Machine, MachineConfig, MemRead, MemoryConfig,
+                       SharedMemory, SyncUpdate, SyncWrite, WaitUntil)
+
+
+def make_engine(plan, fabric=None, **kwargs):
+    fabric = fabric or BroadcastSyncFabric()
+    engine = Engine(SharedMemory(MemoryConfig(latency=2)), fabric,
+                    injector=FaultInjector(plan), **kwargs)
+    return engine, fabric
+
+
+def test_injected_stalls_delay_completion():
+    plan = FaultPlan(seed=1, stall_prob=1.0, stall_cycles=(50, 50))
+    engine, _ = make_engine(plan)
+
+    def proc():
+        yield Compute(10)
+
+    stats = engine.spawn(proc(), name="t")
+    makespan = engine.run()
+    # two steps (the Compute, the StopIteration resume) x 50 stall cycles
+    assert makespan == 110
+    assert stats.stall >= 100
+    assert engine.injector.counters["injected_stalls"] == 2
+
+
+def test_deterministic_crash_kills_task_and_run_is_diagnosed():
+    plan = FaultPlan(crash_after_ops=(("t", 2),))
+    engine, _ = make_engine(plan)
+
+    def proc():
+        yield Compute(1)
+        yield Compute(1)
+        yield Compute(1)  # never reached
+
+    engine.spawn(proc(), name="t")
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run()
+    err = excinfo.value
+    assert err.report is not None
+    assert err.report.crashed == ["t"]
+    diag = err.report.by_task()["t"]
+    assert diag.state == "crashed"
+    assert "fault-injected crash after 2 ops" in diag.reason
+    assert "never completed" in str(err)
+
+
+def test_crashed_task_never_counts_as_completed():
+    """Losing a processor must not let the run finish short: the engine
+    keeps the crashed task live so the drain raises, loudly."""
+    plan = FaultPlan(crash_after_ops=(("t", 1),))
+    engine, _ = make_engine(plan)
+
+    def proc():
+        yield Compute(1)
+        yield Compute(1)
+
+    engine.spawn(proc(), name="t")
+    with pytest.raises(DeadlockError):
+        engine.run()
+    assert engine.crashed == ["t"]
+
+
+def test_memory_jitter_slows_reads():
+    def run(plan):
+        engine, _ = make_engine(plan)
+
+        def proc():
+            for _ in range(20):
+                yield MemRead(("A", 0))
+
+        engine.spawn(proc(), name="t")
+        return engine.run(), engine.injector.counters["jittered_accesses"]
+
+    clean, _ = run(FaultPlan(seed=1, update_drop=1.0))  # no jitter knob
+    jittered, count = run(FaultPlan(seed=1, memory_jitter=(3, 3)))
+    assert jittered == clean + 20 * 3
+    assert count == 20
+
+
+def test_dropped_update_leaves_value_and_returns_stale():
+    plan = FaultPlan(seed=1, update_drop=1.0)
+    engine, fabric = make_engine(plan)
+    v = fabric.alloc(1, init=10)[0]
+    got = []
+
+    def proc():
+        got.append((yield SyncUpdate(v, lambda x: x + 1)))
+
+    engine.spawn(proc(), name="t")
+    engine.run()
+    assert fabric.value(v) == 10   # the commit vanished
+    assert got == [10]             # issuer reads the stale value back
+    assert engine.injector.counters["dropped_updates"] == 1
+
+
+def test_duplicated_update_applies_twice():
+    plan = FaultPlan(seed=1, update_dup=1.0)
+    engine, fabric = make_engine(plan)
+    v = fabric.alloc(1, init=10)[0]
+    got = []
+
+    def proc():
+        got.append((yield SyncUpdate(v, lambda x: x + 1)))
+
+    engine.spawn(proc(), name="t")
+    engine.run()
+    assert fabric.value(v) == 12   # replayed message: +1 landed twice
+    assert got == [12]
+    assert engine.injector.counters["duplicated_updates"] == 1
+
+
+def test_lost_broadcast_starves_waiter_with_diagnosis():
+    plan = FaultPlan(seed=1, broadcast_loss=1.0)
+    engine, fabric = make_engine(plan)
+    v = fabric.alloc(1, init=0)[0]
+
+    def setter():
+        yield Compute(5)
+        yield SyncWrite(v, 1)  # broadcast never reaches the images
+
+    def waiter():
+        yield WaitUntil(v, lambda x: x >= 1, reason="release from setter")
+
+    engine.spawn(setter(), name="setter")
+    engine.spawn(waiter(), name="waiter")
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run()
+    report = excinfo.value.report
+    diag = report.by_task()["waiter"]
+    assert diag.state == "parked"
+    assert diag.waits_on == "setter"  # diagnosis still names the owner
+    assert engine.injector.counters["lost_broadcasts"] == 1
+    assert fabric.lost_broadcasts == 1
+
+
+def test_broadcast_jitter_delays_but_delivers():
+    plan = FaultPlan(seed=1, broadcast_jitter=(40, 40))
+    engine, fabric = make_engine(plan)
+    v = fabric.alloc(1, init=0)[0]
+    woke = []
+
+    def setter():
+        yield SyncWrite(v, 1)
+
+    def waiter():
+        yield WaitUntil(v, lambda x: x >= 1)
+        woke.append(engine.now)
+
+    engine.spawn(setter(), name="s")
+    engine.spawn(waiter(), name="w")
+    engine.run()
+    assert woke and woke[0] >= 40  # delivered, just late
+    assert engine.injector.counters["delayed_broadcasts"] >= 1
+
+
+# -- machine-level ----------------------------------------------------------
+
+def test_machine_reports_fault_counters():
+    loop = fig21_loop(n=16, cost=8)
+    scheme = make_scheme("process-oriented")
+    machine = Machine(MachineConfig(
+        processors=4,
+        fault_plan=FaultPlan(seed=2, memory_jitter=(0, 5))))
+    result = machine.run(scheme.instrument(loop))
+    scheme.instrument(loop).validate(result)  # jitter is always legal
+    assert result.faults["jittered_accesses"] > 0
+    assert result.fault_events > 0
+
+
+def test_machine_run_is_deterministic_under_a_plan():
+    def run():
+        loop = fig21_loop(n=16, cost=8)
+        scheme = make_scheme("process-oriented")
+        machine = Machine(MachineConfig(
+            processors=4,
+            fault_plan=FaultPlan(seed=5, stall_prob=0.05,
+                                 stall_cycles=(10, 60),
+                                 memory_jitter=(0, 4))))
+        result = machine.run(scheme.instrument(loop))
+        return result.makespan, result.faults
+
+    assert run() == run()
+
+
+def test_hazard_report_counts_unclaimed_iterations():
+    """A solo processor crashing early strands the rest of the loop; the
+    enriched report says how many iterations were never handed out."""
+    loop = fig21_loop(n=16, cost=8)
+    machine = Machine(MachineConfig(
+        processors=1,
+        fault_plan=FaultPlan(crash_after_ops=(("cpu0", 30),))))
+    with pytest.raises(DeadlockError) as excinfo:
+        machine.run(make_scheme("process-oriented").instrument(loop))
+    report = excinfo.value.report
+    assert report.unclaimed_iterations > 0
+    assert "iterations never claimed" in str(excinfo.value.report.format())

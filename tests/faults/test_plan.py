@@ -1,0 +1,137 @@
+"""FaultPlan validation, presets, and injector draw determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, make_plan, plan_names
+
+
+def test_default_plan_is_empty():
+    assert FaultPlan().is_empty
+
+
+def test_any_active_knob_makes_plan_non_empty():
+    assert not FaultPlan(stall_prob=0.1).is_empty
+    assert not FaultPlan(crash_prob=0.1).is_empty
+    assert not FaultPlan(crash_after_ops=(("cpu0", 5),)).is_empty
+    assert not FaultPlan(broadcast_loss=0.1).is_empty
+    assert not FaultPlan(broadcast_jitter=(0, 3)).is_empty
+    assert not FaultPlan(memory_jitter=(0, 3)).is_empty
+    assert not FaultPlan(update_drop=0.1).is_empty
+    assert not FaultPlan(update_dup=0.1).is_empty
+
+
+@pytest.mark.parametrize("knob", ["stall_prob", "crash_prob",
+                                  "broadcast_loss", "update_drop",
+                                  "update_dup"])
+def test_probabilities_validated(knob):
+    with pytest.raises(ValueError):
+        FaultPlan(**{knob: 1.5})
+    with pytest.raises(ValueError):
+        FaultPlan(**{knob: -0.1})
+
+
+@pytest.mark.parametrize("knob", ["stall_cycles", "broadcast_jitter",
+                                  "memory_jitter"])
+def test_spans_validated(knob):
+    with pytest.raises(ValueError):
+        FaultPlan(**{knob: (5, 2)})   # high < low
+    with pytest.raises(ValueError):
+        FaultPlan(**{knob: (-1, 2)})  # negative low
+
+
+def test_crash_after_ops_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(crash_after_ops=(("cpu0", 0),))
+
+
+def test_with_seed_keeps_knobs():
+    plan = make_plan("stalls").with_seed(7)
+    assert plan.seed == 7
+    assert plan.name == "stalls"
+    assert plan.stall_prob > 0
+
+
+def test_presets_instantiate_and_are_non_empty():
+    names = plan_names()
+    assert len(names) >= 3  # the chaos sweep needs >= 3 fault mixes
+    assert "none" not in names
+    for name in names:
+        plan = make_plan(name, seed=3)
+        assert not plan.is_empty
+        assert plan.name == name
+        assert plan.seed == 3
+
+
+def test_none_preset_is_the_empty_control():
+    assert make_plan("none").is_empty
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="unknown fault plan"):
+        make_plan("meteor-strike")
+
+
+def test_describe_mentions_active_knobs():
+    text = make_plan("lossy-bus", seed=5).describe()
+    assert "lossy-bus" in text
+    assert "seed=5" in text
+    assert "loss" in text
+    assert FaultPlan().describe().endswith("no faults")
+
+
+def test_injector_same_seed_same_draws():
+    plan = make_plan("stalls", seed=11)
+
+    def draws(injector):
+        return [injector.stall_cycles("cpu0") for _ in range(200)]
+
+    assert draws(FaultInjector(plan)) == draws(FaultInjector(plan))
+
+
+def test_injector_different_seed_different_draws():
+    plan = make_plan("stalls", seed=11)
+    first = FaultInjector(plan)
+    second = FaultInjector(plan.with_seed(12))
+    a = [first.stall_cycles("cpu0") for _ in range(200)]
+    b = [second.stall_cycles("cpu0") for _ in range(200)]
+    assert a != b
+
+
+def test_disabled_knobs_consume_no_randomness():
+    """Enabling one fault class must not perturb another's draw stream:
+    probes for zero-probability knobs never touch the RNG."""
+    lossy = FaultPlan(seed=11, broadcast_loss=0.5)
+    pristine = FaultInjector(lossy)
+    reference = [pristine.broadcast_fate(0) for _ in range(100)]
+    mixed = FaultInjector(lossy)
+    for _ in range(100):
+        # all of these are disabled in the plan -> must be free
+        assert mixed.stall_cycles("cpu0") == 0
+        assert not mixed.should_crash("cpu0", 10)
+        assert mixed.memory_extra() == 0
+        assert mixed.update_fate(0) == "ok"
+    assert [mixed.broadcast_fate(0) for _ in range(100)] == reference
+
+
+def test_deterministic_crash_target_fires_once():
+    injector = FaultInjector(FaultPlan(crash_after_ops=(("cpu1", 5),)))
+    assert not injector.should_crash("cpu1", 4)
+    assert not injector.should_crash("cpu0", 99)
+    assert injector.should_crash("cpu1", 5)
+    assert not injector.should_crash("cpu1", 6)  # already fired
+    assert injector.counters["crashes"] == 1
+
+
+def test_counters_tally_injections():
+    injector = FaultInjector(FaultPlan(seed=1, stall_prob=1.0,
+                                       stall_cycles=(5, 5),
+                                       memory_jitter=(2, 4)))
+    total = sum(injector.stall_cycles("cpu0") for _ in range(10))
+    assert injector.counters["injected_stalls"] == 10
+    assert injector.counters["injected_stall_cycles"] == total == 50
+    for _ in range(10):
+        assert injector.memory_extra() >= 2
+    assert injector.counters["jittered_accesses"] == 10
+    assert injector.events == 20  # cycle sums excluded

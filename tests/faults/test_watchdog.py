@@ -1,0 +1,127 @@
+"""Wait-for graphs, cycle extraction, and diagnosis of real engines."""
+
+from __future__ import annotations
+
+from repro.faults import WaitForGraph, diagnose
+from repro.sim import (BroadcastSyncFabric, Compute, Engine, MemoryConfig,
+                       SharedMemory, SyncWrite, WaitUntil)
+
+
+def make_engine(fabric=None):
+    fabric = fabric or BroadcastSyncFabric()
+    return Engine(SharedMemory(MemoryConfig(latency=2)), fabric), fabric
+
+
+# -- WaitForGraph -----------------------------------------------------------
+
+def test_empty_graph_has_no_cycle():
+    assert WaitForGraph().find_cycle() is None
+
+
+def test_chain_has_no_cycle():
+    graph = WaitForGraph()
+    graph.add_edge("a", "b", 0, "w")
+    graph.add_edge("b", "c", 1, "w")
+    assert graph.find_cycle() is None
+
+
+def test_two_node_cycle_found():
+    graph = WaitForGraph()
+    graph.add_edge("a", "b", 0, "w")
+    graph.add_edge("b", "a", 1, "w")
+    cycle = graph.find_cycle()
+    assert cycle is not None
+    assert sorted(cycle) == ["a", "b"]
+
+
+def test_self_cycle_found():
+    graph = WaitForGraph()
+    graph.add_edge("a", "a", 0, "waits on its own counter")
+    assert graph.find_cycle() == ["a"]
+
+
+def test_cycle_off_a_tail_is_reported_without_the_tail():
+    graph = WaitForGraph()
+    graph.add_edge("entry", "b", 0, "w")   # tail into the ring
+    graph.add_edge("b", "c", 1, "w")
+    graph.add_edge("c", "b", 2, "w")
+    cycle = graph.find_cycle()
+    assert sorted(cycle) == ["b", "c"]
+    assert "entry" not in cycle
+
+
+def test_three_node_ring():
+    graph = WaitForGraph()
+    graph.add_edge("a", "b", 0, "w")
+    graph.add_edge("b", "c", 1, "w")
+    graph.add_edge("c", "a", 2, "w")
+    assert sorted(graph.find_cycle()) == ["a", "b", "c"]
+
+
+def test_edges_are_deterministically_ordered():
+    graph = WaitForGraph()
+    graph.add_edge("z", "a", 9, "w1")
+    graph.add_edge("a", "z", 3, "w2")
+    assert graph.edges() == [("a", "z", 3, "w2"), ("z", "a", 9, "w1")]
+
+
+# -- diagnose() on a live engine -------------------------------------------
+
+def test_diagnose_names_parked_task_and_last_writer():
+    engine, fabric = make_engine()
+    v = fabric.alloc(1, init=0)[0]
+
+    def owner():
+        yield Compute(5)
+        yield SyncWrite(v, 1)  # not enough: waiter wants >= 2
+
+    def waiter():
+        yield WaitUntil(v, lambda x: x >= 2, reason="needs v>=2")
+
+    engine.spawn(owner(), name="owner")
+    engine.spawn(waiter(), name="waiter")
+    try:
+        engine.run()
+    except Exception:
+        pass
+    report = diagnose(engine)
+    diag = report.by_task()["waiter"]
+    assert diag.state == "parked"
+    assert diag.var == v
+    assert diag.reason == "needs v>=2"
+    assert diag.waits_on == "owner"
+    assert diag.value == 1  # the committed-but-insufficient value
+    assert report.cycle is None  # owner finished: a starve, not a cycle
+    assert "last writer: owner" in report.format()
+
+
+def test_diagnose_skips_completed_tasks():
+    engine, _fabric = make_engine()
+
+    def quick():
+        yield Compute(1)
+
+    engine.spawn(quick(), name="done")
+    engine.run()
+    report = diagnose(engine)
+    assert report.tasks == []
+    assert report.live_tasks == 0
+
+
+def test_diagnose_reports_never_written_variable():
+    engine, fabric = make_engine()
+    v = fabric.alloc(1, init=0)[0]
+
+    def waiter():
+        yield WaitUntil(v, lambda x: x >= 1)
+
+    engine.spawn(waiter(), name="w")
+    try:
+        engine.run()
+    except Exception:
+        pass
+    report = diagnose(engine)
+    assert report.by_task()["w"].waits_on is None
+    assert ("w", "<never written>", v) in [
+        (waiter, owner, var) for waiter, owner, var, _ in
+        report.graph.edges()]

@@ -73,6 +73,21 @@ def test_demo_source_is_fig21():
     assert DEMO_SOURCE.count(":") == 5
 
 
+def test_chaos_mode_smoke(capsys):
+    assert main(["chaos", "--seeds", "1", "--n", "8", "--processors", "2",
+                 "--schemes", "process-oriented",
+                 "--plans", "jitter,lossy-bus"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos sweep" in out
+    assert "degradation contract holds" in out
+    assert "process-oriented" in out
+
+
+def test_chaos_mode_rejects_unknown_plan(capsys):
+    with pytest.raises(ValueError, match="unknown fault plan"):
+        main(["chaos", "--seeds", "1", "--plans", "nope"])
+
+
 def test_program_mode(tmp_path, capsys):
     source = tmp_path / "prog.f"
     source.write_text("""
