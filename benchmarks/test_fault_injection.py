@@ -15,6 +15,14 @@ a run must end in exactly one of
 Never a hang, never silent corruption.  The companion zero-overhead
 check pins the fault layer's default-off contract: an empty plan must
 reproduce the clean run's metrics and trace exactly.
+
+The recovery-contract sweep raises the bar for *recoverable* plans:
+with the recovery layer on (broadcast retransmission, task
+reincarnation, degraded-mode fallback), every lossy-bus / flaky-rmw /
+crash-task run must end ``ok`` -- completed and validated -- and the
+zero-overhead pin extends to recovery: configuring a policy on a
+clean run changes nothing, because the layer is only constructed when
+a fault injector exists.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from repro.apps.kernels import fig21_loop
 from repro.faults import FaultPlan
 from repro.faults.chaos import (ACCEPTABLE_OUTCOMES, run_chaos_sweep,
                                 summarize)
+from repro.recovery import RecoveryPolicy
 from repro.report import print_table
 from repro.schemes import make_scheme, scheme_names
 from repro.sim import Machine, MachineConfig
@@ -32,11 +41,22 @@ P = 4
 SEEDS = range(3)
 PLANS = ["jitter", "stalls", "lossy-bus", "flaky-rmw", "crashy"]
 TIMING_ONLY = {"jitter", "stalls"}
+#: plans the recovery layer commits to fully recovering ("crashy" is
+#: excluded: random crashes can kill every processor and every rescue,
+#: which is a diagnosed death, not a recoverable hazard)
+RECOVERABLE = ["lossy-bus", "flaky-rmw", "crash-task"]
+RECOVERY_SEEDS = range(5)
 
 
 def run_sweep():
     return run_chaos_sweep(schemes=scheme_names(), plans=PLANS,
                            seeds=SEEDS, n=N, processors=P)
+
+
+def run_recovery_sweep():
+    return run_chaos_sweep(schemes=scheme_names(), plans=RECOVERABLE,
+                           seeds=RECOVERY_SEEDS, n=N, processors=P,
+                           recover=True)
 
 
 def test_chaos_sweep_degrades_gracefully(once):
@@ -73,6 +93,57 @@ def test_chaos_sweep_degrades_gracefully(once):
               + ", ".join(f"{k}={v}" for k, v in sorted(histogram.items())))
 
 
+def test_recovery_contract_completes_every_recoverable_run(once):
+    """Recovery on + recoverable plan => every run completes validated,
+    and every plan shows aggregate recovery activity (memory-fabric
+    schemes see no broadcasts, so the bound is per plan, not per run)."""
+    outcomes = once(run_recovery_sweep)
+    assert len(outcomes) == 4 * len(RECOVERABLE) * len(RECOVERY_SEEDS)
+
+    bad = [o for o in outcomes if o.outcome != "ok"]
+    assert not bad, "recovery contract violated: " + "; ".join(
+        f"{o.scheme}/{o.plan}/seed{o.seed}: {o.outcome} ({o.detail})"
+        for o in bad)
+
+    per_plan = {plan: 0 for plan in RECOVERABLE}
+    totals: dict = {}
+    for o in outcomes:
+        per_plan[o.plan] += o.recovery_events
+        for key, count in o.recovery.items():
+            totals[key] = totals.get(key, 0) + count
+    for plan, events in per_plan.items():
+        assert events > 0, f"plan {plan} exercised no recovery at all"
+    # each mechanism fired somewhere in the sweep
+    assert totals.get("retransmissions", 0) > 0
+    assert totals.get("reincarnations", 0) > 0
+    assert totals.get("rmw_retries", 0) > 0
+
+    print_table(
+        ["scheme", "plan", "seed", "outcome", "recovery events"],
+        [[o.scheme, o.plan, o.seed, o.outcome, o.recovery_events]
+         for o in outcomes],
+        title=f"Recovery contract: 4 schemes x {len(RECOVERABLE)} "
+              f"recoverable plans x {len(RECOVERY_SEEDS)} seeds, all "
+              "validated -- "
+              + ", ".join(f"{k}={v}" for k, v in sorted(totals.items())
+                          if v))
+
+
+def test_sustained_loss_flips_to_degraded_fallback():
+    """A very lossy bus must push a broadcast-fabric scheme into
+    shared-memory polling of the home copy (and back out), and the run
+    must still validate."""
+    from repro.faults.chaos import run_chaos_case
+
+    outcome = run_chaos_case(
+        "statement-oriented",
+        FaultPlan(name="very-lossy", seed=0, broadcast_loss=0.5),
+        n=N, processors=P, recover=True)
+    assert outcome.outcome == "ok", outcome.detail
+    assert outcome.recovery["fallback_epochs"] >= 1
+    assert outcome.recovery["fallback_polls"] > 0
+
+
 def run_identity_check():
     rows = []
     for name in scheme_names():
@@ -83,17 +154,26 @@ def run_identity_check():
         empty = Machine(MachineConfig(processors=P,
                                       fault_plan=FaultPlan())).run(
             scheme.instrument(loop))
-        rows.append((name, clean, empty))
+        recovery = Machine(MachineConfig(processors=P,
+                                         fault_plan=FaultPlan(),
+                                         recovery=RecoveryPolicy())).run(
+            scheme.instrument(loop))
+        rows.append((name, clean, empty, recovery))
     return rows
 
 
 def test_empty_plan_is_zero_overhead(once):
     """The fault layer must be invisible when unused: an all-zero plan
-    reproduces the clean run's metrics and trace byte-for-byte."""
-    for name, clean, empty in once(run_identity_check):
-        assert clean.makespan == empty.makespan, name
-        assert clean.summary() == empty.summary(), name
-        assert [(r.commit, r.kind, r.addr, r.value) for r in clean.trace] \
-            == [(r.commit, r.kind, r.addr, r.value) for r in empty.trace], name
-        assert "faults" not in empty.extra, name
-        assert empty.fault_events == 0
+    reproduces the clean run's metrics and trace byte-for-byte -- with
+    or without a recovery policy configured on top of it."""
+    for name, clean, empty, recovery in once(run_identity_check):
+        for other in (empty, recovery):
+            assert clean.makespan == other.makespan, name
+            assert clean.summary() == other.summary(), name
+            assert [(r.commit, r.kind, r.addr, r.value)
+                    for r in clean.trace] \
+                == [(r.commit, r.kind, r.addr, r.value)
+                    for r in other.trace], name
+            assert "faults" not in other.extra, name
+            assert other.fault_events == 0
+        assert "recovery" not in recovery.extra, name

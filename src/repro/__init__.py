@@ -49,15 +49,18 @@ Error taxonomy (re-exported here for callers)
 
 __version__ = "1.0.0"
 
-from . import apps, barriers, core, depend, faults, report, schemes, sim
+from . import apps, barriers, core, depend, faults, recovery, report, \
+    schemes, sim
 from .faults import (FaultInjector, FaultPlan, HazardReport, TaskDiagnosis,
                      WaitForGraph, diagnose, make_plan, plan_names)
+from .recovery import RecoveryManager, RecoveryPolicy
 from .sim import (DeadlockError, HazardError, SimulationLimitError,
                   ValidationError)
 
-__all__ = ["apps", "barriers", "core", "depend", "faults", "report",
-           "schemes", "sim", "__version__",
+__all__ = ["apps", "barriers", "core", "depend", "faults", "recovery",
+           "report", "schemes", "sim", "__version__",
            "DeadlockError", "FaultInjector", "FaultPlan", "HazardError",
-           "HazardReport", "SimulationLimitError", "TaskDiagnosis",
+           "HazardReport", "RecoveryManager", "RecoveryPolicy",
+           "SimulationLimitError", "TaskDiagnosis",
            "ValidationError", "WaitForGraph", "diagnose", "make_plan",
            "plan_names"]

@@ -100,6 +100,16 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     parser.add_argument("--processors", type=int, default=4)
     parser.add_argument("--n", type=int, default=16,
                         help="trip count of the swept loop (default 16)")
+    parser.add_argument("--recover", action="store_true",
+                        help="enable the recovery layer (retransmission, "
+                             "task reincarnation, degraded fallback): "
+                             "recoverable plans must then complete "
+                             "validated")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="also write per-run results (scheme, plan, "
+                             "seed, outcome, recovery counters) as a "
+                             "JSON list to PATH")
     return parser
 
 
@@ -122,7 +132,8 @@ def _chaos_mode(argv) -> int:
     seeds = range(args.seed_base, args.seed_base + args.seeds)
 
     outcomes = run_chaos_sweep(schemes=schemes, plans=plans, seeds=seeds,
-                               n=args.n, processors=args.processors)
+                               n=args.n, processors=args.processors,
+                               recover=args.recover)
     rows = []
     for o in outcomes:
         note = o.detail
@@ -133,10 +144,25 @@ def _chaos_mode(argv) -> int:
         ["scheme", "plan", "seed", "outcome", "detail"], rows,
         title=f"chaos sweep: {len(schemes)} scheme(s) x {len(plans)} "
               f"plan(s) x {args.seeds} seed(s) on {args.processors} "
-              f"processors")
+              f"processors" + (" [recovery on]" if args.recover else ""))
     histogram = summarize(outcomes)
     print("\noutcomes: " + ", ".join(
         f"{name}={count}" for name, count in sorted(histogram.items())))
+    if args.recover:
+        totals: dict = {}
+        for o in outcomes:
+            for key, count in o.recovery.items():
+                totals[key] = totals.get(key, 0) + count
+        active = {key: count for key, count in sorted(totals.items())
+                  if count}
+        print("recovery totals: " + (", ".join(
+            f"{name}={count}" for name, count in active.items())
+            if active else "none"))
+    if args.json is not None:
+        import json
+        args.json.write_text(json.dumps(
+            [o.to_json() for o in outcomes], indent=2) + "\n")
+        print(f"wrote {len(outcomes)} per-run records to {args.json}")
     bad = [o for o in outcomes if not o.acceptable]
     if bad:
         print(f"\nDEGRADATION CONTRACT VIOLATED by {len(bad)} run(s) "

@@ -24,7 +24,7 @@ ownership waits from the critical path; correctness is preserved because
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from ..sim.ops import SyncRead, WaitUntil
 from .process_counter import ProcessCounterFile, pc_at_least
@@ -46,8 +46,14 @@ class ImprovedPrimitives:
         #: statistics: marks skipped because ownership had not arrived
         self.skipped_marks = 0
 
-    def mark_pc(self, step: int) -> Generator:
-        """Publish source-statement completion, if we own the counter."""
+    def mark_pc(self, step: int,
+                checkpoint: Optional[dict] = None) -> Generator:
+        """Publish source-statement completion, if we own the counter.
+
+        A *skipped* mark publishes nothing and therefore journals
+        nothing: on crash replay the statement re-executes in full,
+        which is safe precisely because no signal escaped.
+        """
         if step < 1:
             raise ValueError(f"steps are numbered from 1, got {step}")
         if not self.owned:
@@ -57,15 +63,18 @@ class ImprovedPrimitives:
                 # proceed without waiting for the counter.
                 self.skipped_marks += 1
                 return
-        yield from self.counters.write_step(self.pid, step)
+        yield from self.counters.write_step(self.pid, step,
+                                            checkpoint=checkpoint)
         self.owned = True
         self.last_step = step
 
-    def transfer_pc(self) -> Generator:
+    def transfer_pc(self,
+                    checkpoint: Optional[dict] = None) -> Generator:
         """Complete the last source; hand the counter to ``pid + X``."""
         if not self.owned:
             yield WaitUntil(self.counters.var_of(self.pid),
                             pc_at_least((self.pid, 0)),
                             reason=f"transfer_PC get by p{self.pid}")
             self.owned = True
-        yield from self.counters.write_release(self.pid, self.last_step)
+        yield from self.counters.write_release(self.pid, self.last_step,
+                                               checkpoint=checkpoint)

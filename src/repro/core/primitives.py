@@ -22,23 +22,26 @@ exactly one processor at any time, and waits test for the counter to
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from ..sim.ops import WaitUntil
 from .process_counter import PCValue, ProcessCounterFile, pc_at_least
 
 
-def set_pc(counters: ProcessCounterFile, pid: int, step: int) -> Generator:
+def set_pc(counters: ProcessCounterFile, pid: int, step: int,
+           checkpoint: Optional[dict] = None) -> Generator:
     """Publish completion of source statement number ``step``."""
     if step < 1:
         raise ValueError(f"steps are numbered from 1, got {step}")
-    yield from counters.write_step(pid, step)
+    yield from counters.write_step(pid, step, checkpoint=checkpoint)
 
 
 def release_pc(counters: ProcessCounterFile, pid: int,
-               current_step: int = 0) -> Generator:
+               current_step: int = 0,
+               checkpoint: Optional[dict] = None) -> Generator:
     """Publish completion of the *last* source and hand the PC onward."""
-    yield from counters.write_release(pid, current_step)
+    yield from counters.write_release(pid, current_step,
+                                      checkpoint=checkpoint)
 
 
 def wait_pc(counters: ProcessCounterFile, pid: int, dist: int,

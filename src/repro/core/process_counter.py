@@ -117,33 +117,44 @@ class ProcessCounterFile:
     # write helpers (yield simulator ops)
     # ------------------------------------------------------------------
 
-    def write_step(self, pid: int, step: int) -> Generator:
+    def write_step(self, pid: int, step: int,
+                   checkpoint: Optional[dict] = None) -> Generator:
         """Publish ``<pid, step>`` on ``pid``'s counter (one broadcast).
 
         Marked coverable: a later write to the same PC may overwrite it
         while queued (section 6's bus-traffic reduction).
+        ``checkpoint`` rides on the write so the recovery layer journals
+        it atomically with the signal's issue.
         """
-        yield SyncWrite(self.var_of(pid), (pid, step), coverable=True)
+        yield SyncWrite(self.var_of(pid), (pid, step), coverable=True,
+                        checkpoint=checkpoint)
 
-    def write_release(self, pid: int, current_step: int = 0) -> Generator:
+    def write_release(self, pid: int, current_step: int = 0,
+                      checkpoint: Optional[dict] = None) -> Generator:
         """Hand the counter to process ``pid + X`` (``<pid+X, 0>``).
 
         ``current_step`` is the last step this process published; it only
         matters in split-field owner-first mode, where the transient value
         ``<pid+X, current_step>`` becomes visible.  In split-field mode
         the transfer is two broadcasts; it is never coverable -- it must
-        reach every processor."""
+        reach every processor.  ``checkpoint`` attaches to the *final*
+        write: only the completed ownership transfer is journalled, so a
+        crash between the two split writes replays the whole (idempotent)
+        transfer."""
         var = self.var_of(pid)
         next_owner = pid + self.n_counters
         if not self.split_fields:
-            yield SyncWrite(var, (next_owner, 0), coverable=False)
+            yield SyncWrite(var, (next_owner, 0), coverable=False,
+                            checkpoint=checkpoint)
             return
         if self.split_order == "step_first":
             yield SyncWrite(var, (pid, 0), coverable=False)
-            yield SyncWrite(var, (next_owner, 0), coverable=False)
+            yield SyncWrite(var, (next_owner, 0), coverable=False,
+                            checkpoint=checkpoint)
         else:  # owner-first: exposes <next_owner, old step> transiently
             yield SyncWrite(var, (next_owner, current_step), coverable=False)
-            yield SyncWrite(var, (next_owner, 0), coverable=False)
+            yield SyncWrite(var, (next_owner, 0), coverable=False,
+                            checkpoint=checkpoint)
 
 
 def split_owner_first_intermediate(current: PCValue,

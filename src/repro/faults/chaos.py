@@ -27,7 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from typing import Any, Union
+
 from ..apps.kernels import fig21_loop
+from ..recovery import RecoveryPolicy
 from ..schemes.registry import make_scheme, scheme_names
 from ..sim import (DeadlockError, Machine, MachineConfig,
                    SimulationLimitError, ValidationError)
@@ -54,10 +57,37 @@ class ChaosOutcome:
     cycle: Optional[List[str]] = None
     #: per-task blocked states from the hazard report
     blocked_tasks: Dict[str, str] = field(default_factory=dict)
+    #: recovery-layer counters (empty unless recovery was enabled)
+    recovery: Dict[str, int] = field(default_factory=dict)
+    #: recovery actions attempted (populated from the hazard report on
+    #: failed runs; successful runs keep only the counters)
+    recovery_actions: List[str] = field(default_factory=list)
 
     @property
     def acceptable(self) -> bool:
         return self.outcome in ACCEPTABLE_OUTCOMES
+
+    @property
+    def recovery_events(self) -> int:
+        """Total recovery actions taken (cycle sums excluded)."""
+        return sum(count for key, count in self.recovery.items()
+                   if not key.endswith("_cycles"))
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-native dict for ``python -m repro chaos --json``."""
+        return {
+            "scheme": self.scheme,
+            "plan": self.plan,
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "makespan": self.makespan,
+            "fault_events": self.fault_events,
+            "cycle": list(self.cycle) if self.cycle else None,
+            "blocked_tasks": dict(self.blocked_tasks),
+            "recovery": dict(self.recovery),
+            "recovery_actions": list(self.recovery_actions),
+        }
 
 
 def _hazard_outcome(scheme: str, plan: FaultPlan, kind: str,
@@ -70,7 +100,10 @@ def _hazard_outcome(scheme: str, plan: FaultPlan, kind: str,
         detail=str(err).splitlines()[0],
         cycle=report.cycle if report is not None else None,
         blocked_tasks={diag.task: diag.state
-                       for diag in (report.blocked() if diagnosed else [])})
+                       for diag in (report.blocked() if diagnosed else [])},
+        recovery=dict(report.recovery) if report is not None else {},
+        recovery_actions=(list(report.recovery_actions)
+                          if report is not None else []))
 
 
 def run_chaos_case(scheme_name: str, plan: FaultPlan, *,
@@ -78,16 +111,30 @@ def run_chaos_case(scheme_name: str, plan: FaultPlan, *,
                    max_cycles: int = 2_000_000,
                    stagnation_limit: int = 20_000,
                    wait_bound: Optional[int] = 100_000,
+                   recover: Union[bool, RecoveryPolicy] = False,
                    loop=None) -> ChaosOutcome:
-    """Run one scheme under one fault plan and classify the outcome."""
+    """Run one scheme under one fault plan and classify the outcome.
+
+    ``recover`` turns on the recovery layer: ``True`` uses the default
+    :class:`~repro.recovery.RecoveryPolicy`, or pass a policy instance.
+    With recovery, *recoverable* plans (lost broadcasts, dropped RMW
+    commits, deterministic task crashes) must land on ``ok`` with the
+    recovery counters showing what it cost; unrecoverable plans must
+    still die diagnosed, with the attempted recovery actions enumerated
+    in the hazard report.
+    """
     loop = loop if loop is not None else fig21_loop(n=n, cost=8)
     scheme = make_scheme(scheme_name)
     instrumented = scheme.instrument(loop)
     if wait_bound is not None:
         instrumented.bound_waits(wait_bound)
+    policy: Optional[RecoveryPolicy] = None
+    if recover:
+        policy = recover if isinstance(recover, RecoveryPolicy) \
+            else RecoveryPolicy()
     machine = Machine(MachineConfig(
         processors=processors, fault_plan=plan, max_cycles=max_cycles,
-        stagnation_limit=stagnation_limit))
+        stagnation_limit=stagnation_limit, recovery=policy))
     label = plan.name or "custom"
     try:
         result = machine.run(instrumented)
@@ -95,6 +142,7 @@ def run_chaos_case(scheme_name: str, plan: FaultPlan, *,
         return _hazard_outcome(scheme_name, plan, "deadlock", err)
     except SimulationLimitError as err:
         return _hazard_outcome(scheme_name, plan, "limit", err)
+    recovery_counters = dict(result.recovery)
     try:
         instrumented.validate(result)
     except ValidationError as err:
@@ -102,11 +150,13 @@ def run_chaos_case(scheme_name: str, plan: FaultPlan, *,
             scheme=scheme_name, plan=label, seed=plan.seed,
             outcome="corruption-detected",
             detail=str(err).splitlines()[0],
-            makespan=result.makespan, fault_events=result.fault_events)
+            makespan=result.makespan, fault_events=result.fault_events,
+            recovery=recovery_counters)
     return ChaosOutcome(
         scheme=scheme_name, plan=label, seed=plan.seed, outcome="ok",
         detail=f"makespan {result.makespan}",
-        makespan=result.makespan, fault_events=result.fault_events)
+        makespan=result.makespan, fault_events=result.fault_events,
+        recovery=recovery_counters)
 
 
 def run_chaos_sweep(schemes: Optional[Sequence[str]] = None,

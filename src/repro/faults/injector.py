@@ -15,7 +15,7 @@ does not perturb the draw sequence of another.
 from __future__ import annotations
 
 import random
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from .plan import CycleSpan, FaultPlan
 
@@ -32,6 +32,13 @@ class FaultInjector:
         self.plan = plan
         self._rng = random.Random(plan.seed)
         self._crash_after: Dict[str, int] = dict(plan.crash_after_ops)
+        # deterministic (start, end) cycle windows, consumed as they fire
+        self._stall_windows: Dict[str, List[Tuple[int, int]]] = {}
+        for task, start, end in plan.stall_windows:
+            self._stall_windows.setdefault(task, []).append((start, end))
+        self._crash_windows: Dict[str, List[Tuple[int, int]]] = {}
+        for task, start, end in plan.crash_windows:
+            self._crash_windows.setdefault(task, []).append((start, end))
         self.counters: Dict[str, int] = {
             "injected_stalls": 0,
             "injected_stall_cycles": 0,
@@ -60,8 +67,35 @@ class FaultInjector:
     # engine probes
     # ------------------------------------------------------------------
 
-    def stall_cycles(self, task: str) -> int:
+    def _window_hit(self, windows: Dict[str, List[Tuple[int, int]]],
+                    task: str, now: int) -> int:
+        """End of the window ``task`` is inside at ``now``, else -1.
+
+        A hit consumes the window (fires exactly once); windows the task
+        never stepped inside are pruned as time passes them.  No RNG is
+        touched, so deterministic windows never perturb the probability
+        knobs' draw sequences.
+        """
+        spans = windows.get(task)
+        if not spans:
+            return -1
+        for position, (start, end) in enumerate(spans):
+            if start <= now < end:
+                del spans[position]
+                return end
+            if end <= now:
+                del spans[position]
+                return self._window_hit(windows, task, now)
+        return -1
+
+    def stall_cycles(self, task: str, now: int = 0) -> int:
         """Extra cycles to stall ``task`` before its next step (0 = none)."""
+        window_end = self._window_hit(self._stall_windows, task, now)
+        if window_end >= 0:
+            cycles = window_end - now
+            self.counters["injected_stalls"] += 1
+            self.counters["injected_stall_cycles"] += cycles
+            return cycles
         if not self._chance(self.plan.stall_prob):
             return 0
         cycles = self._span(self.plan.stall_cycles)
@@ -70,11 +104,15 @@ class FaultInjector:
             self.counters["injected_stall_cycles"] += cycles
         return cycles
 
-    def should_crash(self, task: str, ops_interpreted: int) -> bool:
+    def should_crash(self, task: str, ops_interpreted: int,
+                     now: int = 0) -> bool:
         """Kill ``task`` now?  Deterministic targets fire exactly once."""
         target = self._crash_after.get(task)
         if target is not None and ops_interpreted >= target:
             del self._crash_after[task]
+            self.counters["crashes"] += 1
+            return True
+        if self._window_hit(self._crash_windows, task, now) >= 0:
             self.counters["crashes"] += 1
             return True
         if self._chance(self.plan.crash_prob):

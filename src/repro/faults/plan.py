@@ -38,11 +38,17 @@ class FaultPlan:
     #: chance that a process step is preceded by a stall window
     stall_prob: float = 0.0
     stall_cycles: CycleSpan = (10, 120)
+    #: deterministic stalls: ((task, start, end), ...) -- the task's
+    #: first step inside cycle window [start, end) stalls until ``end``
+    stall_windows: Tuple[Tuple[str, int, int], ...] = ()
     #: chance that a process step kills its task for good
     crash_prob: float = 0.0
     #: deterministic crashes: ((task name, op count), ...) -- the task
     #: dies when it has interpreted that many operations
     crash_after_ops: Tuple[Tuple[str, int], ...] = ()
+    #: deterministic crashes: ((task, start, end), ...) -- the task dies
+    #: on its first step inside cycle window [start, end)
+    crash_windows: Tuple[Tuple[str, int, int], ...] = ()
     #: chance a sync-bus broadcast never reaches the local images
     broadcast_loss: float = 0.0
     #: extra propagation delay added to each broadcast
@@ -70,12 +76,46 @@ class FaultPlan:
             if ops < 1:
                 raise ValueError(
                     f"crash_after_ops for {task!r} must be >= 1, got {ops}")
+        seen_tasks = set()
+        for task, _ops in self.crash_after_ops:
+            if task in seen_tasks:
+                raise ValueError(
+                    f"duplicate crash_after_ops entry for task {task!r}: "
+                    f"a task can only die once")
+            seen_tasks.add(task)
+        self._check_windows("stall_windows", self.stall_windows)
+        self._check_windows("crash_windows", self.crash_windows)
+
+    @staticmethod
+    def _check_windows(label: str,
+                       windows: Tuple[Tuple[str, int, int], ...]) -> None:
+        """Reject malformed (task, start, end) cycle windows."""
+        per_task: Dict[str, List[Tuple[int, int]]] = {}
+        for task, start, end in windows:
+            if start < 0:
+                raise ValueError(
+                    f"{label} for {task!r}: start must be >= 0, "
+                    f"got ({start}, {end})")
+            if end <= start:
+                raise ValueError(
+                    f"{label} for {task!r}: end must be > start, "
+                    f"got ({start}, {end})")
+            per_task.setdefault(task, []).append((start, end))
+        for task, spans in per_task.items():
+            spans.sort()
+            for (_s0, e0), (s1, e1) in zip(spans, spans[1:]):
+                if s1 < e0:
+                    raise ValueError(
+                        f"{label} for {task!r} overlap: "
+                        f"[..., {e0}) and [{s1}, {e1}) -- windows for one "
+                        f"task must be disjoint")
 
     @property
     def is_empty(self) -> bool:
         """True when the plan injects nothing (zero-overhead default)."""
         return (self.stall_prob == 0.0 and self.crash_prob == 0.0
                 and not self.crash_after_ops
+                and not self.stall_windows and not self.crash_windows
                 and self.broadcast_loss == 0.0
                 and self.broadcast_jitter[1] == 0
                 and self.memory_jitter[1] == 0
@@ -93,8 +133,12 @@ class FaultPlan:
                          f"x{self.stall_cycles}")
         if self.crash_prob:
             parts.append(f"crashes p={self.crash_prob}")
+        if self.stall_windows:
+            parts.append(f"stall_windows={list(self.stall_windows)}")
         if self.crash_after_ops:
             parts.append(f"crash_after={dict(self.crash_after_ops)}")
+        if self.crash_windows:
+            parts.append(f"crash_windows={list(self.crash_windows)}")
         if self.broadcast_loss:
             parts.append(f"bus loss p={self.broadcast_loss}")
         if self.broadcast_jitter[1]:
@@ -129,6 +173,11 @@ _PRESETS: Dict[str, Dict] = {
     # processors die mid-loop; dependents and unclaimed iterations show
     # up in the hazard report
     "crashy": {"crash_prob": 0.001},
+    # deterministic mid-loop processor deaths: with recovery enabled,
+    # every killed iteration must be reincarnated on a survivor (unlike
+    # "crashy", which can kill all processors and is unrecoverable by
+    # construction)
+    "crash-task": {"crash_after_ops": (("cpu1", 40), ("cpu2", 90))},
 }
 
 

@@ -128,6 +128,10 @@ class HazardReport:
     unclaimed_iterations: Optional[int] = None
     #: task names killed by fault injection
     crashed: List[str] = field(default_factory=list)
+    #: recovery actions attempted before the run died (chronological)
+    recovery_actions: List[str] = field(default_factory=list)
+    #: recovery-layer counters at diagnosis time (empty: no recovery ran)
+    recovery: Dict[str, int] = field(default_factory=dict)
 
     def blocked(self) -> List[TaskDiagnosis]:
         """Diagnoses of tasks that are not plainly runnable."""
@@ -152,7 +156,72 @@ class HazardReport:
         if self.unclaimed_iterations:
             lines.append(f"  loop iterations never claimed: "
                          f"{self.unclaimed_iterations}")
+        if self.recovery_actions:
+            lines.append("  recovery actions attempted:")
+            for action in self.recovery_actions:
+                lines.append(f"    - {action}")
+        if self.recovery:
+            active = {key: count for key, count in self.recovery.items()
+                      if count}
+            if active:
+                lines.append(f"  recovery counters: {active}")
         return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-native rendering of the whole report.
+
+        Values of synchronization variables may be arbitrary Python
+        objects (e.g. PC tuples), so they are rendered with ``repr``;
+        everything else round-trips losslessly through
+        :meth:`from_json`.
+        """
+        return {
+            "now": self.now,
+            "live_tasks": self.live_tasks,
+            "tasks": [{
+                "task": diag.task,
+                "state": diag.state,
+                "var": diag.var,
+                "reason": diag.reason,
+                "since": diag.since,
+                "blocked_for": diag.blocked_for,
+                "waits_on": diag.waits_on,
+                "value": (diag.value if diag.value is None
+                          or isinstance(diag.value, str)
+                          else repr(diag.value)),
+            } for diag in self.tasks],
+            "edges": [list(edge) for edge in self.graph.edges()],
+            "cycle": list(self.cycle) if self.cycle else None,
+            "unclaimed_iterations": self.unclaimed_iterations,
+            "crashed": list(self.crashed),
+            "recovery_actions": list(self.recovery_actions),
+            "recovery": dict(self.recovery),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "HazardReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        graph = WaitForGraph()
+        for waiter, owner, var, reason in payload.get("edges", []):
+            graph.add_edge(waiter, owner,
+                           None if var == -1 else var, reason)
+        tasks = [TaskDiagnosis(
+            task=entry["task"], state=entry["state"], var=entry["var"],
+            reason=entry["reason"], since=entry["since"],
+            blocked_for=entry["blocked_for"], waits_on=entry["waits_on"],
+            value=entry["value"],
+        ) for entry in payload.get("tasks", [])]
+        cycle = payload.get("cycle")
+        return cls(
+            now=payload["now"],
+            live_tasks=payload["live_tasks"],
+            tasks=tasks,
+            graph=graph,
+            cycle=list(cycle) if cycle else None,
+            unclaimed_iterations=payload.get("unclaimed_iterations"),
+            crashed=list(payload.get("crashed", [])),
+            recovery_actions=list(payload.get("recovery_actions", [])),
+            recovery=dict(payload.get("recovery", {})))
 
 
 def diagnose(engine) -> HazardReport:
@@ -186,10 +255,15 @@ def diagnose(engine) -> HazardReport:
             blocked_for=blocked_for, waits_on=owner, value=value))
         if state in ("parked", "polling"):
             graph.add_edge(name, owner or "<never written>", var, reason)
+    recovery = getattr(engine, "recovery", None)
     return HazardReport(
         now=now,
         live_tasks=getattr(engine, "_live_tasks", len(diagnoses)),
         tasks=diagnoses,
         graph=graph,
         cycle=graph.find_cycle(),
-        crashed=list(getattr(engine, "crashed", [])))
+        crashed=list(getattr(engine, "crashed", [])),
+        recovery_actions=(list(recovery.actions)
+                          if recovery is not None else []),
+        recovery=(dict(recovery.counters)
+                  if recovery is not None else {}))

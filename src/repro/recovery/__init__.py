@@ -1,0 +1,18 @@
+"""Fault tolerance & recovery for the simulated multiprocessor.
+
+Turns PR 1's detect-and-die fault layer into detect-and-recover: lost
+synchronization broadcasts are retransmitted (sequence numbers, NACK,
+capped exponential backoff, idempotent dedup), crashed tasks are
+reincarnated from per-iteration checkpoints journalled atomically with
+their signal ops, and sustained broadcast loss triggers a hysteretic
+fallback from free local-register-image waits to charged shared-memory
+polling of the authoritative home copy.
+
+See :mod:`repro.recovery.manager` for the mechanisms; recovery is
+enabled per run via ``MachineConfig(recovery=RecoveryPolicy())`` and is
+only constructed when a non-empty fault plan is also present.
+"""
+
+from .manager import RecoveryManager, RecoveryPolicy, ReplayJob
+
+__all__ = ["RecoveryManager", "RecoveryPolicy", "ReplayJob"]

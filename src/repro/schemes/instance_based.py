@@ -193,14 +193,51 @@ class InstanceBasedLoop(InstrumentedLoop):
         return sum(len(instance.copies) for instance in self.instances)
 
     def make_process(self, pid: int) -> Generator:
+        return self._body(pid)
+
+    def make_replay_process(self, iteration: int,
+                            checkpoint: Optional[dict] = None) -> Generator:
+        """Resume an iteration without re-consuming emptied bits.
+
+        Consuming reads are the scheme's non-idempotent signals: each
+        carries a checkpoint, so replay substitutes journalled values
+        for reads already consumed.  Publishes re-execute in full --
+        single-assignment makes rewriting copies and re-filling bits
+        idempotent (each copy has exactly one reader, which already got
+        its value if the bit was consumed).
+        """
+        if checkpoint is None:
+            return self._body(iteration)
+        return self._body(iteration, skip_stmt=checkpoint["stmt"],
+                          skip_acc=checkpoint["acc"],
+                          journaled=list(checkpoint["values"]))
+
+    def _ckpt(self, pid: int, stmt_pos: int, acc: int,
+              values: List[Any]) -> Optional[dict]:
+        if not self.checkpoints_enabled:
+            return None
+        return {"iter": pid, "stmt": stmt_pos, "acc": acc,
+                "values": list(values)}
+
+    def _body(self, pid: int, skip_stmt: int = 0, skip_acc: int = 0,
+              journaled: Optional[List[Any]] = None) -> Generator:
         index = self.loop.index_of_lpid(pid)
-        for stmt in self.loop.body:
-            if not stmt.executes_at(index):
+        executed = [stmt for stmt in self.loop.body
+                    if stmt.executes_at(index)]
+        for stmt_pos, stmt in enumerate(executed):
+            if stmt_pos < skip_stmt:
                 continue
+            acc_done = skip_acc if stmt_pos == skip_stmt else 0
+            seen = (journaled or []) if stmt_pos == skip_stmt else []
             tag = (stmt.sid, pid)
             yield Annotate("tag", {"tag": tag})
             values: List[Any] = []
-            for binding in self.reads_of[tag]:
+            for read_pos, binding in enumerate(self.reads_of[tag]):
+                if read_pos < acc_done:
+                    # This read's consuming SyncWrite already landed:
+                    # the bit is empty, so reuse the journalled value.
+                    values.append(seen[read_pos])
+                    continue
                 instance = self.instances[binding.instance_id]
                 bit = instance.bits[binding.copy_index]
                 copy_addr = instance.copies[binding.copy_index]
@@ -210,16 +247,29 @@ class InstanceBasedLoop(InstrumentedLoop):
                 value = yield MemRead(copy_addr)
                 values.append(value)
                 if self.consume:
-                    yield SyncWrite(bit, 0)  # HEP read empties the bit
+                    # HEP read empties the bit (non-idempotent signal)
+                    yield SyncWrite(bit, 0,
+                                    checkpoint=self._ckpt(
+                                        pid, stmt_pos, read_pos + 1,
+                                        values))
             yield Compute(stmt.cost_at(index))
             result = mix(stmt.sid, pid, values)
-            for instance_id in self.writes_of[tag]:
+            write_ids = self.writes_of[tag]
+            total_bits = sum(len(self.instances[i].bits)
+                             for i in write_ids)
+            filled = 0
+            for instance_id in write_ids:
                 instance = self.instances[instance_id]
                 for copy_addr in instance.copies:
                     yield MemWrite(copy_addr, result)
                 yield Fence()  # copies visible before bits flip
                 for bit in instance.bits:
-                    yield SyncWrite(bit, 1)
+                    filled += 1
+                    # the statement's last publish advances the journal
+                    # to the next statement boundary
+                    boundary = (self._ckpt(pid, stmt_pos + 1, 0, [])
+                                if filled == total_bits else None)
+                    yield SyncWrite(bit, 1, checkpoint=boundary)
             yield Annotate("tag", {"tag": None})
 
 

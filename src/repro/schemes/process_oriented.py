@@ -104,21 +104,52 @@ class ProcessOrientedLoop(InstrumentedLoop):
             return self._basic_process(iteration)
         return self._improved_process(iteration)
 
+    def make_replay_process(self, iteration: int,
+                            checkpoint: Optional[dict] = None) -> Generator:
+        """Resume an iteration past its already-published PC updates.
+
+        Each counter write carries a checkpoint naming the next plan
+        position plus the ownership state (``acquired``/``owned``,
+        ``last_step``).  Replay walks the plan from the top so the step
+        cursor is recomputed deterministically, but emits nothing for
+        positions before the journalled one: their data ops committed
+        before the journalled signal (program order), and un-published
+        marks there are signed off by the journalled (higher) step or by
+        the final transfer, exactly as in lazy-mark mode.
+        """
+        skip = 0 if checkpoint is None else checkpoint["stmt"]
+        if self.style == "basic":
+            return self._basic_process(iteration, skip_stmt=skip,
+                                       restore=checkpoint)
+        return self._improved_process(iteration, skip_stmt=skip,
+                                      restore=checkpoint)
+
+    def _ckpt(self, pid: int, stmt_pos: int, **state) -> Optional[dict]:
+        if not self.checkpoints_enabled:
+            return None
+        payload = {"iter": pid, "stmt": stmt_pos}
+        payload.update(state)
+        return payload
+
     # ------------------------------------------------------------------
     # emission, one generator per iteration
     # ------------------------------------------------------------------
 
-    def _basic_process(self, pid: int) -> Generator:
+    def _basic_process(self, pid: int, skip_stmt: int = 0,
+                       restore: Optional[dict] = None) -> Generator:
         index = self.loop.index_of_lpid(pid)
         cursor = StepCursor(self.plan.n_sources,
                             eager=self.eager_branch_marks)
-        acquired = False
-        for stmt_plan in self.plan.statements:
+        acquired = bool(restore and restore.get("acquired"))
+        for stmt_pos, stmt_plan in enumerate(self.plan.statements):
+            replay_skip = stmt_pos < skip_stmt
             stmt = self.loop.statement(stmt_plan.sid)
-            for wait in stmt_plan.waits:
-                yield from wait_pc(self.counters, pid, wait.dist, wait.step)
+            if not replay_skip:
+                for wait in stmt_plan.waits:
+                    yield from wait_pc(self.counters, pid, wait.dist,
+                                       wait.step)
             executed = stmt.executes_at(index)
-            if executed:
+            if executed and not replay_skip:
                 yield from execute_statement(self.loop, stmt, index, pid)
             if stmt_plan.source_step is None:
                 continue
@@ -128,44 +159,67 @@ class ProcessOrientedLoop(InstrumentedLoop):
             # pruning lets sinks infer *earlier* statements' completion
             # from this step, so their posted writes must drain before
             # the step is published.  (No outstanding writes: free.)
-            yield Fence()
+            if not replay_skip:
+                yield Fence()
             step = cursor.advance(executed)
+            if replay_skip:
+                continue  # signal landed pre-crash; cursor stays in sync
             if stmt_plan.is_last_source:
                 if not acquired:
                     yield from get_pc(self.counters, pid)
                     acquired = True
                 yield from release_pc(self.counters, pid,
-                                      current_step=cursor.published)
+                                      current_step=cursor.published,
+                                      checkpoint=self._ckpt(
+                                          pid, stmt_pos + 1,
+                                          acquired=True))
             elif step is not None:
                 if not acquired:
                     yield from get_pc(self.counters, pid)
                     acquired = True
-                yield from set_pc(self.counters, pid, step)
+                yield from set_pc(self.counters, pid, step,
+                                  checkpoint=self._ckpt(
+                                      pid, stmt_pos + 1, acquired=True))
 
-    def _improved_process(self, pid: int) -> Generator:
+    def _improved_process(self, pid: int, skip_stmt: int = 0,
+                          restore: Optional[dict] = None) -> Generator:
         index = self.loop.index_of_lpid(pid)
         cursor = StepCursor(self.plan.n_sources,
                             eager=self.eager_branch_marks)
         # load_index: myPC and the owned flag live in processor registers.
         primitives = ImprovedPrimitives(self.counters, pid)
-        for stmt_plan in self.plan.statements:
+        if restore:
+            primitives.owned = bool(restore.get("owned"))
+            primitives.last_step = restore.get("last_step", 0)
+        for stmt_pos, stmt_plan in enumerate(self.plan.statements):
+            replay_skip = stmt_pos < skip_stmt
             stmt = self.loop.statement(stmt_plan.sid)
-            for wait in stmt_plan.waits:
-                yield from wait_pc(self.counters, pid, wait.dist, wait.step)
+            if not replay_skip:
+                for wait in stmt_plan.waits:
+                    yield from wait_pc(self.counters, pid, wait.dist,
+                                       wait.step)
             executed = stmt.executes_at(index)
-            if executed:
+            if executed and not replay_skip:
                 yield from execute_statement(self.loop, stmt, index, pid)
             if stmt_plan.source_step is None:
                 continue
             # Fence on every path, skipped sources included (see
             # _basic_process): pruning relies on it.
-            yield Fence()
+            if not replay_skip:
+                yield Fence()
             step = cursor.advance(executed)
+            if replay_skip:
+                continue  # signal landed pre-crash; cursor stays in sync
             if stmt_plan.is_last_source:
                 primitives.last_step = cursor.published
-                yield from primitives.transfer_pc()
+                yield from primitives.transfer_pc(
+                    checkpoint=self._ckpt(pid, stmt_pos + 1, owned=True,
+                                          last_step=cursor.published))
             elif step is not None:
-                yield from primitives.mark_pc(step)
+                yield from primitives.mark_pc(
+                    step,
+                    checkpoint=self._ckpt(pid, stmt_pos + 1, owned=True,
+                                          last_step=step))
 
 
 class ProcessOrientedScheme(SyncScheme):

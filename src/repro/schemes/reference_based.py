@@ -125,33 +125,78 @@ class ReferenceBasedLoop(InstrumentedLoop):
         return len(self.elements)
 
     def make_process(self, pid: int) -> Generator:
+        return self._body(pid)
+
+    def make_replay_process(self, iteration: int,
+                            checkpoint: Optional[dict] = None) -> Generator:
+        """Resume an iteration from its last journalled key increment.
+
+        The checkpoint names the executed-statement index, the number of
+        keyed accesses whose increments landed, and the read values seen
+        so far.  Accesses before that point are skipped (their
+        non-idempotent key increments must not re-issue); journalled
+        read values are substituted so the re-computed mix matches.
+        """
+        if checkpoint is None:
+            return self._body(iteration)
+        return self._body(iteration, skip_stmt=checkpoint["stmt"],
+                          skip_acc=checkpoint["acc"],
+                          journaled=list(checkpoint["values"]))
+
+    def _ckpt(self, pid: int, stmt_pos: int, acc: int,
+              values: List[Any]) -> Optional[dict]:
+        if not self.checkpoints_enabled:
+            return None
+        return {"iter": pid, "stmt": stmt_pos, "acc": acc,
+                "values": list(values)}
+
+    def _body(self, pid: int, skip_stmt: int = 0, skip_acc: int = 0,
+              journaled: Optional[List[Any]] = None) -> Generator:
         index = self.loop.index_of_lpid(pid)
-        for stmt in self.loop.body:
-            if not stmt.executes_at(index):
+        executed = [stmt for stmt in self.loop.body
+                    if stmt.executes_at(index)]
+        for stmt_pos, stmt in enumerate(executed):
+            if stmt_pos < skip_stmt:
                 continue
+            acc_done = skip_acc if stmt_pos == skip_stmt else 0
+            seen = (journaled or []) if stmt_pos == skip_stmt else []
             accesses = self.plan[(stmt.sid, pid)]
             reads = [a for a in accesses if a.kind == "R"]
             writes = [a for a in accesses if a.kind == "W"]
+            if acc_done >= len(accesses) and accesses:
+                continue  # statement fully signalled before the crash
             yield Annotate("tag", {"tag": (stmt.sid, pid)})
             values: List[Any] = []
-            for access in reads:
+            for position, access in enumerate(reads):
+                if position < acc_done:
+                    # Increment already landed: reuse the journalled
+                    # value instead of re-reading + re-incrementing.
+                    values.append(seen[position])
+                    continue
                 key = self._key_of[access.addr]
                 yield WaitUntil(key, _at_least(access.threshold),
                                 reason=f"key {access.addr} >= "
                                        f"{access.threshold}")
                 value = yield MemRead(access.addr)
                 values.append(value)
-                yield SyncUpdate(key, _increment)
+                yield SyncUpdate(key, _increment,
+                                 checkpoint=self._ckpt(
+                                     pid, stmt_pos, position + 1, values))
             yield Compute(stmt.cost_at(index))
             result = mix(stmt.sid, pid, values)
-            for access in writes:
+            for write_pos, access in enumerate(writes):
+                position = len(reads) + write_pos
+                if position < acc_done:
+                    continue  # write + increment already landed
                 key = self._key_of[access.addr]
                 yield WaitUntil(key, _at_least(access.threshold),
                                 reason=f"key {access.addr} >= "
                                        f"{access.threshold}")
                 yield MemWrite(access.addr, result)
                 yield Fence()  # visible before the key admits successors
-                yield SyncUpdate(key, _increment)
+                yield SyncUpdate(key, _increment,
+                                 checkpoint=self._ckpt(
+                                     pid, stmt_pos, position + 1, values))
             yield Annotate("tag", {"tag": None})
 
 

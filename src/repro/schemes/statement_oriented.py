@@ -76,12 +76,13 @@ class StatementOrientedLoop(InstrumentedLoop):
 
     # ------------------------------------------------------------------
 
-    def _advance(self, sid: str, pid: int) -> Generator:
+    def _advance(self, sid: str, pid: int,
+                 checkpoint: Optional[dict] = None) -> Generator:
         """wait until SC[sid] = pid-1; set SC[sid] to pid."""
         var = self._sc_vars[sid]
         yield WaitUntil(var, at_least(pid - 1),
                         reason=f"Advance({sid}) by p{pid}")
-        yield SyncWrite(var, pid, coverable=False)
+        yield SyncWrite(var, pid, coverable=False, checkpoint=checkpoint)
 
     def _await(self, sid: str, dist: int, pid: int) -> Generator:
         """wait until SC[sid] >= pid - dist (skip past loop boundary)."""
@@ -91,8 +92,32 @@ class StatementOrientedLoop(InstrumentedLoop):
                         reason=f"Await({dist},{sid}) by p{pid}")
 
     def make_process(self, pid: int) -> Generator:
+        return self._body(pid)
+
+    def make_replay_process(self, iteration: int,
+                            checkpoint: Optional[dict] = None) -> Generator:
+        """Resume an iteration past its already-Advanced statements.
+
+        An Advance is the scheme's non-idempotent signal (it transfers
+        the counter from ``pid-1`` to ``pid`` exactly once in the
+        chain), so each carries a checkpoint naming the next body
+        position.  Positions before it are skipped entirely on replay;
+        the rest re-execute, which is safe because an un-Advanced
+        statement's successors are still blocked on the counter.
+        """
+        skip = 0 if checkpoint is None else checkpoint["stmt"]
+        return self._body(iteration, skip_stmt=skip)
+
+    def _ckpt(self, pid: int, stmt_pos: int) -> Optional[dict]:
+        if not self.checkpoints_enabled:
+            return None
+        return {"iter": pid, "stmt": stmt_pos}
+
+    def _body(self, pid: int, skip_stmt: int = 0) -> Generator:
         index = self.loop.index_of_lpid(pid)
-        for stmt in self.loop.body:
+        for stmt_pos, stmt in enumerate(self.loop.body):
+            if stmt_pos < skip_stmt:
+                continue  # Advance already landed for this position
             # sink first: Await every incoming arc
             for arc in self.arcs:
                 if arc.dst == stmt.sid:
@@ -110,7 +135,8 @@ class StatementOrientedLoop(InstrumentedLoop):
                 yield Fence()
                 # Advance runs on every path (Example 3's rule), or sinks
                 # of skipped sources would deadlock the Advance chain.
-                yield from self._advance(stmt.sid, pid)
+                yield from self._advance(stmt.sid, pid,
+                                         self._ckpt(pid, stmt_pos + 1))
 
 
 class StatementOrientedScheme(SyncScheme):

@@ -20,6 +20,7 @@ from .cache_fabric import CachedSyncFabric
 from .sync_bus import BroadcastSyncFabric, MemorySyncFabric, SyncFabric
 from .validate import (DependenceInstance, Tag, ValidationError,
                        check_dependence_instances, check_final_state,
+                       check_reads_match_recovered,
                        check_reads_match_sequential, mix, statement_reads)
 
 __all__ = [
@@ -33,5 +34,6 @@ __all__ = [
     "SyncFabric", "SyncRead", "SyncUpdate", "SyncWrite", "Tag", "TaskStats",
     "ValidationError", "WaitUntil", "Workload",
     "check_dependence_instances", "check_final_state",
-    "check_reads_match_sequential", "mix", "statement_reads",
+    "check_reads_match_recovered", "check_reads_match_sequential",
+    "mix", "statement_reads",
 ]

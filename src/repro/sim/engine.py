@@ -163,6 +163,9 @@ class Engine:
         self.record_trace = record_trace
         #: optional FaultInjector perturbing this run (None = clean)
         self.injector = injector
+        #: optional RecoveryManager converting recoverable hazards into
+        #: completed runs (None = detect-and-die, PR 1 behaviour)
+        self.recovery = None
         #: max consecutive events without a process step before the run
         #: is declared stagnant (None disables the watchdog)
         self.stagnation_limit = stagnation_limit
@@ -260,6 +263,14 @@ class Engine:
                 f"{self._live_tasks} task(s) never completed and no "
                 f"event can ever fire",
                 report=self._diagnose())
+        if self.recovery is not None and self.recovery.outstanding() > 0:
+            # Crashed tasks were adopted but their replay jobs were
+            # abandoned (reincarnation budget exhausted): the run must
+            # not pass for complete.
+            raise DeadlockError(
+                f"{self.recovery.outstanding()} adopted iteration(s) "
+                f"abandoned by the recovery layer",
+                report=self._diagnose())
         return self.now
 
     def _diagnose(self):
@@ -277,18 +288,24 @@ class Engine:
             return
         injector = self.injector
         if injector is not None and fresh:
-            if injector.should_crash(task.stats.name, task.ops):
+            if injector.should_crash(task.stats.name, task.ops, self.now):
                 task.alive = False
                 task.crashed = True
-                # _live_tasks is NOT decremented: the task's work is
-                # lost, so the run must end in a diagnosed error rather
-                # than complete silently short of iterations.
                 task.wait_state = (
                     "crashed", None,
                     f"fault-injected crash after {task.ops} ops", self.now)
                 self.crashed.append(task.stats.name)
+                if (self.recovery is not None
+                        and self.recovery.on_crash(task.stats.name)):
+                    # The recovery layer adopted the task's obligations
+                    # (a rescue task will replay them), so the corpse no
+                    # longer blocks completion.
+                    self._live_tasks -= 1
+                # Otherwise _live_tasks is NOT decremented: the task's
+                # work is lost, so the run must end in a diagnosed error
+                # rather than complete silently short of iterations.
                 return
-            extra = injector.stall_cycles(task.stats.name)
+            extra = injector.stall_cycles(task.stats.name, self.now)
             if extra:
                 task.stats.stall += extra
                 task.wait_state = (
@@ -334,16 +351,32 @@ class Engine:
         elif isinstance(op, SyncUpdate):
             task.stats.sync_ops += 1
             self.var_writers[op.var] = task.stats.name
+            recovery = self.recovery
+            if recovery is not None and op.checkpoint is not None:
+                # Journalled at issue, atomically with the update: once
+                # this dispatch runs, the update will eventually commit
+                # (drops are retried below), so journal == signalled.
+                recovery.record_checkpoint(op.checkpoint)
             fn = op.fn
+            fate = "ok"
             if self.injector is not None:
                 fate = self.injector.update_fate(op.var)
-                if fate == "drop":
+            if fate == "drop":
+                if recovery is None:
                     # The commit is lost: the variable keeps its old
                     # value and the issuer reads that old value back.
                     fn = lambda value: value
-                elif fate == "dup":
+                else:
+                    self._retry_update(task, op)
+                    return
+            elif fate == "dup":
+                if recovery is None:
                     original = op.fn
                     fn = lambda value: original(original(value))
+                else:
+                    # The memory-side sync processor deduplicates the
+                    # replayed commit: apply exactly once.
+                    recovery.counters["deduplicated_updates"] += 1
             task.wait_state = ("stalled", op.var,
                                f"sync update round trip on var {op.var}",
                                self.now)
@@ -448,14 +481,51 @@ class Engine:
     def _sync_write(self, task: _Task, op: SyncWrite) -> None:
         task.stats.sync_ops += 1
         self.var_writers[op.var] = task.stats.name
+        if self.recovery is not None and op.checkpoint is not None:
+            # Atomic with the issue; with retransmission active an
+            # issued broadcast always commits eventually, so the journal
+            # never runs ahead of the signal.
+            self.recovery.record_checkpoint(op.checkpoint)
         done = self.fabric.write(op.var, op.value, self.now, op.coverable,
                                  requester=task.stats.name)
         task.stats.stall += done - self.now
         self._resume_at(task, done)
 
+    def _retry_update(self, task: _Task, op: SyncUpdate) -> None:
+        """A dropped RMW commit, with recovery: occupy the bus with the
+        lost transaction, then retransmit the real update after the
+        recovery delay and hand its value to the issuer."""
+        recovery = self.recovery
+        started = self.now
+        task.wait_state = ("stalled", op.var,
+                           f"retrying dropped sync update on var {op.var}",
+                           started)
+        # The lost commit still costs a transaction round trip.
+        lost_done, _lost_cell = self.fabric.update(
+            op.var, lambda value: value, self.now)
+        retry_at = recovery.rmw_retry_at(lost_done)
+
+        def retry() -> None:
+            recovery.counters["rmw_retries"] += 1
+            recovery.counters["recovery_overhead_cycles"] += \
+                self.now - started
+            done, cell = self.fabric.update(op.var, op.fn, self.now)
+            task.stats.stall += done - started
+            self.schedule(done, lambda: self._resume_at(
+                task, self.now, cell.get("value")))
+
+        self.schedule(retry_at, retry)
+
     def _begin_wait(self, task: _Task, op: WaitUntil) -> None:
         if self.fabric.wait_mode == "poll":
             self._poll_wait(task, op, started=self.now)
+            return
+        if self.recovery is not None and self.recovery.degraded:
+            # Degraded mode: the local register images are losing too
+            # many broadcasts to be trusted, so busy-wait by polling the
+            # authoritative home copy through shared memory instead
+            # (charged reads; liveness bought with cycles).
+            self._fallback_wait(task, op, started=self.now)
             return
         # Event-driven wait on the local register image: test now, park
         # until the variable's committed value changes.
@@ -536,6 +606,62 @@ class Engine:
                 spin_from = done if first else started
                 self.schedule(next_poll,
                               lambda: self._poll_wait(task, op, spin_from,
+                                                      first=False))
+
+        self.schedule(done, check)
+
+    def _fallback_wait(self, task: _Task, op: WaitUntil, started: int,
+                       first: bool = True) -> None:
+        """Degraded-mode busy-wait: charged polls of the home copy.
+
+        Mirrors :meth:`_poll_wait` but reads the fabric's
+        *authoritative* value (the home copy that lost broadcasts still
+        reach) at the recovery policy's shared-memory cost, so a waiter
+        makes progress even when its local register image is stale.
+        Returns to the event-driven path once degraded mode ends.
+        """
+        if not task.alive:
+            return
+        recovery = self.recovery
+        policy = recovery.policy
+        done = self.now + policy.fallback_read_cost
+        recovery.charge_fallback_poll(policy.fallback_read_cost)
+        if first:
+            task.stats.stall += done - self.now
+        task.wait_state = ("polling", op.var,
+                           (op.reason or f"poll on var {op.var}")
+                           + " [degraded mode]", started)
+
+        def check() -> None:
+            if op.predicate(self.fabric.authoritative_value(op.var)):
+                task.wait_state = None
+                if first:
+                    task.stats.waits_satisfied_immediately += 1
+                else:
+                    task.stats.spin += self.now - started
+                    if self.record_trace and self.now > started:
+                        self.activity.append((task.stats.name, "spin",
+                                              started, self.now))
+                self._resume_at(task, self.now)
+                return
+            if (op.max_spin is not None
+                    and self.now - started > op.max_spin):
+                raise DeadlockError(
+                    f"bounded wait expired: task {task.stats.name!r} "
+                    f"polled over {op.max_spin} cycles (degraded mode) "
+                    f"in {op.reason or f'poll on var {op.var}'!r}",
+                    report=self._diagnose())
+            spin_from = done if first else started
+            if not recovery.degraded:
+                # Loss rate recovered: re-arm as a normal event wait.
+                if op.predicate(self.fabric.value(op.var)):
+                    self._resume_at(task, self.now + 1)
+                else:
+                    self._park(task, op, spin_from)
+                return
+            next_poll = self.now + policy.fallback_poll_interval
+            self.schedule(next_poll,
+                          lambda: self._fallback_wait(task, op, spin_from,
                                                       first=False))
 
         self.schedule(done, check)

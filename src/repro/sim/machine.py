@@ -15,6 +15,7 @@ from typing import Any, Dict, Generator, List, Optional, Protocol, Sequence
 
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
+from ..recovery import RecoveryManager, RecoveryPolicy
 from .engine import Engine, HazardError
 from .memory import MemoryConfig, SharedMemory
 from .metrics import RunResult
@@ -72,6 +73,12 @@ class MachineConfig:
     #: seeded fault plan to inject (None or an empty plan: clean run,
     #: no injector is built and the event sequence is byte-identical)
     fault_plan: Optional[FaultPlan] = None
+    #: recovery policy: when set *and* a non-empty fault plan is active,
+    #: a RecoveryManager converts recoverable hazards into completed
+    #: runs (retransmission, reincarnation, degraded fallback).  With no
+    #: injector the layer is never constructed, so configuring recovery
+    #: on a clean run changes nothing (zero-overhead pin).
+    recovery: Optional[RecoveryPolicy] = None
     #: max consecutive engine events without process progress before a
     #: diagnosed DeadlockError (catches poll-mode livelocks early);
     #: None disables the stagnation watchdog
@@ -108,7 +115,8 @@ class Machine:
                                policy=self.config.schedule)
 
     def _processor(self, pid: int, scheduler: Scheduler,
-                   workload: Workload) -> Generator:
+                   workload: Workload, recovery=None) -> Generator:
+        name = f"cpu{pid}"
         while True:
             if scheduler.needs_shared_grab(pid):
                 # fetch&add on the shared iteration counter
@@ -116,7 +124,13 @@ class Machine:
             iteration = scheduler.next_for(pid)
             if iteration is None:
                 return
+            if recovery is not None:
+                # In-flight tracking: a crash mid-iteration turns into a
+                # replay job from the journalled checkpoint.
+                recovery.iteration_started(name, iteration)
             yield from workload.make_process(iteration)
+            if recovery is not None:
+                recovery.iteration_finished(name)
 
     def run(self, workload: Workload) -> RunResult:
         """Simulate ``workload`` to completion and return its metrics."""
@@ -132,6 +146,14 @@ class Machine:
                         record_trace=self.config.record_trace,
                         injector=injector,
                         stagnation_limit=self.config.stagnation_limit)
+        recovery = None
+        if injector is not None and self.config.recovery is not None:
+            recovery = RecoveryManager(self.config.recovery, plan)
+            recovery.attach(engine, workload)
+            recovery._grab_op = MemRead(SCHED_COUNTER)
+            enable = getattr(workload, "enable_checkpoints", None)
+            if enable is not None:
+                enable()
 
         # Prologue: run setup processes (e.g. key initialization) spread
         # over the machine's processors before the loop begins.
@@ -139,15 +161,24 @@ class Machine:
         if prologue:
             for index, gen in enumerate(prologue):
                 engine.spawn(gen, name=f"init{index}")
+                if recovery is not None:
+                    recovery.register_worker(f"init{index}", index,
+                                             f"init{index}")
             engine.run()
         init_cycles = engine.now
 
         scheduler = self._make_scheduler(workload.iterations)
+        if recovery is not None:
+            recovery.set_scheduler(scheduler)
         stats = [
-            engine.spawn(self._processor(pid, scheduler, workload),
+            engine.spawn(self._processor(pid, scheduler, workload,
+                                         recovery),
                          name=f"cpu{pid}")
             for pid in range(self.config.processors)
         ]
+        if recovery is not None:
+            for pid in range(self.config.processors):
+                recovery.register_worker(f"cpu{pid}", pid, f"cpu{pid}")
         try:
             makespan = engine.run()
         except HazardError as err:
@@ -162,6 +193,8 @@ class Machine:
                                  "activity": engine.activity}
         if injector is not None:
             extra["faults"] = dict(injector.counters)
+        if recovery is not None:
+            extra["recovery"] = dict(recovery.counters)
         return RunResult(
             makespan=makespan,
             processors=stats,

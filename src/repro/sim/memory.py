@@ -8,13 +8,17 @@ paper cites against counter-based barriers (section 5, Example 4): P
 processors polling one barrier counter all hit the same module.
 
 Addresses are ``(array, index)`` pairs; an address maps to module
-``hash(array, index) % modules`` so that distinct arrays and neighbouring
-elements spread across modules, while repeated accesses to one element
-always collide on the same module.
+``stable_hash(array) + index) % modules`` so that distinct arrays and
+neighbouring elements spread across modules, while repeated accesses to
+one element always collide on the same module.  The hash must be stable
+across interpreter runs (Python's ``hash(str)`` is salted per process),
+or the module layout -- and with it every contention-dependent makespan
+-- would differ from run to run, breaking seeded fault replay.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -98,7 +102,8 @@ class SharedMemory:
     def module_of(self, addr: Address) -> int:
         """Return the module an address interleaves to."""
         array, index = addr
-        return (hash(array) + index) % self.config.modules
+        return (zlib.crc32(str(array).encode()) + index) \
+            % self.config.modules
 
     def access_time(self, addr: Address, now: int, kind: str = "R") -> int:
         """Accept a request at ``now``; return its completion time.

@@ -75,6 +75,24 @@ class RunResult:
                    if not key.endswith("_cycles"))
 
     @property
+    def recovery(self) -> Dict[str, int]:
+        """Recovery-layer counters (empty when no recovery ran).
+
+        Populated by the machine from the
+        :class:`~repro.recovery.RecoveryManager` when both a non-empty
+        fault plan and a recovery policy were configured; keys are
+        counter names such as ``retransmissions``, ``reincarnations``
+        or ``fallback_epochs``.
+        """
+        return self.extra.get("recovery", {})
+
+    @property
+    def recovery_events(self) -> int:
+        """Total recovery actions taken (cycle sums excluded)."""
+        return sum(count for key, count in self.recovery.items()
+                   if not key.endswith("_cycles"))
+
+    @property
     def utilization(self) -> float:
         """Fraction of processor-cycles doing useful computation."""
         capacity = self.makespan * len(self.processors)

@@ -83,11 +83,20 @@ class SyncWrite:
     optimization of section 6: "an issued write need not be sent out if a
     second write to the same PC arrives before the former has gained the
     bus access").
+
+    ``checkpoint`` optionally carries a recovery journal entry that the
+    engine records *atomically with the issue of this write*: either both
+    the signal and its journal entry happen, or neither.  A checkpoint on
+    a separate, later op would open a crash window in which a
+    non-idempotent signal had been issued but not journalled, making
+    replay re-issue it.  Schemes only attach checkpoints when a
+    :class:`~repro.recovery.manager.RecoveryManager` is active.
     """
 
     var: int
     value: Any
     coverable: bool = False
+    checkpoint: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -98,10 +107,14 @@ class SyncUpdate:
     whole update is one fabric transaction.  Models the Cedar-style
     synchronization processor in each global memory module, which can
     test-and-increment a key atomically at the memory side.
+
+    ``checkpoint`` is journalled atomically with the issue, exactly as
+    for :class:`SyncWrite`.
     """
 
     var: int
     fn: Callable[[Any], Any]
+    checkpoint: Optional[dict] = None
 
 
 @dataclass(frozen=True)

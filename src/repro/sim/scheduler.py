@@ -42,6 +42,17 @@ class Scheduler(ABC):
         """
         return None
 
+    def reclaim(self, processor: int) -> List[int]:
+        """Take back iterations queued locally for a dead ``processor``.
+
+        Used by the recovery layer when a worker lineage is abandoned
+        (reincarnation budget exhausted): claimed-but-unstarted
+        iterations in the dead processor's private queue would otherwise
+        silently vanish, letting the run complete short of work.  Purely
+        shared schedulers hold nothing locally and return ``[]``.
+        """
+        return []
+
 
 class SelfScheduler(Scheduler):
     """Dynamic self-scheduling from a shared iteration counter.
@@ -107,6 +118,11 @@ class ChunkSelfScheduler(Scheduler):
         local = sum(len(queue) for queue in self._local.values())
         return len(self._iterations) - self._cursor + local
 
+    def reclaim(self, processor: int) -> List[int]:
+        queue = self._local.get(processor, [])
+        taken, queue[:] = list(queue), []
+        return taken
+
 
 class GuidedSelfScheduler(Scheduler):
     """Guided self-scheduling: chunk size = remaining / P (Polychrono-
@@ -150,6 +166,11 @@ class GuidedSelfScheduler(Scheduler):
         local = sum(len(queue) for queue in self._local.values())
         return len(self._iterations) - self._cursor + local
 
+    def reclaim(self, processor: int) -> List[int]:
+        queue = self._local.get(processor, [])
+        taken, queue[:] = list(queue), []
+        return taken
+
 
 class StaticScheduler(Scheduler):
     """Pre-partitioned iterations: cyclic (round-robin) or block chunks.
@@ -187,3 +208,11 @@ class StaticScheduler(Scheduler):
     def remaining(self) -> int:
         return sum(len(queue) - cursor for queue, cursor
                    in zip(self._queues, self._cursors))
+
+    def reclaim(self, processor: int) -> List[int]:
+        if not 0 <= processor < len(self._queues):
+            return []
+        queue = self._queues[processor]
+        taken = queue[self._cursors[processor]:]
+        self._cursors[processor] = len(queue)
+        return taken

@@ -80,6 +80,16 @@ class SyncFabric(ABC):
     def value(self, var: int) -> Any:
         """Currently committed (globally visible) value of ``var``."""
 
+    def authoritative_value(self, var: int) -> Any:
+        """The home copy of ``var`` (what a shared-memory poll reads).
+
+        For fabrics with a single storage site this *is* the committed
+        value; the broadcast fabric overrides it with the master copy
+        that lost broadcasts still reach (degraded-mode fallback reads
+        it through shared memory at a charged cost).
+        """
+        return self.value(var)
+
     @abstractmethod
     def write(self, var: int, value: Any, now: int, coverable: bool = False,
               requester: Any = None) -> int:
@@ -208,6 +218,14 @@ class BroadcastSyncFabric(SyncFabric):
         self.covered_writes = 0
         #: broadcasts dropped by fault injection (never became visible)
         self.lost_broadcasts = 0
+        #: per-variable broadcast sequence numbers (recovery only):
+        #: retransmitted deliveries install iff newer than the installed
+        #: sequence, which both orders late arrivals and dedups replays
+        self._seq: Dict[int, int] = {}
+        self._installed_seq: Dict[int, int] = {}
+        #: master (home) copy; lost broadcasts still reach it, so the
+        #: degraded-mode fallback can poll it through shared memory
+        self._master: Dict[int, Any] = {}
 
     def storage_words_allocated(self) -> int:
         return self._next
@@ -251,6 +269,12 @@ class BroadcastSyncFabric(SyncFabric):
         if injector is not None:
             lost, extra = injector.broadcast_fate(var)
             visible += extra
+        recovery = getattr(engine, "recovery", None)
+        if recovery is not None:
+            # Sequence-numbered commit: ordering + dedup for retransmits.
+            entry["seq"] = self._seq.get(var, -1) + 1
+            self._seq[var] = entry["seq"]
+            recovery.note_broadcast(lost)
 
         def grant_cb() -> None:
             entry["granted"] = True
@@ -258,15 +282,66 @@ class BroadcastSyncFabric(SyncFabric):
         def commit() -> None:
             if self._pending.get(var) is entry:
                 del self._pending[var]
-            if not lost:
-                self._values[var] = entry["value"]
-                engine.notify_var(var)
+            if recovery is None:
+                if not lost:
+                    self._values[var] = entry["value"]
+                    engine.notify_var(var)
+                return
+            # The home copy hears every granted broadcast, lost or not.
+            self._master[var] = entry["value"]
+            if lost:
+                # Gap detected by the receivers: NACK and retransmit
+                # after the detection delay + backoff.
+                self._schedule_retransmit(var, entry, attempt=1)
+            else:
+                self._install(var, entry)
 
         if lost:
             self.lost_broadcasts += 1
         engine.schedule_commit(grant, grant_cb)
         engine.schedule_commit(visible, commit)
         return issue_done
+
+    # -- recovery: retransmission ---------------------------------------
+
+    def _install(self, var: int, entry: dict) -> None:
+        """Sequence-guarded install into the local images + wakeup."""
+        recovery = getattr(self._engine, "recovery", None)
+        if entry["seq"] <= self._installed_seq.get(var, -1):
+            # A newer broadcast already committed: this (late or
+            # duplicated) delivery is dropped idempotently.
+            if recovery is not None:
+                recovery.counters["deduplicated_broadcasts"] += 1
+            return
+        self._installed_seq[var] = entry["seq"]
+        self._values[var] = entry["value"]
+        self._engine.notify_var(var)
+
+    def _schedule_retransmit(self, var: int, entry: dict,
+                             attempt: int) -> None:
+        """Queue retransmission ``attempt`` of a lost broadcast."""
+        engine = self._engine
+        recovery = engine.recovery
+        start = engine.now + recovery.backoff(attempt)
+        grant = max(start, self._bus_free_at)
+        self._bus_free_at = grant + self.bus_service
+        visible = grant + self.bus_service + self.propagation
+        self.transactions += 1
+        recovery.charge_retransmission(visible - engine.now)
+        lost_again = recovery.retransmit_fate(attempt)
+        if lost_again:
+            self.lost_broadcasts += 1
+
+        def redeliver() -> None:
+            if lost_again:
+                self._schedule_retransmit(var, entry, attempt + 1)
+            else:
+                self._install(var, entry)
+
+        engine.schedule_commit(visible, redeliver)
+
+    def authoritative_value(self, var: int) -> Any:
+        return self._master.get(var, self._values[var])
 
     def read_cost(self, var: int, now: int, requester: Any = None) -> int:
         # Reading the local image is a register read: one cycle, no bus.

@@ -77,6 +77,38 @@ def check_reads_match_sequential(
             raise ValidationError(f"unexpected tagged reads: {sorted(extra)}")
 
 
+def check_reads_match_recovered(
+        trace: Iterable[AccessRecord],
+        expected: Dict[Tag, List[Any]]) -> None:
+    """Sequential-read check tolerant of idempotent crash replay.
+
+    A reincarnated task replays the unfinished part of its iteration, so
+    a statement instance's tagged reads may appear *twice* in the trace —
+    but every occurrence must still carry a sequential value.  We require
+    the sequential read sequence to be a subsequence of the observed one
+    and the observed value set to introduce nothing new.  This is exactly
+    the guarantee replay provides: an un-signalled access's successors
+    are still blocked, so re-reads return unchanged (sequential) values.
+    """
+    observed = statement_reads(trace)
+    for tag, expected_values in expected.items():
+        got = observed.get(tag, [])
+        want = list(expected_values)
+        it = iter(got)
+        missing = [v for v in want if not any(g == v for g in it)]
+        if missing:
+            raise ValidationError(
+                f"statement instance {tag} read {got}; sequential values "
+                f"{want} are not a subsequence (missing {missing} even "
+                f"allowing idempotent replay)")
+        alien = [g for g in got if g not in want]
+        if alien:
+            raise ValidationError(
+                f"statement instance {tag} read non-sequential values "
+                f"{alien} during recovery replay (got {got}, sequential "
+                f"{want})")
+
+
 def check_final_state(final_memory: Dict[Address, Any],
                       expected: Dict[Address, Any],
                       arrays: Sequence[str]) -> None:

@@ -1,0 +1,99 @@
+"""Deterministic stall/crash window validation and injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+
+
+# -- validation --------------------------------------------------------
+
+
+def test_window_plans_are_non_empty():
+    assert not FaultPlan(stall_windows=(("cpu0", 10, 20),)).is_empty
+    assert not FaultPlan(crash_windows=(("cpu0", 10, 20),)).is_empty
+
+
+@pytest.mark.parametrize("knob", ["stall_windows", "crash_windows"])
+def test_negative_start_rejected(knob):
+    with pytest.raises(ValueError, match="start"):
+        FaultPlan(**{knob: (("cpu0", -1, 5),)})
+
+
+@pytest.mark.parametrize("knob", ["stall_windows", "crash_windows"])
+@pytest.mark.parametrize("span", [(5, 5), (5, 2)])
+def test_empty_or_inverted_window_rejected(knob, span):
+    start, end = span
+    with pytest.raises(ValueError, match="end"):
+        FaultPlan(**{knob: (("cpu0", start, end),)})
+
+
+@pytest.mark.parametrize("knob", ["stall_windows", "crash_windows"])
+def test_overlapping_windows_per_task_rejected(knob):
+    with pytest.raises(ValueError, match="overlap"):
+        FaultPlan(**{knob: (("cpu0", 0, 10), ("cpu0", 5, 15))})
+
+
+@pytest.mark.parametrize("knob", ["stall_windows", "crash_windows"])
+def test_disjoint_and_cross_task_windows_allowed(knob):
+    # touching endpoints are not an overlap, nor are other tasks' spans
+    plan = FaultPlan(**{knob: (("cpu0", 0, 10), ("cpu0", 10, 20),
+                               ("cpu1", 5, 15))})
+    assert not plan.is_empty
+
+
+def test_duplicate_crash_after_task_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        FaultPlan(crash_after_ops=(("cpu0", 5), ("cpu0", 9)))
+
+
+def test_describe_mentions_windows():
+    text = FaultPlan(stall_windows=(("cpu0", 10, 20),),
+                     crash_windows=(("cpu1", 30, 40),)).describe()
+    assert "stall" in text and "crash" in text
+
+
+# -- injection ---------------------------------------------------------
+
+
+def test_stall_window_fires_once_and_stalls_to_its_end():
+    injector = FaultInjector(FaultPlan(stall_windows=(("cpu0", 10, 25),)))
+    assert injector.stall_cycles("cpu0", now=5) == 0    # before the window
+    assert injector.stall_cycles("cpu1", now=15) == 0   # other task
+    assert injector.stall_cycles("cpu0", now=15) == 10  # inside: stall to end
+    assert injector.stall_cycles("cpu0", now=16) == 0   # consumed
+    assert injector.counters["injected_stalls"] == 1
+    assert injector.counters["injected_stall_cycles"] == 10
+
+
+def test_crash_window_kills_inside_only():
+    injector = FaultInjector(FaultPlan(crash_windows=(("cpu0", 10, 25),)))
+    assert not injector.should_crash("cpu0", 99, now=5)
+    assert not injector.should_crash("cpu1", 99, now=15)
+    assert injector.should_crash("cpu0", 99, now=15)
+    assert injector.counters["crashes"] == 1
+
+
+def test_stale_windows_are_pruned_to_later_ones():
+    # the task never steps inside the first window; a probe after it
+    # must skip to (and fire) the second
+    injector = FaultInjector(FaultPlan(
+        stall_windows=(("cpu0", 10, 20), ("cpu0", 30, 40))))
+    assert injector.stall_cycles("cpu0", now=35) == 5
+    assert injector.stall_cycles("cpu0", now=36) == 0
+
+
+def test_windows_consume_no_randomness():
+    """Deterministic windows must not perturb probability-knob draws."""
+    base = FaultPlan(seed=11, broadcast_loss=0.5)
+    pristine = FaultInjector(base)
+    reference = [pristine.broadcast_fate(0) for _ in range(100)]
+    windowed = FaultInjector(FaultPlan(
+        seed=11, broadcast_loss=0.5,
+        stall_windows=(("cpu0", 10, 20),),
+        crash_windows=(("cpu1", 10, 20),)))
+    for now in range(50):
+        windowed.stall_cycles("cpu0", now=now)
+        windowed.should_crash("cpu1", 0, now=now)
+    assert [windowed.broadcast_fate(0) for _ in range(100)] == reference

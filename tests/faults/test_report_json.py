@@ -1,0 +1,71 @@
+"""JSON serialization of hazard reports and chaos outcomes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults import FaultPlan, HazardReport, make_plan
+from repro.faults.chaos import run_chaos_case
+from repro.sim import DeadlockError, Machine, MachineConfig
+from repro.schemes import make_scheme
+from repro.apps.kernels import fig21_loop
+
+
+def _crashed_report() -> HazardReport:
+    """A real report: crash two processors with no recovery configured."""
+    scheme = make_scheme("statement-oriented")
+    machine = Machine(MachineConfig(
+        processors=4,
+        fault_plan=FaultPlan(crash_after_ops=(("cpu1", 30), ("cpu2", 60)))))
+    try:
+        machine.run(scheme.instrument(fig21_loop(n=16)))
+    except DeadlockError as err:
+        return err.report
+    raise AssertionError("expected the crashed run to deadlock")
+
+
+def test_report_to_json_is_json_native():
+    payload = _crashed_report().to_json()
+    text = json.dumps(payload)  # must not raise
+    assert json.loads(text) == payload
+    assert "cpu1" in payload["crashed"]
+    assert payload["tasks"]
+    assert {"task", "state", "var", "reason", "since", "blocked_for",
+            "waits_on", "value"} <= set(payload["tasks"][0])
+
+
+def test_report_round_trips_through_from_json():
+    report = _crashed_report()
+    payload = report.to_json()
+    rebuilt = HazardReport.from_json(json.loads(json.dumps(payload)))
+    # to_json is a fixed point: re-serializing the rebuilt report must
+    # produce the identical payload (no double-repr of values)
+    assert rebuilt.to_json() == payload
+    assert rebuilt.now == report.now
+    assert rebuilt.cycle == report.cycle
+    assert rebuilt.crashed == report.crashed
+    assert rebuilt.graph.edges() == report.graph.edges()
+    assert [d.task for d in rebuilt.tasks] == [d.task for d in report.tasks]
+
+
+def test_diagnosed_report_carries_recovery_state():
+    outcome = run_chaos_case(
+        "statement-oriented",
+        FaultPlan(name="meltdown", seed=1, crash_prob=0.02),
+        n=16, processors=4, recover=True)
+    assert outcome.outcome in ("deadlock-diagnosed", "limit-diagnosed")
+    assert outcome.recovery_actions
+    assert outcome.recovery.get("reincarnations", 0) > 0
+
+
+def test_chaos_outcome_to_json():
+    outcome = run_chaos_case("process-oriented",
+                             make_plan("crash-task", seed=0),
+                             n=16, processors=4, recover=True)
+    payload = outcome.to_json()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["outcome"] == "ok"
+    assert payload["scheme"] == "process-oriented"
+    assert payload["plan"] == "crash-task"
+    assert payload["recovery"]["reincarnations"] >= 2
+    assert isinstance(payload["recovery_actions"], list)

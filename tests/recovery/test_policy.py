@@ -1,0 +1,101 @@
+"""RecoveryPolicy validation and the manager's deterministic knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.recovery import RecoveryManager, RecoveryPolicy
+
+
+def test_default_policy_is_valid():
+    policy = RecoveryPolicy()
+    assert policy.max_retransmits >= 1
+    assert policy.fallback_exit <= policy.fallback_enter
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"nack_delay": 0},
+    {"backoff_base": 0},
+    {"backoff_cap": -1},
+    {"fallback_read_cost": 0},
+    {"fallback_poll_interval": 0},
+    {"rmw_retry_delay": 0},
+    {"max_retransmits": 0},
+    {"max_reincarnations": -1},
+    {"window": 1},
+])
+def test_bad_knobs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RecoveryPolicy(**kwargs)
+
+
+def test_inverted_hysteresis_rejected():
+    with pytest.raises(ValueError, match="hysteresis"):
+        RecoveryPolicy(fallback_enter=0.1, fallback_exit=0.5)
+    with pytest.raises(ValueError, match="hysteresis"):
+        RecoveryPolicy(fallback_exit=0.0)
+
+
+def _manager(**policy_kwargs):
+    plan = FaultPlan(seed=7, broadcast_loss=0.4)
+    return RecoveryManager(RecoveryPolicy(**policy_kwargs), plan)
+
+
+def test_backoff_is_capped_exponential():
+    mgr = _manager(nack_delay=6, backoff_base=4, backoff_cap=64)
+    delays = [mgr.backoff(a) for a in range(1, 8)]
+    assert delays == [6 + 4, 6 + 8, 6 + 16, 6 + 32, 6 + 64, 6 + 64, 6 + 64]
+
+
+def test_retransmit_forced_through_at_cap():
+    mgr = _manager(max_retransmits=3)
+    assert mgr.retransmit_fate(3) is False
+    assert mgr.counters["forced_deliveries"] == 1
+    # past the cap it stays forced
+    assert mgr.retransmit_fate(5) is False
+
+
+def test_recovery_stream_is_separate_from_injector_stream():
+    """Recovery draws must not perturb the injector's replay: two
+    managers over the same plan agree, and the injector's own stream is
+    untouched by however many recovery draws happen."""
+    from repro.faults import FaultInjector
+
+    plan = FaultPlan(seed=7, broadcast_loss=0.4)
+    a = RecoveryManager(RecoveryPolicy(), plan)
+    b = RecoveryManager(RecoveryPolicy(), plan)
+    assert [a.retransmit_fate(1) for _ in range(50)] \
+        == [b.retransmit_fate(1) for _ in range(50)]
+
+    pristine_injector = FaultInjector(plan)
+    pristine = [pristine_injector.broadcast_fate(0) for _ in range(50)]
+    injector = FaultInjector(plan)
+    mgr = RecoveryManager(RecoveryPolicy(), plan)
+    for _ in range(25):
+        mgr.retransmit_fate(1)
+    assert [injector.broadcast_fate(0) for _ in range(50)] == pristine
+
+
+def test_loss_window_hysteresis():
+    class _Engine:
+        now = 0
+
+    mgr = _manager(window=4, fallback_enter=0.5, fallback_exit=0.2)
+    mgr._engine = _Engine()
+    for lost in (False, False, False):
+        mgr.note_broadcast(lost)
+    assert not mgr.degraded  # window not yet full
+    mgr.note_broadcast(True)
+    assert not mgr.degraded  # 1/4 < enter threshold
+    mgr.note_broadcast(True)
+    assert mgr.degraded      # 2/4 hits the threshold
+    assert mgr.counters["fallback_epochs"] == 1
+    mgr.note_broadcast(True)
+    assert mgr.degraded      # staying lossy keeps it degraded
+    for _ in range(3):
+        mgr.note_broadcast(False)
+    assert mgr.degraded      # 1/4 still above exit threshold
+    mgr.note_broadcast(False)
+    assert not mgr.degraded  # 0/4 <= exit: recovered
+    assert mgr.counters["fallback_epochs"] == 1  # re-entry would be a new epoch

@@ -42,6 +42,16 @@ def test_module_interleaving_spreads_neighbours():
     assert len(modules) == 8
 
 
+def test_module_mapping_is_stable_across_interpreter_runs():
+    """The array -> module hash must not be salted (Python's hash(str)
+    is), or contention-dependent makespans would differ between
+    processes and seeded fault replay would not be byte-for-byte."""
+    memory = SharedMemory(MemoryConfig(modules=16))
+    assert [memory.module_of(("A", i)) for i in range(4)] \
+        == [11, 12, 13, 14]
+    assert memory.module_of(("B", 0)) == 1
+
+
 def test_hot_spot_counter_visible_in_module_traffic():
     memory = SharedMemory(MemoryConfig(modules=8))
     for _ in range(50):

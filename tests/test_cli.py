@@ -83,6 +83,25 @@ def test_chaos_mode_smoke(capsys):
     assert "process-oriented" in out
 
 
+def test_chaos_mode_recover_writes_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "chaos.json"
+    assert main(["chaos", "--seeds", "1", "--n", "8", "--processors", "2",
+                 "--schemes", "statement-oriented",
+                 "--plans", "lossy-bus,crash-task",
+                 "--recover", "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "[recovery on]" in out
+    assert "recovery totals:" in out
+    records = json.loads(out_path.read_text())
+    assert len(records) == 2
+    for record in records:
+        assert record["outcome"] == "ok"
+        assert "recovery" in record and "recovery_actions" in record
+    assert any(sum(r["recovery"].values()) > 0 for r in records)
+
+
 def test_chaos_mode_rejects_unknown_plan(capsys):
     with pytest.raises(ValueError, match="unknown fault plan"):
         main(["chaos", "--seeds", "1", "--plans", "nope"])
