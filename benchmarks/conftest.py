@@ -7,11 +7,28 @@ simulation wall time through pytest-benchmark.
 
 Simulations are deterministic, so a single round is meaningful; the
 ``once`` helper standardizes that.
+
+Grid-shaped benches run through the :mod:`repro.lab` sweep engine via
+the ``sweep`` fixture: the grid is a named preset spec, results come
+back as versioned records (merged into the repository's
+``BENCH_sweeps.json``), warm re-runs are served from the
+content-addressed cache in ``.repro-cache/``, and
+``REPRO_SWEEP_PROCS=8`` fans cold cells across a worker pool without
+changing a byte of the output.
 """
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 import pytest
+
+from repro.lab import make_spec, run_sweep
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_STORE = ROOT / "BENCH_sweeps.json"
+CACHE_DIR = ROOT / ".repro-cache"
 
 
 @pytest.fixture
@@ -20,4 +37,18 @@ def once(benchmark):
     def runner(fn, *args, **kwargs):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                                   iterations=1, rounds=1, warmup_rounds=0)
+    return runner
+
+
+@pytest.fixture
+def sweep(once):
+    """Run a preset lab sweep under the timer; records land in
+    ``BENCH_sweeps.json`` and the on-disk cache makes re-runs
+    incremental."""
+    def runner(preset: str):
+        spec = make_spec(preset)
+        procs = int(os.environ.get("REPRO_SWEEP_PROCS", "1"))
+        return once(lambda: run_sweep(spec, procs=procs,
+                                      cache_dir=CACHE_DIR,
+                                      json_path=BENCH_STORE))
     return runner

@@ -8,58 +8,55 @@ Shape claims measured here:
   per reader) but removes all anti/output waiting;
 * both pay their busy-waiting through the memory system (polled waits
   are charged transactions).
+
+The grid itself is the ``fig3.1`` preset of :mod:`repro.lab`: this
+bench just runs the sweep (cached, optionally parallel) and asserts on
+the returned records.
 """
 
 from __future__ import annotations
 
-from repro.apps.kernels import fig21_loop
+from repro.lab import make_spec
 from repro.report import print_table
-from repro.schemes import make_scheme
-from repro.sim import Machine, MachineConfig
 
-SIZES = (50, 100, 200)
-P = 8
-
-
-def run_data_oriented():
-    machine = Machine(MachineConfig(processors=P))
-    rows = {}
-    for n in SIZES:
-        loop = fig21_loop(n=n)
-        for name in ("reference-based", "instance-based"):
-            rows[(name, n)] = make_scheme(name).run(loop, machine=machine)
-    return rows
+#: the swept problem sizes, read back from the preset grid itself
+SIZES = tuple(dict(params)["n"] for _app, params in
+              make_spec("fig3.1").apps)
 
 
-def test_fig3_1_data_oriented_costs(once):
-    rows = once(run_data_oriented)
+def test_fig3_1_data_oriented_costs(sweep):
+    report = sweep("fig3.1")
+    rows = report.metrics_by("scheme", "app_params.n")
 
     # keys grow ~linearly with N (one per touched element: N+4)
     for n in SIZES:
-        assert rows[("reference-based", n)].sync_vars == n + 4
+        assert rows[("reference-based", n)]["sync_vars"] == n + 4
 
     # instance-based storage is strictly larger (copies per reader)
     for n in SIZES:
-        assert (rows[("instance-based", n)].sync_vars
-                > rows[("reference-based", n)].sync_vars)
+        assert (rows[("instance-based", n)]["sync_vars"]
+                > rows[("reference-based", n)]["sync_vars"])
 
     # reference-based key initialization grows with N (a key per datum);
     # instance-based init covers only pre-loop values (boundary elements
     # here) but its *storage* grows with N
-    ref_inits = [rows[("reference-based", n)].init_cycles for n in SIZES]
-    assert ref_inits[0] < ref_inits[1] < ref_inits[2]
-    inst_storage = [rows[("instance-based", n)].sync_storage_words
+    ref_inits = [rows[("reference-based", n)]["init_cycles"]
+                 for n in SIZES]
+    assert ref_inits == sorted(ref_inits) and len(set(ref_inits)) == \
+        len(ref_inits)
+    inst_storage = [rows[("instance-based", n)]["sync_storage_words"]
                     for n in SIZES]
-    assert inst_storage[0] < inst_storage[1] < inst_storage[2]
+    assert inst_storage == sorted(inst_storage) and \
+        len(set(inst_storage)) == len(inst_storage)
 
     # busy-waiting hits the memory system
     for n in SIZES:
-        assert rows[("reference-based", n)].sync_transactions > 0
+        assert rows[("reference-based", n)]["sync_transactions"] > 0
 
     print_table(
         ["scheme", "N", "sync vars", "init cycles", "sync tx",
          "makespan", "util"],
-        [[name, n, r.sync_vars, r.init_cycles, r.sync_transactions,
-          r.makespan, round(r.utilization, 3)]
-         for (name, n), r in sorted(rows.items())],
+        [[scheme, n, m["sync_vars"], m["init_cycles"],
+          m["sync_transactions"], m["makespan"], m["utilization"]]
+         for (scheme, n), m in sorted(rows.items())],
         title="Fig 3.1: data-oriented schemes on the Fig 2.1 loop")

@@ -8,53 +8,48 @@ Shape claims:
   iteration stalls *every* later iteration -- the delay penalty grows
   with the injected delay under the statement-oriented scheme much
   faster than under the process-oriented scheme (vertical sharing).
+
+The grid is the ``fig3.2`` preset of :mod:`repro.lab`: a plain Fig 2.1
+loop (the baseline) plus the same loop with one slowed iteration at
+increasing costs, under both register-fabric schemes.
 """
 
 from __future__ import annotations
 
-from repro.apps.kernels import fig21_loop, fig21_loop_with_delay
+from repro.lab import make_spec
 from repro.report import print_table
-from repro.schemes import make_scheme
-from repro.sim import Machine, MachineConfig
 
-P = 8
-N = 96
-
-
-def run_delay_sweep():
-    machine = Machine(MachineConfig(processors=P))
-    rows = {}
-    for slow_cost in (10, 400, 1600):
-        loop = (fig21_loop(n=N) if slow_cost == 10 else
-                fig21_loop_with_delay(n=N, slow_iteration=N // 3,
-                                      slow_cost=slow_cost))
-        for name in ("statement-oriented", "process-oriented"):
-            rows[(name, slow_cost)] = make_scheme(name).run(loop,
-                                                            machine=machine)
-    return rows
+#: injected S1 costs; the plain loop (no slow iteration) reports None
+DELAYS = tuple(dict(params).get("slow_cost") for _app, params in
+               make_spec("fig3.2").apps)
 
 
-def test_fig3_2_statement_counters(once):
-    rows = once(run_delay_sweep)
+def test_fig3_2_statement_counters(sweep):
+    report = sweep("fig3.2")
+    rows = report.metrics_by("scheme", "app_params.slow_cost")
 
     # counter count: one per source statement, independent of N
-    for slow_cost in (10, 400, 1600):
-        assert rows[("statement-oriented", slow_cost)].sync_vars == 4
+    for slow_cost in DELAYS:
+        assert rows[("statement-oriented", slow_cost)]["sync_vars"] == 4
 
     # horizontal sharing: the statement scheme suffers more from the
     # injected delay than the process scheme does
+    worst = max(cost for cost in DELAYS if cost is not None)
+
     def penalty(name):
-        return (rows[(name, 1600)].makespan
-                - rows[(name, 10)].makespan)
+        return (rows[(name, worst)]["makespan"]
+                - rows[(name, None)]["makespan"])
 
     assert penalty("statement-oriented") > penalty("process-oriented")
     # and in absolute terms it is slower once the delay is big
-    assert (rows[("statement-oriented", 1600)].makespan
-            > rows[("process-oriented", 1600)].makespan)
+    assert (rows[("statement-oriented", worst)]["makespan"]
+            > rows[("process-oriented", worst)]["makespan"])
 
     print_table(
         ["scheme", "slow-S1 cost", "makespan", "spin frac", "sync vars"],
-        [[name, cost, r.makespan, round(r.spin_fraction, 3), r.sync_vars]
-         for (name, cost), r in sorted(rows.items())],
+        [[scheme, cost if cost is not None else "(none)", m["makespan"],
+          m["spin_fraction"], m["sync_vars"]]
+         for (scheme, cost), m in sorted(
+             rows.items(), key=lambda kv: (kv[0][0], kv[0][1] or 0))],
         title="Fig 3.2: statement counters vs process counters under "
               "one delayed iteration")

@@ -5,52 +5,43 @@ compiler classifies each kernel, analyzes its doacross delay, picks a
 scheme, and the simulation is validated.  Shape claims: DOALLs scale
 near-linearly, the serial chain does not, strided prefix chains scale to
 their stride, and the ADI sweep scales across its parallel dimension.
+
+The grid is the ``kernels`` preset of :mod:`repro.lab` with the
+``auto`` scheme: each cell runs the full compile pipeline and the
+record carries the compiler's decision (classification, delay, chosen
+scheme) alongside the simulated metrics.
 """
 
 from __future__ import annotations
 
-from repro.apps.livermore import SUITE, adi_sweep
 from repro.compiler import compile_loop
+from repro.apps.livermore import tridiagonal
+from repro.lab import make_spec
 from repro.report import print_table
-from repro.schemes import make_scheme
-from repro.sim import Machine, MachineConfig
 
-P = 8
+P = make_spec("kernels").processors[0]
 
 
-def run_suite():
-    rows = {}
-    for name, build in SUITE.items():
-        # compute-heavy variants so the serial-compute baseline is fair
-        loop = (adi_sweep(n=10, m=8, cost=30) if name == "adi"
-                else build(n=64, cost=30))
-        decision = compile_loop(loop, processors=P)
-        machine = Machine(MachineConfig(processors=P))
-        result = machine.run(decision.instrumented)
-        decision.instrumented.validate(result)
-        serial = loop.serial_cycles()
-        rows[name] = (decision, result, serial)
-    return rows
-
-
-def test_kernel_suite(once):
-    rows = once(run_suite)
+def test_kernel_suite(sweep):
+    report = sweep("kernels")
+    rows = {record["config"]["app"]: record for record in report.records}
 
     def speedup(name):
-        _decision, result, serial = rows[name]
-        return serial / result.makespan
+        return rows[name]["metrics"]["speedup"]
+
+    # every kernel simulated and validated through the pipeline
+    assert all(record["outcome"] == "ok" for record in rows.values())
 
     # DOALLs scale well on 8 processors
     for name in ("hydro", "state", "first-diff"):
-        assert rows[name][0].classification.label == "doall"
+        assert rows[name]["compile"]["classification"] == "doall"
         assert speedup(name) > 3.0, (name, speedup(name))
 
     # the serial chain does not scale...
-    assert rows["tridiag"][0].classification.label == "doacross"
+    assert rows["tridiag"]["compile"]["classification"] == "doacross"
     assert speedup("tridiag") < 1.2
     # ...and the profitability gate catches it at compile time ("it may
     # not be desirable to run a loop concurrently")
-    from repro.apps.livermore import tridiagonal
     gated = compile_loop(tridiagonal(n=64, cost=30), processors=P,
                          serialize_unprofitable=True)
     assert gated.chosen_scheme == "serial"
@@ -65,9 +56,10 @@ def test_kernel_suite(once):
     print_table(
         ["kernel", "classification", "delay", "scheme", "speedup",
          "sync vars"],
-        [[name, decision.classification.label,
-          round(decision.delay.delay, 1), decision.chosen_scheme,
-          round(serial / result.makespan, 2), result.sync_vars]
-         for name, (decision, result, serial) in rows.items()],
+        [[name, record["compile"]["classification"],
+          record["compile"]["delay"], record["compile"]["scheme"],
+          round(record["metrics"]["speedup"], 2),
+          record["metrics"]["sync_vars"]]
+         for name, record in rows.items()],
         title=f"Livermore-style kernel suite through the compile "
               f"pipeline, P={P} (all runs validated)")

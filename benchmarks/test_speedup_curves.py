@@ -3,8 +3,11 @@
 The cross-cutting figure the paper implies but never draws: speedup
 versus processor count for
 
-* the four schemes on the Fig 2.1 DOACROSS, and
-* wavefront vs pipeline on the relaxation.
+* the four schemes on the Fig 2.1 DOACROSS (the ``speedup`` preset
+  grid of :mod:`repro.lab` -- scheme x P, speedup vs serial compute),
+  and
+* wavefront vs pipeline on the relaxation (not a single DOACROSS loop,
+  so it stays a hand-rolled workload sweep).
 
 Shape claims: the register-fabric schemes dominate at the paper's
 stated scale (small machines, P <= 8); at P = 16 the *data-oriented*
@@ -20,36 +23,21 @@ overhead.
 
 from __future__ import annotations
 
-from repro.apps.kernels import fig21_loop
-from repro.apps.relaxation import (PipelinedRelaxation,
+from repro.apps.relaxation import (PipelinedRelaxation, SerialRelaxation,
                                    WavefrontRelaxation, run_relaxation)
 from repro.barriers import PCDisseminationBarrier
-from repro.compiler import doacross_delay
+from repro.lab import make_spec
 from repro.report import print_table
-from repro.schemes import make_scheme, scheme_names
-from repro.sim import Machine, MachineConfig
+from repro.schemes import scheme_names
 
-SIZES = (1, 2, 4, 8, 16)
-N = 80
+SIZES = make_spec("speedup").processors
 GRID = 24
 
 
-def run_speedup_curves():
-    loop = fig21_loop(n=N)
-    serial_compute = loop.serial_cycles()
-    scheme_rows = {}
-    for p in SIZES:
-        machine = Machine(MachineConfig(processors=p))
-        for name in scheme_names():
-            result = make_scheme(name).run(loop, machine=machine,
-                                           validate=False)
-            scheme_rows[(name, p)] = serial_compute / result.makespan
-
+def run_relaxation_curves():
     relax_rows = {}
-    serial_relax = run_relaxation(
-        __import__("repro.apps.relaxation",
-                   fromlist=["SerialRelaxation"]).SerialRelaxation(GRID),
-        processors=1, validate=False).makespan
+    serial_relax = run_relaxation(SerialRelaxation(GRID), processors=1,
+                                  validate=False).makespan
     for p in (2, 4, 8, 16):
         wavefront = run_relaxation(
             WavefrontRelaxation(GRID, PCDisseminationBarrier(p)),
@@ -61,11 +49,16 @@ def run_speedup_curves():
         relax_rows[("wavefront", p)] = serial_relax / wavefront.makespan
         relax_rows[("pipeline G=1", p)] = serial_relax / pipeline.makespan
         relax_rows[("pipeline G=6", p)] = serial_relax / grouped.makespan
-    return scheme_rows, relax_rows
+    return relax_rows
 
 
-def test_speedup_curves(once):
-    scheme_rows, relax_rows = once(run_speedup_curves)
+def test_speedup_curves(sweep):
+    report = sweep("speedup")
+    scheme_rows = {key: m["speedup"] for key, m in
+                   report.metrics_by("scheme", "processors").items()}
+    # the pytest-benchmark timer is single-use and spent on the sweep;
+    # the relaxation comparison runs untimed
+    relax_rows = run_relaxation_curves()
 
     # the paper's scale (small machines): register schemes dominate
     for p in (2, 4, 8):
@@ -109,7 +102,7 @@ def test_speedup_curves(once):
         ["scheme \\ P"] + [str(p) for p in SIZES],
         [[name] + [round(scheme_rows[(name, p)], 2) for p in SIZES]
          for name in scheme_names()],
-        title=f"speedup on the Fig 2.1 DOACROSS (N={N}) vs serial compute")
+        title="speedup on the Fig 2.1 DOACROSS (N=80) vs serial compute")
     print_table(
         ["strategy \\ P", "2", "4", "8", "16"],
         [[label] + [round(relax_rows[(label, p)], 2)

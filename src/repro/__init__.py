@@ -35,6 +35,9 @@ Packages
     The paper's worked examples as runnable workloads.
 ``repro.faults``
     Deterministic fault injection, hazard diagnosis, chaos harness.
+``repro.lab``
+    Declarative experiment engine: sweep specs, a parallel cached
+    runner, versioned run records (``python -m repro sweep``).
 
 Error taxonomy (re-exported here for callers)
 ---------------------------------------------
@@ -49,18 +52,21 @@ Error taxonomy (re-exported here for callers)
 
 __version__ = "1.0.0"
 
-from . import apps, barriers, core, depend, faults, recovery, report, \
+from . import apps, barriers, core, depend, faults, lab, recovery, report, \
     schemes, sim
 from .faults import (FaultInjector, FaultPlan, HazardReport, TaskDiagnosis,
                      WaitForGraph, diagnose, make_plan, plan_names)
+from .lab import SweepSpec, make_spec, run_sweep, sweep_presets
 from .recovery import RecoveryManager, RecoveryPolicy
+from .schemes import RunConfig
 from .sim import (DeadlockError, HazardError, SimulationLimitError,
                   ValidationError)
 
-__all__ = ["apps", "barriers", "core", "depend", "faults", "recovery",
-           "report", "schemes", "sim", "__version__",
+__all__ = ["apps", "barriers", "core", "depend", "faults", "lab",
+           "recovery", "report", "schemes", "sim", "__version__",
            "DeadlockError", "FaultInjector", "FaultPlan", "HazardError",
            "HazardReport", "RecoveryManager", "RecoveryPolicy",
-           "SimulationLimitError", "TaskDiagnosis",
+           "RunConfig", "SimulationLimitError", "SweepSpec",
+           "TaskDiagnosis",
            "ValidationError", "WaitForGraph", "diagnose", "make_plan",
-           "plan_names"]
+           "make_spec", "plan_names", "run_sweep", "sweep_presets"]

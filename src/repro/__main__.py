@@ -5,6 +5,7 @@ Usage::
     python -m repro LOOP.f [options]
     python -m repro --demo
     python -m repro chaos [chaos options]
+    python -m repro sweep --spec NAME --procs 8 --json BENCH_sweeps.json
 
 Reads a mini-Fortran ``DO`` nest (see :mod:`repro.frontend`), runs the
 full pipeline -- dependence analysis, classification, doacross-delay
@@ -21,20 +22,32 @@ Options::
     --timeline-width W  timeline width in characters (default 72)
     --demo              run the built-in Fig 2.1 demo instead of a file
 
+All modes share the ``--json`` / ``--seed`` / ``--procs`` trio (see
+:mod:`repro.cli`).
+
 ``chaos`` mode sweeps seeded fault plans (lost broadcasts, stalls,
 crashes, flaky RMW commits, latency jitter) across every
 synchronization scheme and checks the degradation contract: each run
 either validates against sequential semantics or dies with a diagnosed
 structured error -- never a hang, never silent corruption.  See
 ``python -m repro chaos --help``.
+
+``sweep`` mode runs the declarative benchmark grids of
+:mod:`repro.lab`: preset (or JSON-file) sweep specs expand into cells,
+warm cells come from the content-addressed cache, cold cells fan out
+over ``--procs`` workers, and versioned records merge into the
+``--json`` store.  See ``python -m repro sweep --help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
+import time
 
+from .cli import add_common_options, make_parser
 from .compiler import compile_loop, run_program
 from .frontend import parse_loop, parse_program
 from .report import render_timeline
@@ -53,10 +66,11 @@ END DO
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Compile and simulate a DOACROSS loop "
-                    "(Su & Yew, ISCA 1989 reproduction).")
+    parser = make_parser(
+        "python -m repro",
+        "Compile and simulate a DOACROSS loop "
+        "(Su & Yew, ISCA 1989 reproduction).")
+    add_common_options(parser)
     parser.add_argument("source", nargs="?", type=pathlib.Path,
                         help="mini-Fortran file containing one DO nest")
     parser.add_argument("--demo", action="store_true",
@@ -83,16 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def build_chaos_parser() -> argparse.ArgumentParser:
     """Argument parser for ``python -m repro chaos``."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro chaos",
-        description="Fault-injection sweep: run every synchronization "
-                    "scheme under seeded fault plans and verify each "
-                    "run either validates or fails with a diagnosed "
-                    "structured error.")
+    parser = make_parser(
+        "python -m repro chaos",
+        "Fault-injection sweep: run every synchronization "
+        "scheme under seeded fault plans and verify each "
+        "run either validates or fails with a diagnosed "
+        "structured error.")
+    add_common_options(parser)
     parser.add_argument("--seeds", type=int, default=3,
-                        help="seeds per (scheme, plan) cell (default 3)")
-    parser.add_argument("--seed-base", type=int, default=0,
-                        help="first seed value (default 0)")
+                        help="seeds per (scheme, plan) cell (default 3), "
+                             "starting at --seed")
+    # pre-unification spelling of --seed; kept as a hidden alias
+    parser.add_argument("--seed-base", dest="seed", type=int,
+                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     parser.add_argument("--schemes", default="all",
                         help="comma-separated scheme names, or 'all'")
     parser.add_argument("--plans", default="all",
@@ -105,12 +122,101 @@ def build_chaos_parser() -> argparse.ArgumentParser:
                              "task reincarnation, degraded fallback): "
                              "recoverable plans must then complete "
                              "validated")
-    parser.add_argument("--json", type=pathlib.Path, default=None,
-                        metavar="PATH",
-                        help="also write per-run results (scheme, plan, "
-                             "seed, outcome, recovery counters) as a "
-                             "JSON list to PATH")
     return parser
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro sweep``."""
+    parser = make_parser(
+        "python -m repro sweep",
+        "Declarative benchmark sweeps: expand preset or JSON sweep "
+        "specs into (app x scheme x machine x seed) cells, serve warm "
+        "cells from the content-addressed cache, fan cold cells over "
+        "a worker pool, and merge versioned records into the --json "
+        "store.")
+    add_common_options(parser)
+    parser.add_argument("--spec", action="append", default=[],
+                        metavar="NAME_OR_PATH",
+                        help="sweep spec: a preset name or a JSON spec "
+                             "file (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the preset sweep specs and exit")
+    parser.add_argument("--cache-dir", type=pathlib.Path,
+                        default=None, metavar="PATH",
+                        help="result cache directory "
+                             "(default .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
+    parser.add_argument("--assert-cached", action="store_true",
+                        help="fail (exit 1) unless every cell was a "
+                             "cache hit -- CI uses this to pin "
+                             "incremental re-runs")
+    return parser
+
+
+def _sweep_mode(argv) -> int:
+    """Run declarative sweeps and print per-cell rows + cache stats."""
+    from .lab import (DEFAULT_CACHE_DIR, ResultCache, SweepSpec, make_spec,
+                      merge_records, run_sweep, sweep_presets)
+    from .report import print_table
+
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sweep_presets():
+            print(name)
+        return 0
+    if not args.spec:
+        parser.error(f"need at least one --spec; presets: "
+                     f"{', '.join(sweep_presets())}")
+    specs = []
+    for token in args.spec:
+        path = pathlib.Path(token)
+        spec = (SweepSpec.from_json(path) if path.suffix == ".json"
+                else make_spec(token))
+        specs.append(spec.with_seed_base(args.seed))
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+    rows, records = [], []
+    hits = misses = 0
+    start = time.perf_counter()
+    for spec in specs:
+        report = run_sweep(spec, procs=args.procs, cache=cache)
+        hits += report.hits
+        misses += report.misses
+        records.extend(report.records)
+        for record in report.records:
+            config, metrics = record["config"], record["metrics"] or {}
+            params = ",".join(f"{k}={v}" for k, v in
+                              sorted(config["app_params"].items()))
+            rows.append([spec.name, f"{config['app']}({params})",
+                         config["scheme"], config["processors"],
+                         config["seed"], record["outcome"],
+                         metrics.get("makespan", "-"),
+                         metrics.get("speedup", "-")])
+    elapsed = time.perf_counter() - start
+
+    print_table(
+        ["spec", "app", "scheme", "P", "seed", "outcome", "makespan",
+         "speedup"],
+        rows,
+        title=f"sweep: {len(records)} cell(s) from {len(specs)} spec(s) "
+              f"on {args.procs} worker(s) in {elapsed:.2f}s")
+    if cache is not None:
+        print(f"cache: {hits} hit(s), {misses} miss(es) "
+              f"[fingerprint {cache.fingerprint[:12]}, {cache.root}]")
+    else:
+        print(f"cache: disabled, {misses} cell(s) simulated")
+    if args.json is not None:
+        merge_records(args.json, records)
+        print(f"merged {len(records)} record(s) into {args.json}")
+    if args.assert_cached and misses:
+        print(f"--assert-cached: FAILED, {misses} cell(s) re-simulated")
+        return 1
+    return 0
 
 
 def _chaos_mode(argv) -> int:
@@ -129,9 +235,10 @@ def _chaos_mode(argv) -> int:
     schemes = (scheme_names() if args.schemes == "all"
                else args.schemes.split(","))
     plans = plan_names() if args.plans == "all" else args.plans.split(",")
-    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    seeds = range(args.seed, args.seed + args.seeds)
 
     outcomes = run_chaos_sweep(schemes=schemes, plans=plans, seeds=seeds,
+                               procs=args.procs,
                                n=args.n, processors=args.processors,
                                recover=args.recover)
     rows = []
@@ -159,7 +266,6 @@ def _chaos_mode(argv) -> int:
             f"{name}={count}" for name, count in active.items())
             if active else "none"))
     if args.json is not None:
-        import json
         args.json.write_text(json.dumps(
             [o.to_json() for o in outcomes], indent=2) + "\n")
         print(f"wrote {len(outcomes)} per-run records to {args.json}")
@@ -182,6 +288,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "chaos":
         return _chaos_mode(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_mode(argv[1:])
     args = build_parser().parse_args(argv)
 
     bindings = {}
@@ -229,6 +337,16 @@ def main(argv=None) -> int:
         print(f"  {key:22s} {value}")
     print()
     print(render_timeline(result, width=args.timeline_width))
+    if args.json is not None:
+        args.json.write_text(json.dumps({
+            "loop": name,
+            "classification": decision.classification.label,
+            "scheme": decision.chosen_scheme,
+            "processors": args.processors,
+            "schedule": args.schedule,
+            "summary": result.summary(),
+        }, sort_keys=True, indent=1) + "\n")
+        print(f"wrote run summary to {args.json}")
     return 0
 
 
@@ -248,6 +366,13 @@ def _run_program_mode(source: str, bindings, args) -> int:
         title=f"{len(loops)}-loop program on {args.processors} "
               f"processors: {program.total_cycles} total cycles "
               "(validated)")
+    if args.json is not None:
+        args.json.write_text(json.dumps({
+            "loops": program.summary(),
+            "total_cycles": program.total_cycles,
+            "processors": args.processors,
+        }, sort_keys=True, indent=1) + "\n")
+        print(f"wrote program summary to {args.json}")
     return 0
 
 

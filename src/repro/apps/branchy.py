@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..depend.model import Loop
+from ..schemes.base import RunConfig
 from ..schemes.process_oriented import ProcessOrientedScheme
 from ..sim.machine import Machine, MachineConfig
 from ..sim.metrics import RunResult
@@ -51,5 +52,5 @@ def run_branchy(policy: str = "eager", n: int = 60,
                                    eager_branch_marks=(policy == "eager"),
                                    processors=processors)
     machine = Machine(MachineConfig(processors=processors))
-    result = scheme.run(loop, machine=machine)
+    result = scheme.run(loop, config=RunConfig(machine=machine))
     return BranchRunReport(policy=policy, result=result)

@@ -21,7 +21,7 @@ from ..core.linearize import (CoalescingReport, boundary_check_cost,
                               extra_dependences)
 from ..depend.graph import DependenceGraph
 from ..depend.model import Loop, Statement
-from ..schemes.base import SyncScheme
+from ..schemes.base import RunConfig, SyncScheme
 from ..sim.machine import Machine, MachineConfig
 from ..sim.metrics import RunResult
 
@@ -69,7 +69,8 @@ def run_nested(loop: Loop, scheme: SyncScheme, processors: int = 8,
         target = with_boundary_overhead(loop, per_check=per_check)
         overhead = boundary_check_cost(loop, per_check=per_check)
     machine = Machine(MachineConfig(processors=processors))
-    result = scheme.run(target, machine=machine, validate=validate)
+    result = scheme.run(target, config=RunConfig(machine=machine,
+                                                validate=validate))
     return NestedRunReport(
         scheme=scheme.name,
         result=result,

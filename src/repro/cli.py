@@ -1,0 +1,50 @@
+"""Shared building blocks for every ``python -m repro`` subcommand.
+
+Each mode (the default compile-and-run command, ``chaos``, ``sweep``)
+used to grow its own argparse boilerplate with drifting spellings.
+This module is the single place those parsers are built from, so the
+three IO/parallelism flags mean the same thing everywhere:
+
+``--json PATH``
+    write the mode's machine-readable results (a JSON document) to PATH
+    in addition to the human-readable report on stdout;
+``--seed N``
+    base seed for every seeded component (fault plans, sweep seed
+    grids); deterministic modes accept and ignore it;
+``--procs N``
+    number of parallel worker processes used to fan out independent
+    runs (1 = serial, identical output either way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+
+def make_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    """A subcommand parser with the repository's house style."""
+    return argparse.ArgumentParser(prog=prog, description=description)
+
+
+def add_common_options(parser: argparse.ArgumentParser, *,
+                       procs_default: int = 1) -> argparse.ArgumentParser:
+    """Attach the shared ``--json`` / ``--seed`` / ``--procs`` trio.
+
+    Every subcommand gets these with identical names, types, defaults
+    and semantics (see the module docstring); returns the parser for
+    chaining.
+    """
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None, metavar="PATH",
+        help="also write machine-readable results as JSON to PATH")
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="base seed for seeded components (fault plans, sweep "
+             "seed grids)")
+    parser.add_argument(
+        "--procs", type=int, default=procs_default, metavar="N",
+        help="parallel worker processes for fanned-out runs "
+             f"(default {procs_default}; results are identical at "
+             "any value)")
+    return parser

@@ -159,25 +159,37 @@ def run_chaos_case(scheme_name: str, plan: FaultPlan, *,
         recovery=recovery_counters)
 
 
+def _sweep_case(item) -> ChaosOutcome:
+    """Pool worker: run one (scheme, plan name, seed, kwargs) cell."""
+    scheme, plan_name, seed, case_kwargs = item
+    return run_chaos_case(scheme, make_plan(plan_name, seed=seed),
+                          **case_kwargs)
+
+
 def run_chaos_sweep(schemes: Optional[Sequence[str]] = None,
                     plans: Optional[Sequence[str]] = None,
                     seeds: Iterable[int] = range(3),
+                    procs: int = 1,
                     **case_kwargs) -> List[ChaosOutcome]:
     """Sweep seeds x schemes x fault plans; return every outcome.
 
     ``schemes`` defaults to all four registered schemes, ``plans`` to
     every named preset.  Keyword arguments pass through to
-    :func:`run_chaos_case`.
+    :func:`run_chaos_case`.  ``procs`` fans the independent cells over
+    a process pool (cells are seeded and deterministic, so the outcome
+    list is identical at any worker count); with ``procs > 1`` the
+    keyword arguments must be picklable -- in particular, pass a
+    prebuilt ``loop`` only when running serially.
     """
+    from ..lab.parallel import parallel_map
+
     schemes = list(schemes) if schemes else scheme_names()
     plans = list(plans) if plans else plan_names()
-    outcomes: List[ChaosOutcome] = []
-    for scheme in schemes:
-        for plan_name in plans:
-            for seed in seeds:
-                plan = make_plan(plan_name, seed=seed)
-                outcomes.append(run_chaos_case(scheme, plan, **case_kwargs))
-    return outcomes
+    cells = [(scheme, plan_name, seed, case_kwargs)
+             for scheme in schemes
+             for plan_name in plans
+             for seed in seeds]
+    return parallel_map(_sweep_case, cells, procs=procs)
 
 
 def summarize(outcomes: Sequence[ChaosOutcome]) -> Dict[str, int]:

@@ -1,0 +1,46 @@
+"""repro.lab: the declarative experiment subsystem.
+
+The repository's evidence is ~20 benchmark sweeps over
+(scheme x loop x machine x seed) grids.  This package turns those
+hand-rolled nested loops into data:
+
+* :class:`SweepSpec` declares a grid; presets cover the standing
+  benchmark figures (``fig3.1``, ``fig3.2``, ``scheme-comparison``,
+  ``speedup``, ``kernels``, ``smoke``);
+* :func:`run_sweep` expands it, serves warm cells from a
+  content-addressed on-disk cache (keyed by a source fingerprint of
+  ``repro`` plus the cell's canonical config), fans cold cells across a
+  process pool, and merges versioned records into
+  ``BENCH_sweeps.json``;
+* :class:`RunConfig` (re-exported from :mod:`repro.schemes`) is the
+  single-object form of one run's knobs.
+
+Quick start::
+
+    from repro.lab import make_spec, run_sweep
+    report = run_sweep(make_spec("scheme-comparison"), procs=8)
+    rows = report.metrics_by("scheme")
+
+or from the shell::
+
+    python -m repro sweep --spec fig3.1 --procs 8 --json BENCH_sweeps.json
+"""
+
+from ..schemes.base import RunConfig
+from .apps import APP_BUILDERS, app_names, build_app
+from .cache import (DEFAULT_CACHE_DIR, ResultCache, source_fingerprint)
+from .parallel import parallel_map
+from .record import (RECORD_SCHEMA_VERSION, canonical_dumps, make_record,
+                     merge_records, record_is_current)
+from .runner import SweepReport, execute_cell, run_sweep
+from .spec import (AUTO_SCHEME, PRESETS, SweepCell, SweepSpec, make_spec,
+                   sweep_presets)
+
+__all__ = [
+    "APP_BUILDERS", "AUTO_SCHEME", "DEFAULT_CACHE_DIR", "PRESETS",
+    "RECORD_SCHEMA_VERSION", "ResultCache", "RunConfig", "SweepCell",
+    "SweepReport", "SweepSpec", "app_names", "build_app",
+    "canonical_dumps", "execute_cell", "make_record", "make_spec",
+    "merge_records", "parallel_map", "record_is_current", "run_sweep",
+    "source_fingerprint", "sweep_presets",
+]

@@ -1,0 +1,52 @@
+"""Named application registry: the loops a sweep can mention by name.
+
+A sweep cell must be serializable (it is hashed into the cache key and
+shipped to pool workers), so it names its workload as a string plus a
+flat parameter dict rather than holding a live :class:`Loop`.  This
+registry maps those names to the builder functions in
+:mod:`repro.apps`; every builder takes keyword parameters with ints (or
+None) as values, so ``(name, params)`` round-trips through JSON
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from ..apps.kernels import (example2_loop, example3_loop, fig21_loop,
+                            fig21_loop_with_delay, relaxation_loop,
+                            triple_nested_loop)
+from ..apps.livermore import (adi_sweep, first_difference, hydro_fragment,
+                              prefix_partials, state_fragment, tridiagonal)
+from ..depend.model import Loop
+
+#: name -> loop builder; parameters pass through as keyword arguments
+APP_BUILDERS: Dict[str, Callable[..., Loop]] = {
+    "fig2.1": fig21_loop,
+    "fig2.1-delay": fig21_loop_with_delay,
+    "example2": example2_loop,
+    "example3": example3_loop,
+    "relaxation-loop": relaxation_loop,
+    "triple-nested": triple_nested_loop,
+    "hydro": hydro_fragment,
+    "tridiag": tridiagonal,
+    "state": state_fragment,
+    "adi": adi_sweep,
+    "first-diff": first_difference,
+    "prefix": prefix_partials,
+}
+
+
+def app_names() -> List[str]:
+    """Every registered application name."""
+    return sorted(APP_BUILDERS)
+
+
+def build_app(name: str, params: Mapping[str, object]) -> Loop:
+    """Instantiate the named application with the cell's parameters."""
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; known: {app_names()}") from None
+    return builder(**params)

@@ -1,0 +1,106 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+The cache key of a cell is a SHA-256 over
+
+* the *source fingerprint* of the ``repro`` package -- a digest of
+  every ``.py`` file's path and bytes, so **any** code change (a cost
+  model tweak, an engine fix) invalidates every cached result at once;
+* the cell's canonical-JSON config;
+* the record and ``RunResult.extra`` schema versions.
+
+A warm cache therefore returns instantly and is always either exactly
+what a fresh simulation would produce, or a miss.  Entries are single
+JSON files named by their key; writes go through a temp file + rename
+so a killed sweep never leaves a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+from typing import Any, Dict, Mapping, Optional
+
+from ..sim.metrics import EXTRA_SCHEMA_VERSION
+from .record import RECORD_SCHEMA_VERSION, canonical_dumps, record_is_current
+
+#: default cache location, relative to the invoking directory
+DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache")
+
+_FINGERPRINT: Optional[str] = None
+
+
+def source_fingerprint(root: Optional[pathlib.Path] = None,
+                       refresh: bool = False) -> str:
+    """Digest of the ``repro`` source tree (or ``root``), hex-encoded.
+
+    Hashes relative paths and file bytes of every ``*.py`` under the
+    package in sorted order; memoized per process since the tree cannot
+    change under a running sweep.
+    """
+    global _FINGERPRINT
+    if root is None and _FINGERPRINT is not None and not refresh:
+        return _FINGERPRINT
+    if root is None:
+        package_root = pathlib.Path(__file__).resolve().parent.parent
+    else:
+        package_root = pathlib.Path(root)
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    value = digest.hexdigest()
+    if root is None:
+        _FINGERPRINT = value
+    return value
+
+
+class ResultCache:
+    """Content-addressed store of run records under one directory."""
+
+    def __init__(self, root: pathlib.Path,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = fingerprint or source_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, config: Mapping[str, Any]) -> str:
+        """The cell's content address (hex SHA-256)."""
+        material = canonical_dumps({
+            "fingerprint": self.fingerprint,
+            "config": dict(config),
+            "record_schema": RECORD_SCHEMA_VERSION,
+            "extra_schema": EXTRA_SCHEMA_VERSION,
+        })
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record for ``key``, or None on miss/stale entry."""
+        path = self._path(key)
+        try:
+            import json
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not record_is_current(record):
+            # produced by older code: detected and invalidated, never
+            # silently mixed into a fresh sweep
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, key: str, record: Mapping[str, Any]) -> None:
+        """Persist ``record`` under ``key`` (atomic rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(canonical_dumps(dict(record)) + "\n")
+        tmp.replace(path)

@@ -1,0 +1,41 @@
+"""Process-pool fan-out shared by the sweep engine and the chaos CLI.
+
+Kept free of any ``repro`` imports so every harness (``repro sweep``,
+``repro chaos``) can use it without import cycles.  Workers receive
+plain picklable items and the mapped function must be a module-level
+callable; results come back in submission order, so a parallel map is a
+drop-in replacement for the serial list comprehension and downstream
+output stays deterministic regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The cheapest safe start method: fork where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def parallel_map(fn: Callable[[Item], Result], items: Iterable[Item],
+                 procs: int = 1) -> List[Result]:
+    """Map ``fn`` over ``items`` with ``procs`` workers, keeping order.
+
+    ``procs <= 1`` (or a single item) runs inline -- no pool, no fork --
+    so the serial path has zero multiprocessing overhead and identical
+    semantics.  Items are handed out one at a time (``chunksize=1``)
+    because sweep cells have widely varying simulation costs; batching
+    would serialize a cheap cell behind an expensive one.
+    """
+    work: Sequence[Item] = list(items)
+    if procs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with pool_context().Pool(processes=min(procs, len(work))) as pool:
+        return pool.map(fn, work, chunksize=1)

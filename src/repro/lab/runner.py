@@ -1,0 +1,217 @@
+"""The sweep engine: expand a spec, consult the cache, fan out, merge.
+
+:func:`run_sweep` is the one entry point behind both the
+``python -m repro sweep`` command and the benchmarks.  Its contract:
+
+* **incremental** -- each cell is looked up in the content-addressed
+  :class:`~repro.lab.cache.ResultCache` first; only cells whose inputs
+  (source tree or config) changed are re-simulated;
+* **parallel** -- cache misses fan out across a process pool
+  (simulations are deterministic and share nothing, so workers are
+  safe);
+* **deterministic** -- records come back in grid order and contain no
+  environment facts, so the merged ``BENCH_sweeps.json`` is
+  byte-identical whether the sweep ran serially, on 8 workers, or
+  entirely from cache.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..compiler.pipeline import compile_loop
+from ..faults.plan import make_plan
+from ..recovery import RecoveryPolicy
+from ..schemes.base import RunConfig
+from ..schemes.registry import make_scheme
+from ..sim import (DeadlockError, Machine, MachineConfig,
+                   SimulationLimitError, ValidationError)
+from .apps import build_app
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .record import make_record, merge_records
+from .parallel import parallel_map
+from .spec import AUTO_SCHEME, SweepCell, SweepSpec
+
+#: engine guards applied to fault-plan cells (mirrors the chaos harness:
+#: an injected hazard must surface as a diagnosed error, not a hang)
+FAULT_MAX_CYCLES = 2_000_000
+FAULT_STAGNATION_LIMIT = 20_000
+
+
+def _machine_for(config: Mapping[str, Any]) -> Machine:
+    plan_name = config.get("plan")
+    plan = (make_plan(plan_name, seed=config["seed"])
+            if plan_name else None)
+    policy = RecoveryPolicy() if (plan is not None
+                                  and config.get("recover")) else None
+    kwargs: Dict[str, Any] = {}
+    if plan is not None:
+        kwargs.update(fault_plan=plan, recovery=policy,
+                      max_cycles=FAULT_MAX_CYCLES,
+                      stagnation_limit=FAULT_STAGNATION_LIMIT)
+    return Machine(MachineConfig(
+        processors=config["processors"], schedule=config["schedule"],
+        record_trace=bool(config["validate"]), **kwargs))
+
+
+def execute_cell(config: Mapping[str, Any],
+                 key: Optional[str] = None) -> Dict[str, Any]:
+    """Simulate one cell config and return its versioned record.
+
+    Module-level (picklable) so pool workers can run it directly.  The
+    outcome taxonomy matches the chaos harness: ``ok``, ``serial``
+    (compiler declined to parallelize), ``deadlock-diagnosed``,
+    ``limit-diagnosed``, ``corruption-detected``.
+    """
+    key = key or SweepCell(app=config["app"],
+                           app_params=tuple(sorted(
+                               config["app_params"].items())),
+                           scheme=config["scheme"],
+                           processors=config["processors"],
+                           schedule=config["schedule"],
+                           seed=config["seed"],
+                           wait_bound=config["wait_bound"],
+                           validate=config["validate"],
+                           plan=config.get("plan"),
+                           recover=bool(config.get("recover"))).key
+    loop = build_app(config["app"], config["app_params"])
+    serial_cycles = loop.serial_cycles()
+    machine = _machine_for(config)
+    compile_info: Optional[Dict[str, Any]] = None
+    if config["scheme"] == AUTO_SCHEME:
+        decision = compile_loop(loop, processors=config["processors"])
+        compile_info = {
+            "classification": decision.classification.label,
+            "delay": (round(decision.delay.delay, 4)
+                      if decision.delay is not None else None),
+            "scheme": decision.chosen_scheme,
+        }
+        if not decision.runs_parallel:
+            return make_record(key, config, outcome="serial",
+                               serial_cycles=serial_cycles,
+                               compile_info=compile_info)
+        instrumented = decision.instrumented
+    else:
+        instrumented = make_scheme(config["scheme"]).instrument(loop)
+    if config["wait_bound"] is not None:
+        instrumented.bound_waits(config["wait_bound"])
+    try:
+        result = machine.run(instrumented)
+    except DeadlockError as err:
+        return make_record(key, config, outcome="deadlock-diagnosed",
+                           serial_cycles=serial_cycles,
+                           compile_info=compile_info,
+                           error=str(err).splitlines()[0])
+    except SimulationLimitError as err:
+        return make_record(key, config, outcome="limit-diagnosed",
+                           serial_cycles=serial_cycles,
+                           compile_info=compile_info,
+                           error=str(err).splitlines()[0])
+    if config["validate"]:
+        try:
+            instrumented.validate(result)
+        except ValidationError as err:
+            return make_record(key, config, outcome="corruption-detected",
+                               result=result, serial_cycles=serial_cycles,
+                               compile_info=compile_info,
+                               error=str(err).splitlines()[0])
+    return make_record(key, config, outcome="ok", result=result,
+                       serial_cycles=serial_cycles,
+                       compile_info=compile_info)
+
+
+def _worker(item: Tuple[Dict[str, Any], str]) -> Dict[str, Any]:
+    config, key = item
+    return execute_cell(config, key)
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` call produced."""
+
+    spec_name: str
+    records: List[Dict[str, Any]]
+    hits: int
+    misses: int
+    procs: int
+    json_path: Optional[pathlib.Path] = None
+    #: extra per-report notes (e.g. cache fingerprint) for display
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_cached(self) -> bool:
+        """True when every cell was served from the warm cache."""
+        return self.misses == 0 and bool(self.records)
+
+    def metrics_by(self, *config_fields: str) -> Dict[Tuple, Dict]:
+        """Index the records' metrics by the given config fields.
+
+        Benchmarks use this to keep paper-shaped assertions terse::
+
+            rows = report.metrics_by("scheme", "app_params.n")
+            rows[("reference-based", 50)]["sync_vars"]
+
+        A field may use dotted access into ``app_params``.
+        """
+        out: Dict[Tuple, Dict] = {}
+        for record in self.records:
+            parts: List[Any] = []
+            for name in config_fields:
+                if name.startswith("app_params."):
+                    parts.append(record["config"]["app_params"].get(
+                        name.split(".", 1)[1]))
+                else:
+                    parts.append(record["config"].get(name))
+            out[tuple(parts)] = record["metrics"]
+        return out
+
+
+def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
+              procs: int = 1,
+              cache_dir: Optional[pathlib.Path] = DEFAULT_CACHE_DIR,
+              cache: Optional[ResultCache] = None,
+              json_path: Optional[pathlib.Path] = None) -> SweepReport:
+    """Run a sweep: expand, cache-check, simulate misses, merge.
+
+    ``cache_dir=None`` disables caching entirely; passing an explicit
+    ``cache`` overrides ``cache_dir``.  ``json_path`` merges the run's
+    records into that versioned store (see
+    :func:`~repro.lab.record.merge_records`).
+    """
+    if isinstance(spec, SweepSpec):
+        name, cells = spec.name, spec.cells()
+    else:
+        name, cells = "custom", list(spec)
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(pathlib.Path(cache_dir))
+
+    records: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    todo: List[Tuple[int, Dict[str, Any], str]] = []
+    for index, cell in enumerate(cells):
+        config = cell.config()
+        if cache is not None:
+            cached = cache.load(cache.key_for(config))
+            if cached is not None:
+                records[index] = cached
+                continue
+        todo.append((index, config, cell.key))
+
+    fresh = parallel_map(_worker,
+                         [(config, key) for _i, config, key in todo],
+                         procs=procs)
+    for (index, config, _key), record in zip(todo, fresh):
+        records[index] = record
+        if cache is not None:
+            cache.store(cache.key_for(config), record)
+
+    done = [record for record in records if record is not None]
+    report = SweepReport(
+        spec_name=name, records=done, hits=len(cells) - len(todo),
+        misses=len(todo),
+        procs=procs, json_path=json_path,
+        notes={"fingerprint": cache.fingerprint[:12]} if cache else {})
+    if json_path is not None:
+        merge_records(pathlib.Path(json_path), done)
+    return report

@@ -1,0 +1,266 @@
+"""Declarative sweep specifications: what to run, as data.
+
+A :class:`SweepSpec` names a grid -- apps x schemes x machine shapes x
+seeds x wait bounds (x optional fault plans) -- and expands it into
+:class:`SweepCell` values.  A cell is the atomic unit of work the
+:mod:`repro.lab.runner` executes: it is frozen, hashable, and converts
+to a canonical JSON-able ``config`` dict that both keys the on-disk
+cache and ships to pool workers.
+
+Specs come from three places:
+
+* the named presets here (``sweep_presets()``), which encode the
+  repository's standing benchmark grids (Fig 3.1, Fig 3.2, the scheme
+  comparison, the speedup curves, the kernel suite);
+* a JSON file (``SweepSpec.from_json``), for ad-hoc grids from the
+  command line;
+* code, for tests and custom harnesses.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..schemes.registry import scheme_names
+from .apps import APP_BUILDERS
+
+#: scheme name meaning "let the compiler pipeline pick"
+AUTO_SCHEME = "auto"
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of a sweep grid: a single simulated run, as data.
+
+    ``app_params`` is a sorted tuple of ``(name, value)`` pairs so the
+    cell stays hashable; :meth:`config` rebuilds the dict form.
+    """
+
+    app: str
+    app_params: Tuple[Tuple[str, Any], ...]
+    scheme: str
+    processors: int
+    schedule: str = "self"
+    seed: int = 0
+    wait_bound: Optional[int] = None
+    validate: bool = True
+    #: fault-plan preset name (None: clean run); the cell's ``seed``
+    #: seeds the plan, exactly as in ``python -m repro chaos``
+    plan: Optional[str] = None
+    #: enable the recovery layer under the fault plan
+    recover: bool = False
+
+    def config(self) -> Dict[str, Any]:
+        """The cell as a canonical, JSON-able config dict."""
+        return {
+            "app": self.app,
+            "app_params": dict(self.app_params),
+            "scheme": self.scheme,
+            "processors": self.processors,
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "wait_bound": self.wait_bound,
+            "validate": self.validate,
+            "plan": self.plan,
+            "recover": self.recover,
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity, used to index merged records."""
+        params = ",".join(f"{k}={v}" for k, v in self.app_params)
+        parts = [f"{self.app}({params})", self.scheme,
+                 f"p{self.processors}", self.schedule, f"seed{self.seed}"]
+        if self.wait_bound is not None:
+            parts.append(f"wait{self.wait_bound}")
+        if self.plan is not None:
+            parts.append(f"plan={self.plan}" + ("+recover" if self.recover
+                                                else ""))
+        return "/".join(parts)
+
+
+def _freeze_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named grid of runs: the cross product of every axis below."""
+
+    name: str
+    #: (app name, parameter dict) points; not crossed with each other
+    apps: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]
+    #: scheme names, or :data:`AUTO_SCHEME` for compiler selection
+    schemes: Tuple[str, ...]
+    processors: Tuple[int, ...] = (8,)
+    schedules: Tuple[str, ...] = ("self",)
+    seeds: Tuple[int, ...] = (0,)
+    wait_bounds: Tuple[Optional[int], ...] = (None,)
+    #: fault-plan presets ((None,): clean runs only)
+    plans: Tuple[Optional[str], ...] = (None,)
+    recover: bool = False
+    validate: bool = True
+
+    @staticmethod
+    def build(name: str, apps: Sequence[Tuple[str, Mapping[str, Any]]],
+              schemes: Sequence[str], **axes: Any) -> "SweepSpec":
+        """Convenience constructor taking plain dicts/lists."""
+        frozen_apps = tuple((app, _freeze_params(params))
+                            for app, params in apps)
+        for key in ("processors", "schedules", "seeds", "wait_bounds",
+                    "plans"):
+            if key in axes:
+                axes[key] = tuple(axes[key])
+        return SweepSpec(name=name, apps=frozen_apps,
+                         schemes=tuple(schemes), **axes)
+
+    def __post_init__(self) -> None:
+        for app, _params in self.apps:
+            if app not in APP_BUILDERS:
+                raise ValueError(f"unknown app {app!r} in spec "
+                                 f"{self.name!r}")
+        known = set(scheme_names()) | {AUTO_SCHEME}
+        for scheme in self.schemes:
+            if scheme not in known:
+                raise ValueError(f"unknown scheme {scheme!r} in spec "
+                                 f"{self.name!r}")
+        if not self.apps or not self.schemes:
+            raise ValueError(f"spec {self.name!r} has an empty grid")
+
+    def cells(self) -> List[SweepCell]:
+        """Expand the grid in deterministic (nested-axis) order."""
+        out: List[SweepCell] = []
+        for app, params in self.apps:
+            for scheme in self.schemes:
+                for procs in self.processors:
+                    for schedule in self.schedules:
+                        for plan in self.plans:
+                            for seed in self.seeds:
+                                for bound in self.wait_bounds:
+                                    out.append(SweepCell(
+                                        app=app, app_params=params,
+                                        scheme=scheme, processors=procs,
+                                        schedule=schedule, seed=seed,
+                                        wait_bound=bound,
+                                        validate=self.validate,
+                                        plan=plan,
+                                        recover=self.recover and
+                                        plan is not None))
+        return out
+
+    def with_seed_base(self, base: int) -> "SweepSpec":
+        """The same grid with every seed shifted by ``base``."""
+        if not base:
+            return self
+        import dataclasses
+        return dataclasses.replace(
+            self, seeds=tuple(s + base for s in self.seeds))
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-able form, the inverse of :meth:`from_json`."""
+        return {
+            "name": self.name,
+            "apps": [[app, dict(params)] for app, params in self.apps],
+            "schemes": list(self.schemes),
+            "processors": list(self.processors),
+            "schedules": list(self.schedules),
+            "seeds": list(self.seeds),
+            "wait_bounds": list(self.wait_bounds),
+            "plans": list(self.plans),
+            "recover": self.recover,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_json(cls, data: Union[str, pathlib.Path, Mapping[str, Any]],
+                  ) -> "SweepSpec":
+        """Load a spec from a dict, a JSON string, or a ``.json`` path."""
+        if isinstance(data, pathlib.Path):
+            data = json.loads(data.read_text())
+        elif isinstance(data, str):
+            data = json.loads(data)
+        axes = {key: data[key] for key in
+                ("processors", "schedules", "seeds", "wait_bounds",
+                 "plans") if key in data}
+        if "recover" in data:
+            axes["recover"] = bool(data["recover"])
+        if "validate" in data:
+            axes["validate"] = bool(data["validate"])
+        return cls.build(data["name"],
+                         [(app, params) for app, params in data["apps"]],
+                         data["schemes"], **axes)
+
+
+def _fig31_spec() -> SweepSpec:
+    return SweepSpec.build(
+        "fig3.1",
+        apps=[("fig2.1", {"n": n}) for n in (50, 100, 200, 400)],
+        schemes=["reference-based", "instance-based"])
+
+
+def _fig32_spec() -> SweepSpec:
+    n = 96
+    apps: List[Tuple[str, Dict[str, Any]]] = [("fig2.1", {"n": n})]
+    apps += [("fig2.1-delay", {"n": n, "slow_iteration": n // 3,
+                               "slow_cost": cost})
+             for cost in (400, 1600, 6400)]
+    return SweepSpec.build(
+        "fig3.2", apps=apps,
+        schemes=["statement-oriented", "process-oriented"])
+
+
+def _comparison_spec() -> SweepSpec:
+    return SweepSpec.build(
+        "scheme-comparison",
+        apps=[("fig2.1", {"n": n}) for n in (120, 240)],
+        schemes=scheme_names())
+
+
+def _speedup_spec() -> SweepSpec:
+    return SweepSpec.build(
+        "speedup",
+        apps=[("fig2.1", {"n": 80})], schemes=scheme_names(),
+        processors=(1, 2, 4, 8, 16), validate=False)
+
+
+def _kernels_spec() -> SweepSpec:
+    apps: List[Tuple[str, Dict[str, Any]]] = [
+        (name, {"n": 64, "cost": 30})
+        for name in ("hydro", "tridiag", "state", "first-diff", "prefix")]
+    apps.append(("adi", {"n": 10, "m": 8, "cost": 30}))
+    return SweepSpec.build("kernels", apps=apps, schemes=[AUTO_SCHEME])
+
+
+def _smoke_spec() -> SweepSpec:
+    return SweepSpec.build(
+        "smoke",
+        apps=[("fig2.1", {"n": n, "cost": 8}) for n in (12, 16)],
+        schemes=scheme_names(), processors=(4,))
+
+
+#: name -> builder for the repository's standing grids
+PRESETS = {
+    "fig3.1": _fig31_spec,
+    "fig3.2": _fig32_spec,
+    "scheme-comparison": _comparison_spec,
+    "speedup": _speedup_spec,
+    "kernels": _kernels_spec,
+    "smoke": _smoke_spec,
+}
+
+
+def sweep_presets() -> List[str]:
+    """Names of the built-in sweep specifications."""
+    return sorted(PRESETS)
+
+
+def make_spec(name: str) -> SweepSpec:
+    """Instantiate a preset spec by name."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise ValueError(f"unknown sweep preset {name!r}; known: "
+                         f"{sweep_presets()}") from None

@@ -9,7 +9,7 @@ interface:
 * ``process-oriented`` -- the paper's proposal: folded process counters
 """
 
-from .base import (InstrumentedLoop, SyncScheme, bound_waits,
+from .base import (InstrumentedLoop, RunConfig, SyncScheme, bound_waits,
                    execute_statement)
 from .instance_based import (InstanceBasedLoop, InstanceBasedScheme,
                              Instance, ReadBinding, rename)
@@ -23,7 +23,7 @@ from .statement_oriented import (StatementOrientedLoop,
 __all__ = [
     "InstrumentedLoop", "Instance", "InstanceBasedLoop",
     "InstanceBasedScheme", "KeyedAccess", "ProcessOrientedLoop",
-    "ProcessOrientedScheme", "ReadBinding", "ReferenceBasedLoop",
+    "ProcessOrientedScheme", "ReadBinding", "ReferenceBasedLoop", "RunConfig",
     "ReferenceBasedScheme", "StatementOrientedLoop",
     "StatementOrientedScheme", "SyncScheme", "at_least", "bound_waits",
     "execute_statement", "make_scheme", "plan_accesses", "rename",

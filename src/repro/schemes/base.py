@@ -16,8 +16,9 @@ validators compare those reads/stores against a sequential execution.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from ..depend.graph import DependenceGraph
@@ -31,6 +32,29 @@ from ..sim.sync_bus import SyncFabric
 from ..sim.validate import (check_dependence_instances, check_final_state,
                             check_reads_match_recovered,
                             check_reads_match_sequential, mix)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Every knob of one instrumented run, as a single immutable value.
+
+    Collapses the kwarg pile :meth:`SyncScheme.run` had grown
+    (``graph``, ``machine``, ``validate``, ``wait_bound``) into one
+    object that can be built once and fanned across schemes and loops --
+    the unit the :mod:`repro.lab` sweep engine iterates over.  Frozen so
+    a config can key dictionaries and be shared between runs without
+    aliasing surprises.
+    """
+
+    #: dependence graph to synchronize against (None: computed from the
+    #: loop)
+    graph: Optional[DependenceGraph] = None
+    #: machine to simulate on (None: a default 8-processor machine)
+    machine: Optional[Machine] = None
+    #: check the run against sequential semantics afterwards
+    validate: bool = True
+    #: cap every emitted wait at this many cycles (None: unbounded)
+    wait_bound: Optional[int] = None
 
 
 def execute_statement(loop: Loop, stmt: Statement, index: Index,
@@ -213,23 +237,43 @@ class SyncScheme(ABC):
                    graph: Optional[DependenceGraph] = None) -> InstrumentedLoop:
         """Wrap ``loop`` in this scheme's synchronization operations."""
 
-    def run(self, loop: Loop,
-            graph: Optional[DependenceGraph] = None,
-            machine: Optional[Machine] = None,
-            validate: bool = True,
-            wait_bound: Optional[int] = None) -> RunResult:
+    def run(self, loop: Loop, config: Optional[RunConfig] = None,
+            **legacy: Any) -> RunResult:
         """Convenience: instrument, simulate, optionally validate.
 
-        ``wait_bound`` caps every emitted wait at that many cycles (the
-        bounded-wait option): a starved wait then raises a diagnosed
-        DeadlockError instead of hanging until the cycle budget.
+        The run is described by a single :class:`RunConfig`::
+
+            scheme.run(loop, config=RunConfig(machine=m, wait_bound=500))
+
+        The pre-RunConfig keyword arguments (``graph``, ``machine``,
+        ``validate``, ``wait_bound``) still work but are deprecated:
+        they emit a :class:`DeprecationWarning` and are folded into an
+        equivalent config, so both spellings return identical results.
         """
-        machine = machine or Machine(MachineConfig())
-        instrumented = self.instrument(loop, graph)
-        if wait_bound is not None:
-            instrumented.bound_waits(wait_bound)
+        if legacy:
+            unknown = set(legacy) - {"graph", "machine", "validate",
+                                     "wait_bound"}
+            if unknown:
+                raise TypeError(
+                    f"run() got unexpected keyword arguments "
+                    f"{sorted(unknown)}")
+            if config is not None:
+                raise TypeError(
+                    "pass either config= or the deprecated individual "
+                    "kwargs, not both")
+            warnings.warn(
+                "scheme.run(loop, graph=..., machine=..., validate=..., "
+                "wait_bound=...) is deprecated; pass a single "
+                "RunConfig: scheme.run(loop, config=RunConfig(...))",
+                DeprecationWarning, stacklevel=2)
+            config = RunConfig(**legacy)
+        config = config or RunConfig()
+        machine = config.machine or Machine(MachineConfig())
+        instrumented = self.instrument(loop, config.graph)
+        if config.wait_bound is not None:
+            instrumented.bound_waits(config.wait_bound)
         result = machine.run(instrumented)
-        if validate:
+        if config.validate:
             if not machine.config.record_trace:
                 raise ValueError("validation requires record_trace=True")
             instrumented.validate(result)

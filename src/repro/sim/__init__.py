@@ -12,7 +12,8 @@ from .engine import (AccessRecord, DeadlockError, Engine, HazardError,
                      SimulationLimitError, TaskStats)
 from .machine import Machine, MachineConfig, SCHED_COUNTER, Workload
 from .memory import MemoryConfig, SharedMemory
-from .metrics import RunResult
+from .metrics import (EXTRA_SCHEMA_VERSION, FaultCounters, RecoveryCounters,
+                      RunResult)
 from .ops import (Address, Annotate, Compute, Fence, MemRead, MemWrite,
                   SyncRead, SyncUpdate, SyncWrite, WaitUntil)
 from .scheduler import Scheduler, SelfScheduler, StaticScheduler
@@ -26,8 +27,10 @@ from .validate import (DependenceInstance, Tag, ValidationError,
 __all__ = [
     "AccessRecord", "Address", "Annotate", "BroadcastSyncFabric",
     "CachedSyncFabric", "Compute",
-    "DeadlockError", "DependenceInstance", "Engine", "Fence",
+    "DeadlockError", "DependenceInstance", "EXTRA_SCHEMA_VERSION", "Engine",
+    "FaultCounters", "Fence",
     "HazardError", "Machine",
+    "RecoveryCounters",
     "MachineConfig", "MemRead", "MemWrite", "MemoryConfig",
     "MemorySyncFabric", "RunResult", "SCHED_COUNTER", "Scheduler",
     "SelfScheduler", "SharedMemory", "SimulationLimitError", "StaticScheduler",

@@ -18,7 +18,7 @@ from ..faults.plan import FaultPlan
 from ..recovery import RecoveryManager, RecoveryPolicy
 from .engine import Engine, HazardError
 from .memory import MemoryConfig, SharedMemory
-from .metrics import RunResult
+from .metrics import EXTRA_SCHEMA_VERSION, RunResult
 from .ops import Address, MemRead
 from .scheduler import (ChunkSelfScheduler, GuidedSelfScheduler,
                         Scheduler, SelfScheduler, StaticScheduler)
@@ -189,7 +189,8 @@ class Machine:
             raise
 
         covered = getattr(fabric, "covered_writes", 0)
-        extra: Dict[str, Any] = {"events": engine.events,
+        extra: Dict[str, Any] = {"schema_version": EXTRA_SCHEMA_VERSION,
+                                 "events": engine.events,
                                  "activity": engine.activity}
         if injector is not None:
             extra["faults"] = dict(injector.counters)

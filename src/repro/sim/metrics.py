@@ -11,10 +11,71 @@ directly from this record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping
 
 from .engine import AccessRecord, TaskStats
+
+#: Version of the ``RunResult.extra`` payload schema.  The machine
+#: stamps every result with it (``extra["schema_version"]``) and cached
+#: :mod:`repro.lab` records carry it, so records produced by older code
+#: -- whose counter names or nesting may differ -- are *detected and
+#: invalidated* instead of silently mixed into fresh sweeps.  Bump it
+#: whenever the shape of ``extra`` (key names, counter semantics,
+#: nesting) changes.
+EXTRA_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultCounters:
+    """Typed view of ``extra["faults"]`` (zeros when the run was clean).
+
+    Field names mirror the :class:`~repro.faults.injector.FaultInjector`
+    counter keys; unknown keys from future injector versions are ignored
+    by :meth:`from_extra` (the schema version is what gates mixing).
+    """
+
+    injected_stalls: int = 0
+    injected_stall_cycles: int = 0
+    crashes: int = 0
+    jittered_accesses: int = 0
+    dropped_updates: int = 0
+    duplicated_updates: int = 0
+    lost_broadcasts: int = 0
+    delayed_broadcasts: int = 0
+
+    @classmethod
+    def from_extra(cls, extra: Mapping[str, Any]) -> "FaultCounters":
+        """Build the typed view from a result's ``extra`` mapping."""
+        raw = extra.get("faults", {})
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in raw.items()
+                      if key in names})
+
+
+@dataclass(frozen=True)
+class RecoveryCounters:
+    """Typed view of ``extra["recovery"]`` (zeros when none ran).
+
+    Field names mirror the :class:`~repro.recovery.RecoveryManager`
+    counter keys.
+    """
+
+    retransmissions: int = 0
+    forced_deliveries: int = 0
+    reincarnations: int = 0
+    reclaimed_iterations: int = 0
+    fallback_epochs: int = 0
+    fallback_polls: int = 0
+    recovery_overhead_cycles: int = 0
+
+    @classmethod
+    def from_extra(cls, extra: Mapping[str, Any]) -> "RecoveryCounters":
+        """Build the typed view from a result's ``extra`` mapping."""
+        raw = extra.get("recovery", {})
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in raw.items()
+                      if key in names})
 
 
 @dataclass
@@ -56,6 +117,26 @@ class RunResult:
     @property
     def total_sync_ops(self) -> int:
         return sum(p.sync_ops for p in self.processors)
+
+    @property
+    def schema_version(self) -> int:
+        """Version of the ``extra`` payload this result carries.
+
+        Results produced before the schema was versioned report ``0``;
+        the lab cache treats any mismatch with
+        :data:`EXTRA_SCHEMA_VERSION` as stale and re-simulates.
+        """
+        return int(self.extra.get("schema_version", 0))
+
+    @property
+    def fault_counters(self) -> FaultCounters:
+        """Typed accessor for the fault-injection counters."""
+        return FaultCounters.from_extra(self.extra)
+
+    @property
+    def recovery_counters(self) -> RecoveryCounters:
+        """Typed accessor for the recovery-layer counters."""
+        return RecoveryCounters.from_extra(self.extra)
 
     @property
     def faults(self) -> Dict[str, int]:

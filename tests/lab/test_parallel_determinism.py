@@ -1,0 +1,51 @@
+"""Serial, parallel, and cached sweeps must produce identical bytes."""
+
+from __future__ import annotations
+
+from repro.lab import SweepSpec, run_sweep
+from repro.schemes import scheme_names
+
+
+def grid_spec():
+    """A small multi-cell grid exercising every scheme."""
+    return SweepSpec.build(
+        "determinism",
+        apps=[("fig2.1", {"n": n, "cost": 4}) for n in (10, 14)],
+        schemes=scheme_names(), processors=(2,))
+
+
+def test_parallel_json_byte_identical_to_serial(tmp_path):
+    serial_json = tmp_path / "serial.json"
+    parallel_json = tmp_path / "parallel.json"
+    cached_json = tmp_path / "cached.json"
+
+    serial = run_sweep(grid_spec(), procs=1,
+                       cache_dir=tmp_path / "cache-serial",
+                       json_path=serial_json)
+    parallel = run_sweep(grid_spec(), procs=8,
+                         cache_dir=tmp_path / "cache-parallel",
+                         json_path=parallel_json)
+    cached = run_sweep(grid_spec(), procs=8,
+                       cache_dir=tmp_path / "cache-parallel",
+                       json_path=cached_json)
+
+    assert serial.misses == parallel.misses == len(grid_spec().cells())
+    assert cached.all_cached
+    assert serial.records == parallel.records == cached.records
+    assert (serial_json.read_bytes() == parallel_json.read_bytes()
+            == cached_json.read_bytes())
+
+
+def test_parallel_preserves_grid_order(tmp_path):
+    spec = grid_spec()
+    expected = [cell.key for cell in spec.cells()]
+    report = run_sweep(spec, procs=4, cache_dir=None)
+    assert [record["key"] for record in report.records] == expected
+
+
+def test_records_carry_no_environment_facts(tmp_path):
+    report = run_sweep(grid_spec(), procs=2, cache_dir=None)
+    for record in report.records:
+        text = str(sorted(record))
+        for banned in ("time", "host", "pid", "date"):
+            assert banned not in text, (banned, sorted(record))

@@ -1,0 +1,94 @@
+"""SweepSpec expansion, validation, presets, and JSON round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lab import SweepSpec, make_spec, run_sweep, sweep_presets
+from repro.lab.apps import app_names, build_app
+from repro.schemes import scheme_names
+
+
+def test_presets_expand_to_valid_cells():
+    for name in sweep_presets():
+        spec = make_spec(name)
+        cells = spec.cells()
+        assert cells, name
+        # deterministic expansion: same spec, same order
+        assert [c.key for c in cells] == [c.key for c in spec.cells()]
+        assert len({c.key for c in cells}) == len(cells)
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="unknown sweep preset"):
+        make_spec("nope")
+
+
+def test_cells_cross_product():
+    spec = SweepSpec.build(
+        "cross", apps=[("fig2.1", {"n": 8}), ("fig2.1", {"n": 12})],
+        schemes=["process-oriented", "statement-oriented"],
+        processors=(2, 4), seeds=(0, 1), wait_bounds=(None, 500))
+    cells = spec.cells()
+    assert len(cells) == 2 * 2 * 2 * 2 * 2
+    assert len({c.key for c in cells}) == len(cells)
+
+
+def test_spec_validates_apps_and_schemes():
+    with pytest.raises(ValueError, match="unknown app"):
+        SweepSpec.build("bad", apps=[("nope", {})],
+                        schemes=["process-oriented"])
+    with pytest.raises(ValueError, match="unknown scheme"):
+        SweepSpec.build("bad", apps=[("fig2.1", {"n": 8})],
+                        schemes=["nope"])
+    with pytest.raises(ValueError, match="empty grid"):
+        SweepSpec.build("bad", apps=[], schemes=scheme_names())
+
+
+def test_json_round_trip(tmp_path):
+    spec = make_spec("smoke")
+    assert SweepSpec.from_json(spec.to_json()) == spec
+    assert SweepSpec.from_json(json.dumps(spec.to_json())) == spec
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_json()))
+    assert SweepSpec.from_json(path) == spec
+
+
+def test_with_seed_base_shifts_seeds():
+    spec = SweepSpec.build("seeded", apps=[("fig2.1", {"n": 8})],
+                           schemes=["process-oriented"], seeds=(0, 1))
+    shifted = spec.with_seed_base(10)
+    assert shifted.seeds == (10, 11)
+    assert spec.with_seed_base(0) is spec
+    assert {c.seed for c in shifted.cells()} == {10, 11}
+
+
+def test_cell_key_is_human_readable():
+    spec = SweepSpec.build("keys", apps=[("fig2.1", {"n": 8})],
+                           schemes=["process-oriented"],
+                           processors=(4,), wait_bounds=(250,))
+    (cell,) = spec.cells()
+    assert cell.key == "fig2.1(n=8)/process-oriented/p4/self/seed0/wait250"
+
+
+def test_every_registered_app_builds():
+    for name in app_names():
+        loop = build_app(name, {})
+        assert loop.serial_cycles() > 0, name
+
+
+def test_build_app_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown app"):
+        build_app("nope", {})
+
+
+def test_auto_scheme_runs_through_compiler(tmp_path):
+    spec = SweepSpec.build("auto-one", apps=[("fig2.1", {"n": 10})],
+                           schemes=["auto"], processors=(2,))
+    report = run_sweep(spec, cache_dir=None)
+    (record,) = report.records
+    assert record["outcome"] == "ok"
+    assert record["compile"]["classification"] == "doacross"
+    assert record["compile"]["scheme"] in scheme_names()

@@ -6,7 +6,8 @@ import pathlib
 
 import pytest
 
-from repro.__main__ import DEMO_SOURCE, build_parser, main
+from repro.__main__ import (DEMO_SOURCE, build_chaos_parser, build_parser,
+                            build_sweep_parser, main)
 
 
 def test_demo_runs(capsys):
@@ -105,6 +106,83 @@ def test_chaos_mode_recover_writes_json(tmp_path, capsys):
 def test_chaos_mode_rejects_unknown_plan(capsys):
     with pytest.raises(ValueError, match="unknown fault plan"):
         main(["chaos", "--seeds", "1", "--plans", "nope"])
+
+
+def test_common_options_uniform_across_modes():
+    """--json/--seed/--procs mean the same thing in every subcommand."""
+    for build in (build_parser, build_chaos_parser, build_sweep_parser):
+        args = build().parse_args([] if build is not build_parser
+                                  else ["--demo"])
+        assert args.json is None
+        assert args.seed == 0
+        assert args.procs == 1
+        args = build().parse_args(
+            (["--demo"] if build is build_parser else [])
+            + ["--json", "out.json", "--seed", "7", "--procs", "3"])
+        assert args.json == pathlib.Path("out.json")
+        assert args.seed == 7
+        assert args.procs == 3
+
+
+def test_sweep_list(capsys):
+    assert main(["sweep", "--list"]) == 0
+    out = capsys.readouterr().out
+    for preset in ("fig3.1", "fig3.2", "scheme-comparison", "speedup",
+                   "kernels", "smoke"):
+        assert preset in out
+
+
+def test_sweep_requires_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep"])
+    assert "--spec" in capsys.readouterr().err
+
+
+def test_sweep_cold_then_warm(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    store = tmp_path / "sweeps.json"
+    argv = ["sweep", "--spec", "smoke", "--cache-dir", str(cache),
+            "--json", str(store)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "0 hit(s), 8 miss(es)" in out
+    assert "merged 8 record(s)" in out
+    first = store.read_bytes()
+
+    # warm: every cell a cache hit, byte-identical merged store
+    assert main(argv + ["--assert-cached"]) == 0
+    out = capsys.readouterr().out
+    assert "8 hit(s), 0 miss(es)" in out
+    assert store.read_bytes() == first
+    records = json.loads(store.read_text())["records"]
+    assert len(records) == 8
+    assert all(r["outcome"] == "ok" for r in records.values())
+
+
+def test_sweep_assert_cached_fails_cold(tmp_path, capsys):
+    assert main(["sweep", "--spec", "smoke", "--cache-dir",
+                 str(tmp_path / "cache"), "--assert-cached"]) == 1
+    assert "--assert-cached: FAILED" in capsys.readouterr().out
+
+
+def test_sweep_spec_file_and_seed_base(tmp_path, capsys):
+    import json
+
+    from repro.lab import SweepSpec
+
+    spec = SweepSpec.build("filed", apps=[("fig2.1", {"n": 8, "cost": 4})],
+                           schemes=["process-oriented"], processors=(2,))
+    spec_path = tmp_path / "filed.json"
+    spec_path.write_text(json.dumps(spec.to_json()))
+    assert main(["sweep", "--spec", str(spec_path), "--no-cache",
+                 "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "filed" in out
+    assert "cache: disabled" in out
+    # --seed shifts every cell's seed, exactly like the chaos mode
+    assert " 5 " in out
 
 
 def test_program_mode(tmp_path, capsys):
