@@ -6,6 +6,8 @@ Usage::
     python -m repro --demo
     python -m repro chaos [chaos options]
     python -m repro sweep --spec NAME --procs 8 --json BENCH_sweeps.json
+    python -m repro analyze --app fig2.1 --scheme statement-oriented
+    python -m repro analyze --gate
 
 Reads a mini-Fortran ``DO`` nest (see :mod:`repro.frontend`), runs the
 full pipeline -- dependence analysis, classification, doacross-delay
@@ -37,6 +39,15 @@ structured error -- never a hang, never silent corruption.  See
 warm cells come from the content-addressed cache, cold cells fan out
 over ``--procs`` workers, and versioned records merge into the
 ``--json`` store.  See ``python -m repro sweep --help``.
+
+``analyze`` mode is the static side of :mod:`repro.analyze`: it proves
+a compiled sync placement enforces every dependence arc (races and
+unsatisfiable waits come back as typed findings with witness
+iterations), optionally drops provably redundant sync arcs
+(``--eliminate``), and cross-checks the verdict with a dynamic
+vector-clock sanitizer.  ``--gate`` verifies every shipped
+app x scheme pair, which is what CI runs.  See
+``python -m repro analyze --help``.
 """
 
 from __future__ import annotations
@@ -151,7 +162,148 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="fail (exit 1) unless every cell was a "
                              "cache hit -- CI uses this to pin "
                              "incremental re-runs")
+    parser.add_argument("--preflight", action="store_true",
+                        help="statically verify every (app, scheme) "
+                             "placement in the grid before simulating "
+                             "(see 'python -m repro analyze')")
     return parser
+
+
+def build_analyze_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro analyze``."""
+    parser = make_parser(
+        "python -m repro analyze",
+        "Static happens-before analysis of a compiled sync placement: "
+        "prove every dependence arc enforced (or report races with "
+        "witness iterations), detect unsatisfiable waits, drop "
+        "provably redundant sync arcs, and cross-check the static "
+        "verdict with a dynamic vector-clock race sanitizer.")
+    add_common_options(parser)
+    parser.add_argument("--app", default=None,
+                        help="registered application name "
+                             "(see repro.lab.apps)")
+    parser.add_argument("--scheme", default=None,
+                        help="scheme name (reference-based, "
+                             "instance-based, statement-oriented, "
+                             "process-oriented)")
+    parser.add_argument("--gate", action="store_true",
+                        help="verify every shipped app x scheme pair "
+                             "(restricted by --app/--scheme when "
+                             "given) and exit 1 on any finding")
+    parser.add_argument("--eliminate", action="store_true",
+                        help="drop provably redundant sync arcs and "
+                             "replay both placements for identical "
+                             "final state")
+    parser.add_argument("--window", type=int, default=None,
+                        help="override the unrolled iteration window")
+    parser.add_argument("--processors", type=int, default=8,
+                        help="machine size for the dynamic cross-check "
+                             "and elimination replay (default 8)")
+    parser.add_argument("--schedule", default="self",
+                        choices=["self", "chunk", "guided", "cyclic",
+                                 "block"])
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="override an app build parameter "
+                             "(repeatable; defaults come from the "
+                             "analysis gate sizes)")
+    parser.add_argument("--static-only", action="store_true",
+                        help="skip the dynamic vector-clock "
+                             "cross-check")
+    return parser
+
+
+def _analyze_mode(argv) -> int:
+    """Statically verify placements; optionally eliminate + cross-check."""
+    from .analyze import (ANALYZE_SCHEMA_VERSION, dynamic_check, eliminate,
+                          gate, validate_elimination, verify)
+    from .analyze.gate import GATE_PARAMS
+    from .depend.graph import DependenceGraph
+    from .lab.apps import build_app
+    from .schemes import make_scheme
+
+    parser = build_analyze_parser()
+    args = parser.parse_args(argv)
+
+    if args.gate:
+        result = gate(apps=[args.app] if args.app else None,
+                      schemes=[args.scheme] if args.scheme else None)
+        for line in result.summary_lines():
+            print(line)
+        print(f"\nanalysis gate: {len(result.reports)} pair(s), "
+              f"{len(result.failing)} failing, "
+              f"{len(result.skipped)} skipped")
+        if args.json is not None:
+            args.json.write_text(json.dumps({
+                "schema_version": ANALYZE_SCHEMA_VERSION,
+                "reports": {key: report.to_json() for key, report
+                            in sorted(result.reports.items())},
+                "skipped": dict(sorted(result.skipped.items())),
+            }, sort_keys=True, indent=1) + "\n")
+            print(f"wrote {len(result.reports)} report(s) to {args.json}")
+        return 0 if result.ok else 1
+
+    if not args.app or not args.scheme:
+        parser.error("need --app and --scheme (or --gate)")
+    params = dict(GATE_PARAMS.get(args.app, {}))
+    for override in args.param:
+        name, _, value = override.partition("=")
+        if not name or not value:
+            parser.error(f"bad --param {override!r}: expected NAME=VALUE")
+        params[name] = int(value)
+
+    loop = build_app(args.app, params)
+    graph = DependenceGraph(loop)
+    scheme = make_scheme(args.scheme)
+    report = verify(loop, scheme, graph=graph, window=args.window,
+                    app=args.app)
+    print(report.summary())
+    for finding in report.races + report.deadlocks:
+        print(f"  {finding.describe()}")
+
+    failed = not report.clean and not report.requires_serial
+
+    if args.eliminate and not report.requires_serial:
+        result = eliminate(loop, scheme, graph=graph, app=args.app,
+                           window=args.window)
+        report.redundant = list(result.dropped)
+        summary = result.summary()
+        print(f"\nelimination: {summary['sync_arcs']} arc(s) -> "
+              f"{summary['sync_arcs_after']}, estimated sync ops "
+              f"{summary['sync_ops_before']} -> "
+              f"{summary['sync_ops_after']}")
+        for arc in result.dropped:
+            print(f"  {arc.describe()}")
+        if result.dropped:
+            replay = validate_elimination(loop, scheme, result,
+                                          processors=args.processors,
+                                          schedule=args.schedule)
+            print(f"  replayed both placements: identical final state, "
+                  f"measured sync ops {replay['sync_ops_before']} -> "
+                  f"{replay['sync_ops_after']}, makespan "
+                  f"{replay['makespan_before']} -> "
+                  f"{replay['makespan_after']}")
+
+    if not args.static_only and not report.requires_serial:
+        verdict = dynamic_check(scheme.instrument(loop, graph),
+                                processors=args.processors,
+                                schedule=args.schedule)
+        if failed:
+            # a single schedule staying clean does not contradict a
+            # static finding; a dynamic kill corroborates it
+            note = ("corroborates the static finding" if verdict.killed
+                    else "one clean schedule (static finding stands)")
+        else:
+            note = ("agrees with the static verdict" if not verdict.killed
+                    else "DISAGREES with the static all-clear")
+            failed = failed or verdict.killed
+        print(f"\ndynamic cross-check ({args.processors} processors, "
+              f"{args.schedule} scheduling): {verdict.verdict} -- {note}")
+
+    if args.json is not None:
+        report.write_json(args.json)
+        print(f"wrote findings to {args.json}")
+    return 1 if failed else 0
 
 
 def _sweep_mode(argv) -> int:
@@ -184,7 +336,8 @@ def _sweep_mode(argv) -> int:
     hits = misses = 0
     start = time.perf_counter()
     for spec in specs:
-        report = run_sweep(spec, procs=args.procs, cache=cache)
+        report = run_sweep(spec, procs=args.procs, cache=cache,
+                           preflight=args.preflight)
         hits += report.hits
         misses += report.misses
         records.extend(report.records)
@@ -290,6 +443,8 @@ def main(argv=None) -> int:
         return _chaos_mode(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_mode(argv[1:])
+    if argv and argv[0] == "analyze":
+        return _analyze_mode(argv[1:])
     args = build_parser().parse_args(argv)
 
     bindings = {}

@@ -1,0 +1,31 @@
+"""Static race/deadlock verification and redundant-sync elimination.
+
+The paper's claim is that each scheme's sync-op placement enforces every
+cross-iteration dependence.  This package proves it *statically*: the
+placement is dry-run into a per-iteration op stream, unrolled over a
+bounded iteration window into a happens-before graph, and every arc of
+:class:`repro.depend.graph.DependenceGraph` is checked for coverage.
+Uncovered arcs become :class:`RaceFinding`\\ s with concrete witness
+iterations, unsatisfiable waits become :class:`DeadlockFinding`\\ s, and
+a Midkiff/Padua-style transitive reduction drops sync arcs already
+implied by the rest (:mod:`repro.analyze.eliminate`).  A dynamic
+vector-clock sanitizer (:mod:`repro.analyze.sanitizer`) cross-checks the
+static verdict on real engine traces.
+"""
+
+from .findings import (ANALYZE_SCHEMA_VERSION, AnalysisReport,
+                       DeadlockFinding, RaceFinding, RedundantArc)
+from .verifier import AnalysisError, verify, verify_instrumented
+from .eliminate import EliminationResult, eliminate, validate_elimination
+from .mutate import Mutant, apply_mutant, enumerate_mutants, kill_mutant
+from .sanitizer import DynamicVerdict, check_trace, dynamic_check
+from .gate import GateResult, gate
+
+__all__ = [
+    "ANALYZE_SCHEMA_VERSION", "AnalysisReport", "RaceFinding",
+    "DeadlockFinding", "RedundantArc", "AnalysisError", "verify",
+    "verify_instrumented", "EliminationResult", "eliminate",
+    "validate_elimination", "Mutant", "apply_mutant",
+    "enumerate_mutants", "kill_mutant", "DynamicVerdict", "check_trace",
+    "dynamic_check", "GateResult", "gate",
+]

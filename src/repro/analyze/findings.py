@@ -1,0 +1,157 @@
+"""Typed, schema-versioned findings for the static analyzer.
+
+Mirrors the :mod:`repro.lab.record` convention: reports are JSON-native
+dicts gated by a ``schema_version`` field, with typed accessors on this
+side so tests and tools never string-index payloads.  A finding is pure
+data -- everything needed to reproduce it (app, scheme, witness
+iterations, the violated dependence) is in the finding itself.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+#: bump when the report layout below changes shape
+ANALYZE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One dependence arc the placement provably fails to enforce.
+
+    ``src_lpid``/``dst_lpid`` are a concrete witness pair inside the
+    analyzed window: iteration ``src_lpid`` produces (or consumes, for
+    anti deps) the value at ``addr`` and nothing in the placement orders
+    it before iteration ``dst_lpid``'s conflicting access.
+    """
+
+    src_sid: str
+    dst_sid: str
+    dep_type: str
+    distance: int
+    src_lpid: int
+    dst_lpid: int
+    addr: Optional[List[Any]] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        return (f"race: {self.dep_type} {self.src_sid}->{self.dst_sid} "
+                f"(d={self.distance}) not enforced between iterations "
+                f"{self.src_lpid} and {self.dst_lpid}"
+                + (f" at {tuple(self.addr)}" if self.addr else ""))
+
+
+@dataclass(frozen=True)
+class DeadlockFinding:
+    """A wait in the unrolled graph that can never be satisfied.
+
+    The classic instance is the paper's folding constraint: with fold
+    factor X, a wait at distance ``d`` with ``d % X == 0`` spins on the
+    waiter's *own* counter slot -- a self-cycle.  ``cycle`` lists the
+    blocked nodes (task, op description) forming the witness.
+    """
+
+    lpid: int
+    reason: str
+    cycle: List[str] = field(default_factory=list)
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"deadlock: p{self.lpid} blocked on {self.reason}"
+
+
+@dataclass(frozen=True)
+class RedundantArc:
+    """A sync arc whose removal leaves the placement provably clean."""
+
+    src_sid: str
+    dst_sid: str
+    distance: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        return (f"redundant: {self.src_sid}->{self.dst_sid} "
+                f"(d={self.distance}) covered by remaining placement")
+
+
+@dataclass
+class AnalysisReport:
+    """The static verdict for one (app, scheme) placement.
+
+    ``requires_serial`` is set when the dependence analysis could not
+    bound a distance (``distance=None``): the only sound placement is a
+    serial one, so the verifier refuses to certify anything and no
+    race/deadlock findings are emitted (they would be vacuous).
+    """
+
+    app: str
+    scheme: str
+    window: int
+    races: List[RaceFinding] = field(default_factory=list)
+    deadlocks: List[DeadlockFinding] = field(default_factory=list)
+    redundant: List[RedundantArc] = field(default_factory=list)
+    requires_serial: bool = False
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """Provably free of races and deadlocks (and certifiable)."""
+        return (not self.races and not self.deadlocks
+                and not self.requires_serial)
+
+    def summary(self) -> str:
+        if self.requires_serial:
+            return (f"{self.app} x {self.scheme}: unknown dependence "
+                    f"distance -- requires serial execution")
+        verdict = "clean" if self.clean else "UNSAFE"
+        return (f"{self.app} x {self.scheme}: {verdict} "
+                f"({len(self.races)} races, {len(self.deadlocks)} "
+                f"deadlocks, {len(self.redundant)} redundant arcs, "
+                f"window={self.window})")
+
+    # -- JSON round-trip ------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
+            "app": self.app,
+            "scheme": self.scheme,
+            "window": self.window,
+            "requires_serial": self.requires_serial,
+            "clean": self.clean,
+            "races": [asdict(f) for f in self.races],
+            "deadlocks": [asdict(f) for f in self.deadlocks],
+            "redundant": [asdict(f) for f in self.redundant],
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "AnalysisReport":
+        version = payload.get("schema_version")
+        if version != ANALYZE_SCHEMA_VERSION:
+            raise ValueError(
+                f"stale analysis report: schema_version={version!r}, "
+                f"expected {ANALYZE_SCHEMA_VERSION}")
+        return cls(
+            app=payload["app"],
+            scheme=payload["scheme"],
+            window=payload["window"],
+            requires_serial=payload.get("requires_serial", False),
+            races=[RaceFinding(**f) for f in payload.get("races", [])],
+            deadlocks=[DeadlockFinding(**f)
+                       for f in payload.get("deadlocks", [])],
+            redundant=[RedundantArc(**f)
+                       for f in payload.get("redundant", [])],
+            stats=dict(payload.get("stats", {})),
+        )
+
+    def write_json(self, path: pathlib.Path) -> None:
+        path.write_text(json.dumps(self.to_json(), sort_keys=True,
+                                   indent=1, ensure_ascii=True) + "\n")
+
+    @classmethod
+    def read_json(cls, path: pathlib.Path) -> "AnalysisReport":
+        return cls.from_json(json.loads(path.read_text()))

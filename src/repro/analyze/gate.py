@@ -1,0 +1,92 @@
+"""Pre-flight analysis gate: verify every shipped app x scheme pair.
+
+The gate is what CI runs (``python -m repro analyze --gate``) and what
+``repro.lab.runner`` can consult before spending simulation budget on a
+sweep: every placement a preset might execute must statically verify
+clean.  Each registered application is built at a deliberately small
+size -- large enough that the verification window (2 x max dependence
+distance, and at least the process-counter fold factor) fits inside the
+iteration space, small enough that the whole gate runs in seconds.
+
+Pairs whose loop shape a scheme cannot instrument (raising at
+``instrument`` time with a clear error) are reported as skipped, not
+failed: refusing an unsupported shape is the compiler doing its job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..depend.graph import DependenceGraph
+from ..lab.apps import APP_BUILDERS, build_app
+from ..schemes.registry import make_scheme, scheme_names
+from .findings import AnalysisReport
+from .verifier import AnalysisError, verify
+
+__all__ = ["GATE_PARAMS", "GateResult", "gate"]
+
+#: per-app build parameters for gating: small, but with room for the
+#: largest verification window any scheme needs (the process-oriented
+#: fold factor defaults to 16 counters -> window 18)
+GATE_PARAMS: Dict[str, Dict[str, int]] = {
+    "fig2.1": {"n": 24},
+    "fig2.1-delay": {"n": 24},
+    "example2": {"n": 8, "m": 4},
+    "example3": {"n": 24},
+    "fold-chain": {"n": 24},
+    "relaxation-loop": {"n": 6},
+    "triple-nested": {"n": 3, "m": 3, "k": 3},
+    "hydro": {"n": 24},
+    "tridiag": {"n": 24},
+    "state": {"n": 24},
+    "adi": {"n": 4, "m": 6},
+    "first-diff": {"n": 24},
+    "prefix": {"n": 24, "stride": 4},
+}
+
+
+@dataclass
+class GateResult:
+    """Aggregate verdict over every app x scheme pair."""
+
+    reports: Dict[str, AnalysisReport] = field(default_factory=dict)
+    skipped: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def failing(self) -> List[str]:
+        return [key for key, report in sorted(self.reports.items())
+                if not report.clean and not report.requires_serial]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failing
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for key, report in sorted(self.reports.items()):
+            lines.append(f"{key:40s} {report.summary()}")
+        for key, reason in sorted(self.skipped.items()):
+            lines.append(f"{key:40s} SKIP ({reason})")
+        return lines
+
+
+def gate(apps: Optional[List[str]] = None,
+         schemes: Optional[List[str]] = None) -> GateResult:
+    """Statically verify every (app, scheme) placement we ship."""
+    result = GateResult()
+    for app in apps or sorted(APP_BUILDERS):
+        params = GATE_PARAMS.get(app, {})
+        loop = build_app(app, params)
+        graph = DependenceGraph(loop)
+        for scheme_name in schemes or scheme_names():
+            key = f"{app}/{scheme_name}"
+            try:
+                report = verify(loop, make_scheme(scheme_name),
+                                graph=graph, app=app)
+            except (AnalysisError, NotImplementedError,
+                    ValueError) as err:
+                result.skipped[key] = str(err)
+                continue
+            result.reports[key] = report
+    return result

@@ -1,0 +1,384 @@
+"""Happens-before fixpoint over an unrolled placement.
+
+For every node ``n`` the analysis computes ``past[n]``: the set of nodes
+provably complete whenever ``n`` fires, as a bitmask over node ids.  The
+fixpoint is monotone -- past sets only grow, wait candidates are only
+ever pruned -- so iteration to stability is sound and terminates.
+
+Wait semantics (the heart of the verifier): a ``WaitUntil`` on variable
+``v`` may be satisfied by *any* write to ``v`` whose concrete value
+makes the predicate true.  What the waiter learns is therefore the
+**intersection** over all such candidate satisfiers ``S`` of
+``past[S] + {S}``.  A candidate with the wait already in its own past
+cannot be the first satisfier (it fires strictly after the wait
+completes) and is pruned -- this is what resolves Advance chains and
+fold handoffs, where later generations are formally candidates but
+provably ordered after the wait.
+
+Variables driven by ``SyncUpdate`` (data-oriented keys) use counting
+semantics instead: the predicate's threshold ``t`` is recovered by
+evaluating it against the value sequence the updates produce, and an
+event is guaranteed iff too few not-provably-after updates lack it in
+their past for the wait to complete without it.
+
+Deadlock detection asks the complementary question: is there any
+*reliable, guaranteed* satisfier not provably after the wait?  A
+satisfier is reliable iff every predicate-falsifying write to the
+variable either precedes it or provably follows the wait (a consuming
+read issued by the waiter itself stays reliable; a naive fold that
+resets a counter another iteration still waits on does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.ops import SyncWrite, WaitUntil
+from .placement import AnalysisError, Node, StaticPlacement
+
+#: fixpoint pass guard (placements converge in O(window) passes)
+_MAX_PASSES = 400
+
+
+def _bits_in_at_least(masks: List[int], m: int) -> int:
+    """Bits set in at least ``m`` of ``masks``.
+
+    Per-bit occurrence counts are kept as binary *planes* (plane ``i``
+    holds bit ``i`` of every position's count, built by ripple-carry
+    addition of each mask), then compared against ``m`` with a bitwise
+    MSB-first comparator -- all O(len(masks) * log len(masks)) big-int
+    operations, never a per-bit Python loop.
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    if m > len(masks) or not masks:
+        return 0
+    planes: List[int] = []
+    width = 0
+    for mask in masks:
+        width = max(width, mask.bit_length())
+        carry = mask
+        for i in range(len(planes)):
+            if not carry:
+                break
+            planes[i], carry = planes[i] ^ carry, planes[i] & carry
+        if carry:
+            planes.append(carry)
+    all_bits = (1 << width) - 1
+    k = max(len(planes), m.bit_length())
+    greater = 0
+    equal = all_bits  # positions whose count prefix equals m's so far
+    for i in range(k - 1, -1, -1):
+        plane = planes[i] if i < len(planes) else 0
+        if (m >> i) & 1:
+            equal &= plane      # count bit 0 where m bit 1: now less
+        else:
+            greater |= equal & plane
+            equal &= ~plane
+    return greater | equal
+
+
+@dataclass
+class CountingVar:
+    """Static model of a SyncUpdate-driven counter variable."""
+
+    var: int
+    updates: List[int]            # node ids, any order
+    values: List[Any]             # value after k updates, k = 0..n
+
+
+@dataclass
+class WaitInfo:
+    """Resolved semantics of one wait node."""
+
+    nid: int
+    var: int
+    #: write-var candidates: node ids whose value satisfies the
+    #: predicate (None entry = the variable's initial value)
+    candidates: List[Optional[int]] = field(default_factory=list)
+    #: predicate-falsifying write node ids (reliability analysis)
+    falsifiers: List[int] = field(default_factory=list)
+    #: counting threshold (None for write-var waits)
+    threshold: Optional[int] = None
+    #: counting vars: update node ids
+    updates: List[int] = field(default_factory=list)
+    #: predicate can never become true (no satisfying value exists)
+    never_satisfiable: bool = False
+
+
+@dataclass
+class HBResult:
+    """Fixpoint output: past sets plus resolved wait semantics."""
+
+    placement: StaticPlacement
+    past: List[int]
+    waits: Dict[int, WaitInfo]
+    passes: int
+    #: var -> [(wait nid, threshold)] for counting waits
+    co_waits: Dict[int, List[Tuple[int, int]]] = field(
+        default_factory=dict)
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """Is node ``a`` provably complete whenever node ``b`` fires?"""
+        return bool((self.past[b] >> a) & 1)
+
+
+def _counting_model(placement: StaticPlacement, var: int) -> CountingVar:
+    updates = placement.update_nodes[var]
+    value = placement.initial_values.get(var, 0)
+    values = [value]
+    for nid in updates:
+        op = placement.nodes[nid].op
+        value = op.fn(value)
+        values.append(value)
+    return CountingVar(var=var, updates=list(updates), values=values)
+
+
+def _resolve_wait(placement: StaticPlacement, node: Node,
+                  counting: Dict[int, CountingVar]) -> WaitInfo:
+    op: WaitUntil = node.op
+    info = WaitInfo(nid=node.nid, var=op.var)
+    if op.var in counting:
+        model = counting[op.var]
+        satisfied = [bool(op.predicate(value)) for value in model.values]
+        if not any(satisfied):
+            info.never_satisfiable = True
+            return info
+        t = satisfied.index(True)
+        if not all(satisfied[t:]):
+            raise AnalysisError(
+                f"non-monotone predicate on counting var {op.var} "
+                f"({placement.nodes[node.nid].describe()}); the static "
+                f"counting rule requires a single False->True threshold")
+        info.threshold = t
+        info.updates = list(model.updates)
+        return info
+    initial = placement.initial_values.get(op.var)
+    if op.predicate(initial):
+        info.candidates.append(None)
+    for nid in placement.write_nodes.get(op.var, ()):  # writes to var
+        write: SyncWrite = placement.nodes[nid].op
+        if op.predicate(write.value):
+            info.candidates.append(nid)
+        else:
+            info.falsifiers.append(nid)
+    if not info.candidates:
+        info.never_satisfiable = True
+    return info
+
+
+def solve(placement: StaticPlacement) -> HBResult:
+    """Run the happens-before fixpoint to stability."""
+    nodes = placement.nodes
+    counting = {var: _counting_model(placement, var)
+                for var in placement.update_nodes}
+    waits: Dict[int, WaitInfo] = {}
+    for nid in placement.wait_nodes:
+        waits[nid] = _resolve_wait(placement, nodes[nid], counting)
+
+    # var -> [(wait nid, threshold)] for counting waits: an update that
+    # provably follows a wait of threshold >= t fires only once the
+    # count already reached t, so it can never be among the first t
+    # updates a threshold-t waiter is waiting for.
+    co_waits: Dict[int, List[Tuple[int, int]]] = {}
+    for nid, info in waits.items():
+        if info.threshold is not None:
+            co_waits.setdefault(info.var, []).append((nid,
+                                                      info.threshold))
+
+    past: List[int] = [0] * len(nodes)
+    for passes in range(1, _MAX_PASSES + 1):
+        changed = False
+        for pid in placement.pids:
+            acc = 0  # union of prior nodes in this task + their pasts
+            for nid in placement.tasks[pid]:
+                node = nodes[nid]
+                new = acc
+                for pred in node.extra_preds:
+                    new |= past[pred] | (1 << pred)
+                info = waits.get(nid)
+                if info is not None:
+                    new |= _wait_guarantee(info, past, nid, co_waits)
+                if new != past[nid]:
+                    past[nid] = new
+                    changed = True
+                acc |= past[nid] | (1 << nid)
+        if not changed:
+            return HBResult(placement=placement, past=past, waits=waits,
+                            passes=passes, co_waits=co_waits)
+    raise AnalysisError(
+        f"happens-before fixpoint did not converge in {_MAX_PASSES} "
+        f"passes ({len(nodes)} nodes)")
+
+
+def _early_updates(info: WaitInfo, past: List[int], wait: int,
+                   co_waits: Dict[int, List[Tuple[int, int]]]
+                   ) -> List[int]:
+    """Updates that could be among the first ``threshold`` to fire.
+
+    Excluded: updates provably after this wait, and updates provably
+    after *any* wait on the variable whose threshold is >= ours (they
+    fire only once the count has already reached our threshold -- this
+    is how the reference-based key protocol orders its increments).
+    """
+    t = info.threshold or 0
+    wait_bit = 1 << wait
+    gates = [w for w, t2 in co_waits.get(info.var, ()) if t2 >= t]
+    early = []
+    for u in info.updates:
+        if past[u] & wait_bit:
+            continue
+        if any((past[u] >> w) & 1 for w in gates):
+            continue
+        early.append(u)
+    return early
+
+
+def _wait_guarantee(info: WaitInfo, past: List[int], wait: int,
+                    co_waits: Dict[int, List[Tuple[int, int]]]) -> int:
+    """What the waiter provably knows once this wait completes."""
+    if info.never_satisfiable:
+        # The code after an unsatisfiable wait never runs; claim
+        # nothing and let the deadlock detector report it.
+        return 0
+    wait_bit = 1 << wait
+    if info.threshold is not None:
+        t = info.threshold
+        if t == 0:
+            return 0
+        masks = [past[u] | (1 << u)
+                 for u in _early_updates(info, past, wait, co_waits)]
+        if len(masks) < t:
+            return 0  # unsatisfiable with current knowledge
+        # An event is learned iff fewer than t updates could complete
+        # without it: it must appear in at least len(masks) - t + 1.
+        return _bits_in_at_least(masks, len(masks) - t + 1)
+    guarantee: Optional[int] = None
+    for cand in info.candidates:
+        if cand is None:
+            return 0  # the initial value satisfies: nothing is learned
+        if past[cand] & wait_bit:
+            continue  # provably after the wait: cannot be first
+        mask = past[cand] | (1 << cand)
+        guarantee = mask if guarantee is None else guarantee & mask
+    return guarantee or 0
+
+
+# ----------------------------------------------------------------------
+# satisfiability / deadlock analysis
+# ----------------------------------------------------------------------
+
+@dataclass
+class Unsatisfiable:
+    """One wait that can never complete, with its witness."""
+
+    nid: int
+    reason: str
+    blockers: List[int] = field(default_factory=list)
+
+
+def _reliable(info: WaitInfo, cand: Optional[int], past: List[int],
+              dead: int) -> bool:
+    """No falsifying write can clobber ``cand`` before the waiter sees
+    it: every falsifier precedes the candidate, provably follows the
+    wait, or never fires at all."""
+    wait_bit = 1 << info.nid
+    cand_past = 0 if cand is None else (past[cand] | (1 << cand))
+    for bad in info.falsifiers:
+        if (1 << bad) & dead:
+            continue
+        if cand is not None and (cand_past >> bad) & 1:
+            continue  # overwritten before the candidate committed
+        if past[bad] & wait_bit:
+            continue  # issued only after the wait completed
+        return False
+    return True
+
+
+def find_unsatisfiable(hb: HBResult) -> List[Unsatisfiable]:
+    """All root unsatisfiable waits, cascading task death to fixpoint."""
+    placement = hb.placement
+    dead = 0  # bitmask of nodes that can never fire
+    roots: Dict[int, Unsatisfiable] = {}
+    for _ in range(len(placement.pids) + 2):
+        changed = False
+        new_dead = dead
+        for pid in placement.pids:
+            dying = False
+            for nid in placement.tasks[pid]:
+                if dying:
+                    new_dead |= 1 << nid
+                    continue
+                info = hb.waits.get(nid)
+                if info is None:
+                    continue
+                verdict = _satisfiable(hb, info, new_dead)
+                if verdict is not None:
+                    if nid not in roots:
+                        roots[nid] = verdict
+                        changed = True
+                    dying = True
+                    new_dead |= 1 << nid
+        if new_dead != dead:
+            dead = new_dead
+            changed = True
+        if not changed:
+            break
+    # Keep only root causes: a wait whose blockers are all alive (its
+    # satisfiers are pruned/missing on their own, not casualties of an
+    # earlier finding in another task).
+    ordered = [roots[nid] for nid in sorted(roots)]
+    independent = [u for u in ordered
+                   if not any((1 << b) & dead and b not in roots
+                              for b in u.blockers)]
+    return independent or ordered
+
+
+def _satisfiable(hb: HBResult, info: WaitInfo,
+                 dead: int) -> Optional[Unsatisfiable]:
+    nodes = hb.placement.nodes
+    past = hb.past
+    wait_bit = 1 << info.nid
+    if (1 << info.nid) & dead:
+        return None
+    if info.never_satisfiable:
+        return Unsatisfiable(
+            nid=info.nid,
+            reason="no write to this variable ever satisfies the "
+                   "predicate")
+    if info.threshold is not None:
+        live = [u for u in _early_updates(info, past, info.nid,
+                                          hb.co_waits)
+                if not ((1 << u) & dead)]
+        if len(live) < info.threshold:
+            return Unsatisfiable(
+                nid=info.nid,
+                reason=f"needs {info.threshold} updates but only "
+                       f"{len(live)} can precede it",
+                blockers=[u for u in info.updates if u not in live])
+        return None
+    blockers: List[int] = []
+    for cand in info.candidates:
+        if cand is None:
+            if _reliable(info, None, past, dead):
+                return None  # the initial value satisfies, reliably
+            continue
+        if (1 << cand) & dead:
+            blockers.append(cand)
+            continue
+        if past[cand] & wait_bit:
+            blockers.append(cand)  # circular: fires only after the wait
+            continue
+        if not nodes[cand].guaranteed:
+            blockers.append(cand)  # MAY event: cannot be counted on
+            continue
+        if not _reliable(info, cand, past, dead):
+            blockers.append(cand)
+            continue
+        return None
+    return Unsatisfiable(
+        nid=info.nid,
+        reason="every candidate satisfier is circular, unreliable, "
+               "conditional or dead",
+        blockers=blockers)

@@ -1,0 +1,201 @@
+"""Dynamic vector-clock race sanitizer -- the verifier's oracle.
+
+Runs an instrumented loop on the simulated machine and replays the
+recorded event stream (data accesses from ``RunResult.trace`` plus
+synchronization events from ``RunResult.sync_trace``, merged by their
+shared issue-order ``seq`` numbers) through a FastTrack-style vector
+clock analysis:
+
+* ``rel`` (a ``SyncWrite``) joins the releaser's clock into the sync
+  variable's clock, then advances the releaser's own component;
+* ``acq`` (a satisfied ``WaitUntil`` or a ``SyncRead``) joins the sync
+  variable's clock into the acquirer;
+* ``upd`` (a ``SyncUpdate``, an atomic read-modify-write) does both;
+* a data write must be ordered after the location's last write *and*
+  every read since it; a data read must be ordered after the last
+  write.  Unordered conflicting pairs are races.
+
+The engine is a single-threaded discrete-event simulator that commits a
+synchronization write before resuming any waiter it satisfies, so issue
+order is consistent with program order and with every
+release-before-acquire edge -- replaying in ``seq`` order is sound.
+
+Verdicts fold in the machine's own failure modes so one call answers
+"did this schedule kill the mutant": a diagnosed deadlock or hazard is
+``"deadlock"``, a validation mismatch against the sequential semantics
+is ``"corruption"``, an unordered conflicting pair is ``"race"``,
+otherwise ``"clean"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.engine import HazardError
+from ..sim.machine import Machine, MachineConfig
+from ..sim.metrics import RunResult
+from ..sim.validate import ValidationError
+from ..schemes.base import InstrumentedLoop
+
+__all__ = ["RaceEvent", "DynamicVerdict", "check_trace", "dynamic_check"]
+
+#: addresses owned by the harness, not the program under test
+_HARNESS_SPACES = ("__sched__",)
+
+#: generous watchdog: poll-mode fabrics never report an empty event
+#: queue, so stagnation is how their deadlocks are diagnosed
+_STAGNATION_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class RaceEvent:
+    """One unordered conflicting access pair found in a trace."""
+
+    addr: Tuple[str, int]
+    first_task: str
+    first_kind: str
+    first_seq: int
+    second_task: str
+    second_kind: str
+    second_seq: int
+
+    def describe(self) -> str:
+        return (f"{self.first_kind} by {self.first_task} (seq "
+                f"{self.first_seq}) unordered with {self.second_kind} "
+                f"by {self.second_task} (seq {self.second_seq}) on "
+                f"{self.addr}")
+
+
+@dataclass
+class DynamicVerdict:
+    """Outcome of one sanitized execution."""
+
+    verdict: str                      # clean | race | deadlock | corruption
+    races: List[RaceEvent] = field(default_factory=list)
+    detail: str = ""
+    result: Optional[RunResult] = None
+
+    @property
+    def killed(self) -> bool:
+        return self.verdict != "clean"
+
+
+class _Clocks:
+    """Vector clocks keyed by task name (sparse dicts)."""
+
+    def __init__(self) -> None:
+        self.tasks: Dict[str, Dict[str, int]] = {}
+        self.boot: Dict[str, int] = {}
+        self._booted = False
+
+    def of(self, task: str) -> Dict[str, int]:
+        clock = self.tasks.get(task)
+        if clock is None:
+            if not self._booted and not task.startswith("init"):
+                # The machine runs every prologue task to completion
+                # before the loop starts: loop tasks begin after all of
+                # the initialization work.
+                self._booted = True
+                for init in self.tasks.values():
+                    _join(self.boot, init)
+            clock = dict(self.boot) if self._booted else {}
+            clock[task] = 1
+            self.tasks[task] = clock
+        return clock
+
+
+def _join(into: Dict[str, int], other: Dict[str, int]) -> None:
+    for task, tick in other.items():
+        if tick > into.get(task, 0):
+            into[task] = tick
+
+
+def check_trace(result: RunResult) -> List[RaceEvent]:
+    """Replay a run's event stream through the vector-clock analysis."""
+    events: List[Tuple[int, str, Any, str]] = []
+    for record in result.trace:
+        if record.addr[0] in _HARNESS_SPACES:
+            continue
+        events.append((record.seq, record.kind, record.addr, record.task))
+    for seq, kind, var, _value, task in result.sync_trace:
+        events.append((seq, kind, var, task))
+    events.sort(key=lambda event: event[0])
+
+    clocks = _Clocks()
+    var_clocks: Dict[Any, Dict[str, int]] = {}
+    last_write: Dict[Any, Tuple[str, int, int]] = {}   # task, tick, seq
+    reads: Dict[Any, Dict[str, Tuple[int, int]]] = {}  # task -> tick, seq
+    races: List[RaceEvent] = []
+
+    for seq, kind, where, task in events:
+        clock = clocks.of(task)
+        if kind == "acq":
+            _join(clock, var_clocks.get(where, {}))
+        elif kind == "rel":
+            _join(var_clocks.setdefault(where, {}), clock)
+            clock[task] = clock.get(task, 0) + 1
+        elif kind == "upd":
+            _join(clock, var_clocks.get(where, {}))
+            _join(var_clocks[where], clock)
+            clock[task] = clock.get(task, 0) + 1
+        elif kind == "R":
+            writer = last_write.get(where)
+            if writer is not None and writer[0] != task \
+                    and writer[1] > clock.get(writer[0], 0):
+                races.append(RaceEvent(
+                    addr=where, first_task=writer[0], first_kind="W",
+                    first_seq=writer[2], second_task=task,
+                    second_kind="R", second_seq=seq))
+            reads.setdefault(where, {})[task] = (clock.get(task, 0), seq)
+        else:  # "W"
+            writer = last_write.get(where)
+            if writer is not None and writer[0] != task \
+                    and writer[1] > clock.get(writer[0], 0):
+                races.append(RaceEvent(
+                    addr=where, first_task=writer[0], first_kind="W",
+                    first_seq=writer[2], second_task=task,
+                    second_kind="W", second_seq=seq))
+            for reader, (tick, rseq) in reads.get(where, {}).items():
+                if reader != task and tick > clock.get(reader, 0):
+                    races.append(RaceEvent(
+                        addr=where, first_task=reader, first_kind="R",
+                        first_seq=rseq, second_task=task,
+                        second_kind="W", second_seq=seq))
+            last_write[where] = (task, clock.get(task, 0), seq)
+            reads[where] = {}  # this write orders all earlier reads
+    return races
+
+
+def dynamic_check(instrumented: InstrumentedLoop, *,
+                  processors: Optional[int] = None,
+                  schedule: str = "self",
+                  validate: bool = True,
+                  max_races: int = 20) -> DynamicVerdict:
+    """Run one schedule and report how (whether) it kills the placement.
+
+    ``processors`` defaults to one per iteration -- the maximally
+    parallel schedule, which exposes the most interleavings the sync
+    placement must defend against.
+    """
+    if processors is None:
+        processors = max(1, len(instrumented.iterations))
+    machine = Machine(MachineConfig(
+        processors=processors, schedule=schedule, record_trace=True,
+        stagnation_limit=_STAGNATION_LIMIT))
+    try:
+        result = machine.run(instrumented)
+    except HazardError as err:  # includes diagnosed DeadlockError
+        return DynamicVerdict(verdict="deadlock", detail=str(err))
+    races = check_trace(result)
+    if races:
+        detail = "; ".join(r.describe() for r in races[:max_races])
+        return DynamicVerdict(verdict="race", races=races,
+                              detail=detail, result=result)
+    if validate:
+        try:
+            instrumented.validate(result)
+        except ValidationError as err:
+            return DynamicVerdict(verdict="corruption", detail=str(err),
+                                  result=result)
+    return DynamicVerdict(verdict="clean", result=result)

@@ -229,3 +229,31 @@ def doall_loop(n: int = 100, cost: int = 10) -> Loop:
     body = [Statement("S1", writes=(ref1("A", 1, 0),),
                       reads=(ref1("B", 1, 0),), cost=cost)]
     return Loop("doall", bounds=((1, n),), body=body)
+
+
+def fold_chain_loop(n: int = 40, cost: int = 10) -> Loop:
+    """Two flow arcs off one source, at distances 1 and 5::
+
+        DO I = 1, N
+          S1: A[I+5] = ...
+          S2: B[I]   = A[I+4]   (flow S1->S2, d=1)
+          S3: C[I]   = A[I]     (flow S1->S3, d=5)
+        END DO
+
+    Built for the redundant-sync eliminator: the d=5 arc is implied by
+    the d=1 arc through placement structure the per-arc pruning rules
+    cannot see.  Under the statement-oriented scheme, awaiting
+    ``SC(S1) >= I-1`` subsumes awaiting ``>= I-5`` on the same counter;
+    under the process-oriented scheme with X=4 counters, 5 = 1 (mod 4)
+    puts both waits on the *same* folded counter, where the d=1 wait's
+    threshold implies the d=5 release already happened (ownership must
+    pass through I-5 to reach I-1).
+    """
+    body = [
+        Statement("S1", writes=(ref1("A", 1, 5),), cost=cost),
+        Statement("S2", writes=(ref1("B", 1, 0),),
+                  reads=(ref1("A", 1, 4),), cost=cost),
+        Statement("S3", writes=(ref1("C", 1, 0),),
+                  reads=(ref1("A", 1, 0),), cost=cost),
+    ]
+    return Loop("fold-chain", bounds=((1, n),), body=body)

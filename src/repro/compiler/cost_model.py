@@ -83,9 +83,15 @@ def estimate_instance_based(loop: Loop,
 
 
 def estimate_statement_oriented(loop: Loop,
-                                graph: DependenceGraph) -> CostEstimate:
-    """One SC per source; Advance (wait+write) and Await per instance."""
-    arcs = _enforced_arcs(graph, "monotonic")
+                                graph: DependenceGraph,
+                                arcs=None) -> CostEstimate:
+    """One SC per source; Advance (wait+write) and Await per instance.
+
+    An explicit ``arcs`` list (from the redundant-sync eliminator)
+    overrides the scheme's own pruning.
+    """
+    if arcs is None:
+        arcs = _enforced_arcs(graph, "monotonic")
     sources = {arc.src for arc in arcs}
     n = loop.n_iterations
     advances = 2 * len(sources) * n           # wait-for-turn + write
@@ -102,10 +108,15 @@ def estimate_statement_oriented(loop: Loop,
 
 def estimate_process_oriented(loop: Loop, graph: DependenceGraph,
                               processors: int = 8,
-                              n_counters: Optional[int] = None
-                              ) -> CostEstimate:
-    """X counters; per iteration: marks, one transfer, and the waits."""
-    arcs = _enforced_arcs(graph, "exact")
+                              n_counters: Optional[int] = None,
+                              arcs=None) -> CostEstimate:
+    """X counters; per iteration: marks, one transfer, and the waits.
+
+    An explicit ``arcs`` list (from the redundant-sync eliminator)
+    overrides the scheme's own pruning.
+    """
+    if arcs is None:
+        arcs = _enforced_arcs(graph, "exact")
     sources = {arc.src for arc in arcs}
     x = n_counters or choose_counters(processors)
     n = loop.n_iterations

@@ -18,7 +18,7 @@ decision.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from ..depend.classify import Classification, DOACROSS, DOALL, SERIAL, classify

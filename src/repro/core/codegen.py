@@ -95,18 +95,22 @@ class SyncPlan:
 
 def build_sync_plan(loop: Loop,
                     graph: Optional[DependenceGraph] = None,
-                    prune: str = "exact") -> SyncPlan:
+                    prune: str = "exact",
+                    arcs: Optional[List[SyncArc]] = None) -> SyncPlan:
     """Compute the process-oriented synchronization plan for ``loop``.
 
     ``prune`` selects the coverage-pruning mode (see
     :meth:`repro.depend.graph.DependenceGraph.pruned_sync_arcs`); pass
     ``prune="none"`` to enforce every arc (used by ablation benches).
+    An explicit ``arcs`` list overrides pruning entirely -- the
+    redundant-sync eliminator uses it to plan from a reduced arc set.
     """
     graph = graph or DependenceGraph(loop)
-    if prune == "none":
-        arcs = graph.sync_arcs()
-    else:
-        arcs = graph.pruned_sync_arcs(mode=prune)
+    if arcs is None:
+        if prune == "none":
+            arcs = graph.sync_arcs()
+        else:
+            arcs = graph.pruned_sync_arcs(mode=prune)
 
     source_sids = [stmt.sid for stmt in loop.body
                    if any(arc.src == stmt.sid for arc in arcs)]

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from ..depend.analysis import Dependence
 from ..depend.graph import DependenceGraph, linear_distance
 from ..depend.model import Loop
 

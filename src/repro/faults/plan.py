@@ -14,7 +14,7 @@ pre-fault event sequence and metrics exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Tuple
 
 #: inclusive (low, high) cycle range; (0, 0) disables the knob

@@ -243,7 +243,6 @@ def _infer_shapes(body: Sequence[Statement],
                   bounds: Sequence[Tuple[int, int]]
                   ) -> Dict[str, Tuple[int, ...]]:
     """Size each multi-dimensional array to cover every possible access."""
-    corners = None
     shapes: Dict[str, Tuple[int, ...]] = {}
     import itertools
     corner_indices = list(itertools.product(*[(lo, hi)

@@ -14,8 +14,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping
 
 from ..apps.kernels import (example2_loop, example3_loop, fig21_loop,
-                            fig21_loop_with_delay, relaxation_loop,
-                            triple_nested_loop)
+                            fig21_loop_with_delay, fold_chain_loop,
+                            relaxation_loop, triple_nested_loop)
 from ..apps.livermore import (adi_sweep, first_difference, hydro_fragment,
                               prefix_partials, state_fragment, tridiagonal)
 from ..depend.model import Loop
@@ -26,6 +26,7 @@ APP_BUILDERS: Dict[str, Callable[..., Loop]] = {
     "fig2.1-delay": fig21_loop_with_delay,
     "example2": example2_loop,
     "example3": example3_loop,
+    "fold-chain": fold_chain_loop,
     "relaxation-loop": relaxation_loop,
     "triple-nested": triple_nested_loop,
     "hydro": hydro_fragment,

@@ -44,7 +44,9 @@ def make_record(key: str, config: Mapping[str, Any], *,
                 result: Optional[RunResult] = None,
                 serial_cycles: Optional[int] = None,
                 compile_info: Optional[Mapping[str, Any]] = None,
-                error: Optional[str] = None) -> Dict[str, Any]:
+                error: Optional[str] = None,
+                elimination: Optional[Mapping[str, Any]] = None,
+                ) -> Dict[str, Any]:
     """Build the versioned record for one executed cell.
 
     ``result`` is None when the run died (diagnosed hazard) or the
@@ -66,8 +68,12 @@ def make_record(key: str, config: Mapping[str, Any], *,
         record["metrics"] = None
         if serial_cycles is not None:
             record["metrics"] = {"serial_cycles": serial_cycles}
+        if elimination is not None and record["metrics"] is not None:
+            record["metrics"]["elimination"] = dict(elimination)
         return record
     metrics: Dict[str, Any] = dict(result.summary())
+    if elimination is not None:
+        metrics["elimination"] = dict(elimination)
     if serial_cycles is not None:
         metrics["serial_cycles"] = serial_cycles
         metrics["speedup"] = round(result.speedup_over(serial_cycles), 6)

@@ -24,7 +24,6 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..compiler.pipeline import compile_loop
 from ..faults.plan import make_plan
 from ..recovery import RecoveryPolicy
-from ..schemes.base import RunConfig
 from ..schemes.registry import make_scheme
 from ..sim import (DeadlockError, Machine, MachineConfig,
                    SimulationLimitError, ValidationError)
@@ -38,6 +37,30 @@ from .spec import AUTO_SCHEME, SweepCell, SweepSpec
 #: an injected hazard must surface as a diagnosed error, not a hang)
 FAULT_MAX_CYCLES = 2_000_000
 FAULT_STAGNATION_LIMIT = 20_000
+
+
+def _elimination_info(config: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """The cell's redundant-sync column: eliminator counts, as metrics.
+
+    Analysis only -- the simulated run keeps the scheme's full
+    placement, so every other metric stays comparable with and without
+    the column.  Imported lazily: :mod:`repro.analyze` imports
+    ``lab.apps``, so a module-level import here would be circular.
+    """
+    if not config.get("eliminate") or config["scheme"] == AUTO_SCHEME:
+        return None
+    from ..analyze import AnalysisError
+    from ..analyze.eliminate import eliminate
+    loop = build_app(config["app"], config["app_params"])
+    try:
+        result = eliminate(loop, make_scheme(config["scheme"]),
+                           app=config["app"])
+    except (AnalysisError, NotImplementedError, ValueError) as err:
+        return {"supported": False,
+                "reason": str(err).splitlines()[0]}
+    info: Dict[str, Any] = {"supported": True}
+    info.update(result.summary())
+    return info
 
 
 def _machine_for(config: Mapping[str, Any]) -> Machine:
@@ -75,9 +98,11 @@ def execute_cell(config: Mapping[str, Any],
                            wait_bound=config["wait_bound"],
                            validate=config["validate"],
                            plan=config.get("plan"),
-                           recover=bool(config.get("recover"))).key
+                           recover=bool(config.get("recover")),
+                           eliminate=bool(config.get("eliminate"))).key
     loop = build_app(config["app"], config["app_params"])
     serial_cycles = loop.serial_cycles()
+    elimination = _elimination_info(config)
     machine = _machine_for(config)
     compile_info: Optional[Dict[str, Any]] = None
     if config["scheme"] == AUTO_SCHEME:
@@ -91,7 +116,8 @@ def execute_cell(config: Mapping[str, Any],
         if not decision.runs_parallel:
             return make_record(key, config, outcome="serial",
                                serial_cycles=serial_cycles,
-                               compile_info=compile_info)
+                               compile_info=compile_info,
+                               elimination=elimination)
         instrumented = decision.instrumented
     else:
         instrumented = make_scheme(config["scheme"]).instrument(loop)
@@ -103,11 +129,13 @@ def execute_cell(config: Mapping[str, Any],
         return make_record(key, config, outcome="deadlock-diagnosed",
                            serial_cycles=serial_cycles,
                            compile_info=compile_info,
+                           elimination=elimination,
                            error=str(err).splitlines()[0])
     except SimulationLimitError as err:
         return make_record(key, config, outcome="limit-diagnosed",
                            serial_cycles=serial_cycles,
                            compile_info=compile_info,
+                           elimination=elimination,
                            error=str(err).splitlines()[0])
     if config["validate"]:
         try:
@@ -116,10 +144,12 @@ def execute_cell(config: Mapping[str, Any],
             return make_record(key, config, outcome="corruption-detected",
                                result=result, serial_cycles=serial_cycles,
                                compile_info=compile_info,
+                               elimination=elimination,
                                error=str(err).splitlines()[0])
     return make_record(key, config, outcome="ok", result=result,
                        serial_cycles=serial_cycles,
-                       compile_info=compile_info)
+                       compile_info=compile_info,
+                       elimination=elimination)
 
 
 def _worker(item: Tuple[Dict[str, Any], str]) -> Dict[str, Any]:
@@ -172,18 +202,40 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
               procs: int = 1,
               cache_dir: Optional[pathlib.Path] = DEFAULT_CACHE_DIR,
               cache: Optional[ResultCache] = None,
-              json_path: Optional[pathlib.Path] = None) -> SweepReport:
+              json_path: Optional[pathlib.Path] = None,
+              preflight: bool = False) -> SweepReport:
     """Run a sweep: expand, cache-check, simulate misses, merge.
 
     ``cache_dir=None`` disables caching entirely; passing an explicit
     ``cache`` overrides ``cache_dir``.  ``json_path`` merges the run's
     records into that versioned store (see
-    :func:`~repro.lab.record.merge_records`).
+    :func:`~repro.lab.record.merge_records`).  ``preflight=True``
+    statically verifies every (app, scheme) placement the grid touches
+    (at the analysis gate's small sizes) before spending simulation
+    budget; a placement with a proven race or deadlock aborts the sweep
+    with :class:`repro.analyze.AnalysisError`.
     """
     if isinstance(spec, SweepSpec):
         name, cells = spec.name, spec.cells()
     else:
         name, cells = "custom", list(spec)
+    notes: Dict[str, Any] = {}
+    if preflight:
+        # lazy: repro.analyze imports lab.apps, so importing it at
+        # module level here would be circular
+        from ..analyze import AnalysisError
+        from ..analyze.gate import gate as analysis_gate
+        apps = sorted({cell.app for cell in cells})
+        schemes = sorted({cell.scheme for cell in cells
+                          if cell.scheme != AUTO_SCHEME})
+        if apps and schemes:
+            verdict = analysis_gate(apps=apps, schemes=schemes)
+            if not verdict.ok:
+                raise AnalysisError(
+                    "pre-flight analysis gate failed: "
+                    + "; ".join(verdict.failing))
+            notes["preflight"] = (f"{len(verdict.reports)} placement(s) "
+                                  f"verified clean")
     if cache is None and cache_dir is not None:
         cache = ResultCache(pathlib.Path(cache_dir))
 
@@ -211,7 +263,8 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
         spec_name=name, records=done, hits=len(cells) - len(todo),
         misses=len(todo),
         procs=procs, json_path=json_path,
-        notes={"fingerprint": cache.fingerprint[:12]} if cache else {})
+        notes=dict(notes, **({"fingerprint": cache.fingerprint[:12]}
+                             if cache else {})))
     if json_path is not None:
         merge_records(pathlib.Path(json_path), done)
     return report

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..schemes.registry import scheme_names
@@ -52,6 +52,10 @@ class SweepCell:
     plan: Optional[str] = None
     #: enable the recovery layer under the fault plan
     recover: bool = False
+    #: also run the redundant-sync eliminator and record its before /
+    #: after sync-op counts in the cell's metrics (analysis only: the
+    #: simulated run keeps the scheme's full placement)
+    eliminate: bool = False
 
     def config(self) -> Dict[str, Any]:
         """The cell as a canonical, JSON-able config dict."""
@@ -66,6 +70,7 @@ class SweepCell:
             "validate": self.validate,
             "plan": self.plan,
             "recover": self.recover,
+            "eliminate": self.eliminate,
         }
 
     @property
@@ -79,6 +84,8 @@ class SweepCell:
         if self.plan is not None:
             parts.append(f"plan={self.plan}" + ("+recover" if self.recover
                                                 else ""))
+        if self.eliminate:
+            parts.append("elim")
         return "/".join(parts)
 
 
@@ -103,6 +110,9 @@ class SweepSpec:
     plans: Tuple[Optional[str], ...] = (None,)
     recover: bool = False
     validate: bool = True
+    #: run the redundant-sync eliminator alongside every cell (adds an
+    #: ``elimination`` column to the metrics; see ``SweepCell.eliminate``)
+    eliminate: bool = False
 
     @staticmethod
     def build(name: str, apps: Sequence[Tuple[str, Mapping[str, Any]]],
@@ -148,7 +158,8 @@ class SweepSpec:
                                         validate=self.validate,
                                         plan=plan,
                                         recover=self.recover and
-                                        plan is not None))
+                                        plan is not None,
+                                        eliminate=self.eliminate))
         return out
 
     def with_seed_base(self, base: int) -> "SweepSpec":
@@ -172,6 +183,7 @@ class SweepSpec:
             "plans": list(self.plans),
             "recover": self.recover,
             "validate": self.validate,
+            "eliminate": self.eliminate,
         }
 
     @classmethod
@@ -185,10 +197,9 @@ class SweepSpec:
         axes = {key: data[key] for key in
                 ("processors", "schedules", "seeds", "wait_bounds",
                  "plans") if key in data}
-        if "recover" in data:
-            axes["recover"] = bool(data["recover"])
-        if "validate" in data:
-            axes["validate"] = bool(data["validate"])
+        for flag in ("recover", "validate", "eliminate"):
+            if flag in data:
+                axes[flag] = bool(data[flag])
         return cls.build(data["name"],
                          [(app, params) for app, params in data["apps"]],
                          data["schemes"], **axes)
@@ -213,10 +224,15 @@ def _fig32_spec() -> SweepSpec:
 
 
 def _comparison_spec() -> SweepSpec:
+    # eliminate=True opts the grid into the redundant-sync column:
+    # each record's metrics carry sync-op counts before / after the
+    # Midkiff/Padua reduction (fold-chain is the loop where the
+    # process-counter fold actually makes an arc redundant).
     return SweepSpec.build(
         "scheme-comparison",
-        apps=[("fig2.1", {"n": n}) for n in (120, 240)],
-        schemes=scheme_names())
+        apps=([("fig2.1", {"n": n}) for n in (120, 240)]
+              + [("fold-chain", {"n": 120})]),
+        schemes=scheme_names(), eliminate=True)
 
 
 def _speedup_spec() -> SweepSpec:

@@ -27,7 +27,7 @@ from ..core.folding import choose_counters
 from ..core.improved import ImprovedPrimitives
 from ..core.primitives import get_pc, release_pc, set_pc, wait_pc
 from ..core.process_counter import ProcessCounterFile
-from ..depend.graph import DependenceGraph
+from ..depend.graph import DependenceGraph, SyncArc
 from ..depend.model import Loop
 from ..sim.memory import SharedMemory
 from ..sim.ops import Fence, SyncWrite
@@ -284,10 +284,11 @@ class ProcessOrientedScheme(SyncScheme):
         self.fabric_kwargs = dict(fabric_kwargs or {})
 
     def instrument(self, loop: Loop,
-                   graph: Optional[DependenceGraph] = None
+                   graph: Optional[DependenceGraph] = None,
+                   arcs: Optional[List[SyncArc]] = None
                    ) -> ProcessOrientedLoop:
         graph = graph or DependenceGraph(loop)
-        plan = build_sync_plan(loop, graph, prune=self.prune)
+        plan = build_sync_plan(loop, graph, prune=self.prune, arcs=arcs)
         return ProcessOrientedLoop(
             loop, graph, plan,
             n_counters=self.n_counters, style=self.style,

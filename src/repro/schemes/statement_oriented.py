@@ -155,12 +155,14 @@ class StatementOrientedScheme(SyncScheme):
         self.charge_init = charge_init
 
     def instrument(self, loop: Loop,
-                   graph: Optional[DependenceGraph] = None
+                   graph: Optional[DependenceGraph] = None,
+                   arcs: Optional[List[SyncArc]] = None
                    ) -> StatementOrientedLoop:
         graph = graph or DependenceGraph(loop)
-        if self.prune == "none":
-            arcs = graph.sync_arcs()
-        else:
-            arcs = graph.pruned_sync_arcs(mode=self.prune)
+        if arcs is None:
+            if self.prune == "none":
+                arcs = graph.sync_arcs()
+            else:
+                arcs = graph.pruned_sync_arcs(mode=self.prune)
         return StatementOrientedLoop(loop, graph, arcs,
                                      charge_init=self.charge_init)

@@ -114,6 +114,10 @@ class AccessRecord:
     value: Any
     task: str
     tag: Any             # whatever the process last set via Annotate("tag")
+    #: global issue-order sequence number, shared with the sync trace so
+    #: data and synchronization events merge into one program-order- and
+    #: causality-consistent stream (the vector-clock sanitizer's input)
+    seq: int = 0
 
 
 class _Task:
@@ -170,6 +174,15 @@ class Engine:
         #: is declared stagnant (None disables the watchdog)
         self.stagnation_limit = stagnation_limit
         self.trace: List[AccessRecord] = []
+        #: synchronization events for the dynamic race sanitizer:
+        #: (seq, kind, var, value, task) with kind "rel" (SyncWrite
+        #: issue), "acq" (wait satisfaction / sync read completion) or
+        #: "upd" (atomic read-modify-write completion).  Seq numbers are
+        #: shared with AccessRecord.seq: merging both streams by seq
+        #: yields an order consistent with per-task program order and
+        #: with every release-before-matching-acquire.
+        self.sync_trace: List[Tuple[int, str, int, Any, str]] = []
+        self._sync_seq = itertools.count()
         #: (time, kind, payload) markers from Annotate ops (phase events)
         self.events: List[Tuple[int, str, dict]] = []
         #: (task, kind, start, end) activity segments for timelines;
@@ -365,14 +378,17 @@ class Engine:
                 if recovery is None:
                     # The commit is lost: the variable keeps its old
                     # value and the issuer reads that old value back.
-                    fn = lambda value: value
+                    def fn(value):
+                        return value
                 else:
                     self._retry_update(task, op)
                     return
             elif fate == "dup":
                 if recovery is None:
                     original = op.fn
-                    fn = lambda value: original(original(value))
+
+                    def fn(value):
+                        return original(original(value))
                 else:
                     # The memory-side sync processor deduplicates the
                     # replayed commit: apply exactly once.
@@ -384,8 +400,14 @@ class Engine:
             task.stats.stall += done - self.now
             # Commits precede same-cycle resumes, so the cell is filled
             # when the process wakes with the post-update value.
-            self.schedule(done, lambda: self._resume_at(
-                task, self.now, cell.get("value")))
+
+            def finish_update() -> None:
+                # An atomic RMW is both an acquire (it observed the old
+                # value) and a release (it published the new one).
+                self._record_sync("upd", op.var, cell.get("value"), task)
+                self._resume_at(task, self.now, cell.get("value"))
+
+            self.schedule(done, finish_update)
         elif isinstance(op, WaitUntil):
             task.stats.sync_ops += 1
             self._begin_wait(task, op)
@@ -407,6 +429,13 @@ class Engine:
             raise TypeError(f"unknown operation {op!r} from task "
                             f"{task.stats.name!r}")
 
+    def _record_sync(self, kind: str, var: int, value: Any,
+                     task: _Task) -> None:
+        """Append one sanitizer event (gated on trace recording)."""
+        if self.record_trace:
+            self.sync_trace.append((next(self._sync_seq), kind, var,
+                                    value, task.stats.name))
+
     # -- shared memory --------------------------------------------------
 
     def _mem_read(self, task: _Task, op: MemRead) -> None:
@@ -418,7 +447,8 @@ class Engine:
             if self.record_trace:
                 self.trace.append(AccessRecord(
                     commit=self.now + 1, kind="R", addr=op.addr,
-                    value=value, task=task.stats.name, tag=task.tag))
+                    value=value, task=task.stats.name, tag=task.tag,
+                    seq=next(self._sync_seq)))
             self._resume_at(task, self.now + 1, value)
             return
         done = self.memory.access_time(op.addr, self.now)
@@ -428,13 +458,14 @@ class Engine:
         task.wait_state = ("stalled", None,
                            f"memory read round trip to {op.addr}", self.now)
         tag = task.tag  # capture at issue: commits run after tag changes
+        seq = next(self._sync_seq) if self.record_trace else 0
 
         def complete() -> None:
             value = self.memory.read(op.addr)
             if self.record_trace:
                 self.trace.append(AccessRecord(
                     commit=self.now, kind="R", addr=op.addr, value=value,
-                    task=task.stats.name, tag=tag))
+                    task=task.stats.name, tag=tag, seq=seq))
             self._resume_at(task, self.now, value)
 
         self.schedule(done, complete)
@@ -445,6 +476,7 @@ class Engine:
             done += self.injector.memory_extra()
         task.last_write_commit = max(task.last_write_commit, done)
         tag = task.tag  # capture at issue: commits run after tag changes
+        seq = next(self._sync_seq) if self.record_trace else 0
         pending = task.store_buffer.setdefault(op.addr, [0, None])
         pending[0] += 1
         pending[1] = op.value
@@ -459,7 +491,7 @@ class Engine:
             if self.record_trace:
                 self.trace.append(AccessRecord(
                     commit=self.now, kind="W", addr=op.addr, value=op.value,
-                    task=task.stats.name, tag=tag))
+                    task=task.stats.name, tag=tag, seq=seq))
 
         self.schedule_commit(done, commit)
         # Posted write: the processor proceeds after handing the write to
@@ -475,12 +507,21 @@ class Engine:
         task.stats.stall += done - self.now
         task.wait_state = ("stalled", op.var,
                            f"sync read of var {op.var}", self.now)
-        self.schedule(done, lambda: self._resume_at(
-            task, self.now, self.fabric.value(op.var)))
+
+        def finish_read() -> None:
+            value = self.fabric.value(op.var)
+            # Reading a sync variable is an acquire: the improved PC
+            # scheme's ownership check (mark_PC) orders the marker after
+            # the release it observed.
+            self._record_sync("acq", op.var, value, task)
+            self._resume_at(task, self.now, value)
+
+        self.schedule(done, finish_read)
 
     def _sync_write(self, task: _Task, op: SyncWrite) -> None:
         task.stats.sync_ops += 1
         self.var_writers[op.var] = task.stats.name
+        self._record_sync("rel", op.var, op.value, task)
         if self.recovery is not None and op.checkpoint is not None:
             # Atomic with the issue; with retransmission active an
             # issued broadcast always commits eventually, so the journal
@@ -531,6 +572,8 @@ class Engine:
         # until the variable's committed value changes.
         if op.predicate(self.fabric.value(op.var)):
             task.stats.waits_satisfied_immediately += 1
+            self._record_sync("acq", op.var, self.fabric.value(op.var),
+                              task)
             self._resume_at(task, self.now + 1)
         else:
             self._park(task, op, self.now)
@@ -566,6 +609,8 @@ class Engine:
             if self.record_trace and self.now > parked_at:
                 self.activity.append((task.stats.name, "spin", parked_at,
                                       self.now))
+            self._record_sync("acq", op.var, self.fabric.value(op.var),
+                              task)
             self._resume_at(task, self.now + 1)
         else:
             self._park(task, op, parked_at)
@@ -593,6 +638,8 @@ class Engine:
                     if self.record_trace and self.now > started:
                         self.activity.append((task.stats.name, "spin",
                                               started, self.now))
+                self._record_sync("acq", op.var,
+                                  self.fabric.value(op.var), task)
                 self._resume_at(task, self.now)
             else:
                 if (op.max_spin is not None
@@ -642,6 +689,9 @@ class Engine:
                     if self.record_trace and self.now > started:
                         self.activity.append((task.stats.name, "spin",
                                               started, self.now))
+                self._record_sync(
+                    "acq", op.var,
+                    self.fabric.authoritative_value(op.var), task)
                 self._resume_at(task, self.now)
                 return
             if (op.max_spin is not None
@@ -655,6 +705,8 @@ class Engine:
             if not recovery.degraded:
                 # Loss rate recovered: re-arm as a normal event wait.
                 if op.predicate(self.fabric.value(op.var)):
+                    self._record_sync("acq", op.var,
+                                      self.fabric.value(op.var), task)
                     self._resume_at(task, self.now + 1)
                 else:
                     self._park(task, op, spin_from)

@@ -207,6 +207,7 @@ class Machine:
             sync_storage_words=fabric.storage_words,
             init_cycles=init_cycles,
             trace=engine.trace,
+            sync_trace=engine.sync_trace,
             final_memory=memory.snapshot(),
             extra=extra,
         )

@@ -1,0 +1,90 @@
+"""Redundant-sync elimination: verifier-judged, replay-validated."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import (AnalysisError, dynamic_check, eliminate,
+                           validate_elimination)
+from repro.depend.graph import DependenceGraph
+from repro.lab.apps import build_app
+from repro.schemes.registry import make_scheme
+
+
+def test_fold_chain_drops_the_folded_arc():
+    """With 4 counters, the d=5 arc rides the fold's ownership chain
+    (5 = 1 mod 4): the d=1 arc plus counter-slot reuse already order
+    S1(i-5) before S3(i), so the verifier proves the arc redundant."""
+    loop = build_app("fold-chain", {"n": 40})
+    scheme = make_scheme("process-oriented", n_counters=4)
+    result = eliminate(loop, scheme, app="fold-chain")
+    assert result.baseline.clean
+    assert [(arc.src_sid, arc.dst_sid, arc.distance)
+            for arc in result.dropped] == [("S1", "S3", 5)]
+    assert result.arcs_before == 2 and len(result.kept) == 1
+    assert result.sync_ops_after < result.sync_ops_before
+
+    replay = validate_elimination(loop, scheme, result)
+    assert replay["sync_ops_after"] < replay["sync_ops_before"]
+
+
+def test_fold_chain_keeps_the_arc_at_wide_fold():
+    """With 16 counters the slot is not reused inside the window: the
+    chain argument disappears and the arc must stay."""
+    loop = build_app("fold-chain", {"n": 40})
+    scheme = make_scheme("process-oriented", n_counters=16)
+    result = eliminate(loop, scheme, app="fold-chain")
+    assert result.baseline.clean
+    assert result.dropped == []
+    assert result.sync_ops_after == result.sync_ops_before
+
+
+def test_fig21_statement_oriented_elimination_validates():
+    """Cross-pair transitivity on the paper's Fig 2.1 loop: at least
+    one arc is implied by the remaining placement, and the slimmed
+    placement replays to an identical final state."""
+    loop = build_app("fig2.1", {"n": 24})
+    scheme = make_scheme("statement-oriented")
+    result = eliminate(loop, scheme, app="fig2.1")
+    assert result.baseline.clean
+    assert result.dropped, "expected at least one redundant arc"
+    assert result.sync_ops_after < result.sync_ops_before
+    # every dropped arc is a real dependence arc of the loop
+    graph = DependenceGraph(loop)
+    arcs = {(a.src, a.dst, a.distance) for a in graph.sync_arcs()}
+    for dropped in result.dropped:
+        assert (dropped.src_sid, dropped.dst_sid, dropped.distance) in arcs
+
+    replay = validate_elimination(loop, scheme, result)
+    assert replay["sync_ops_after"] < replay["sync_ops_before"]
+
+
+def test_slim_placement_is_dynamically_race_free():
+    """The eliminator's output also passes the vector-clock oracle."""
+    loop = build_app("fig2.1", {"n": 16})
+    scheme = make_scheme("statement-oriented")
+    result = eliminate(loop, scheme, app="fig2.1")
+    assert result.dropped
+    graph = DependenceGraph(loop)
+    slim = scheme.instrument(loop, graph, arcs=list(result.kept))
+    for schedule in ("self", "cyclic", "block"):
+        verdict = dynamic_check(slim, schedule=schedule)
+        assert verdict.verdict == "clean", (schedule, verdict.races[:2])
+
+
+def test_non_arc_scheme_is_rejected():
+    loop = build_app("fig2.1", {"n": 12})
+    with pytest.raises(AnalysisError, match="not arc-driven"):
+        eliminate(loop, make_scheme("reference-based"), app="fig2.1")
+
+
+def test_kept_plus_dropped_partition_the_arcs():
+    loop = build_app("fig2.1", {"n": 24})
+    scheme = make_scheme("statement-oriented")
+    instrumented = scheme.instrument(loop)
+    result = eliminate(loop, scheme, app="fig2.1")
+    total = {(a.src, a.dst, a.distance) for a in instrumented.arcs}
+    kept = {(a.src, a.dst, a.distance) for a in result.kept}
+    dropped = {(a.src_sid, a.dst_sid, a.distance) for a in result.dropped}
+    assert kept | dropped == total
+    assert not kept & dropped

@@ -1,0 +1,84 @@
+"""Findings JSON: schema-versioned, typed, byte-stable round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analyze import (ANALYZE_SCHEMA_VERSION, AnalysisReport,
+                           DeadlockFinding, RaceFinding, RedundantArc,
+                           verify)
+from repro.lab.apps import build_app
+from repro.schemes.registry import make_scheme
+
+
+def _sample_report() -> AnalysisReport:
+    return AnalysisReport(
+        app="fig2.1", scheme="statement-oriented", window=10,
+        races=[RaceFinding(src_sid="S1", dst_sid="S2", dep_type="flow",
+                           distance=2, src_lpid=3, dst_lpid=5,
+                           addr=["A", 6], detail="uncovered")],
+        deadlocks=[DeadlockFinding(lpid=4, reason="wait var3 >= 6",
+                                   cycle=["p4: wait var3"],
+                                   detail="no satisfying write")],
+        redundant=[RedundantArc(src_sid="S1", dst_sid="S3", distance=5,
+                                detail="fold chain")],
+        stats={"nodes": 120, "waits": 30})
+
+
+def test_round_trip_preserves_every_field():
+    report = _sample_report()
+    clone = AnalysisReport.from_json(report.to_json())
+    assert clone == report
+    # findings come back as the typed classes, not dicts
+    assert isinstance(clone.races[0], RaceFinding)
+    assert isinstance(clone.deadlocks[0], DeadlockFinding)
+    assert isinstance(clone.redundant[0], RedundantArc)
+
+
+def test_file_round_trip_is_byte_stable(tmp_path):
+    report = _sample_report()
+    path = tmp_path / "findings.json"
+    report.write_json(path)
+    first = path.read_bytes()
+    AnalysisReport.read_json(path).write_json(path)
+    assert path.read_bytes() == first
+
+
+def test_stale_schema_version_is_rejected():
+    payload = _sample_report().to_json()
+    payload["schema_version"] = ANALYZE_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="stale"):
+        AnalysisReport.from_json(payload)
+    with pytest.raises(ValueError, match="stale"):
+        AnalysisReport.from_json({})
+
+
+def test_clean_property_and_summary():
+    report = _sample_report()
+    assert not report.clean
+    assert "UNSAFE" in report.summary()
+    empty = AnalysisReport(app="a", scheme="s", window=4)
+    assert empty.clean
+    assert "clean" in empty.summary()
+    serial = AnalysisReport(app="a", scheme="s", window=0,
+                            requires_serial=True)
+    assert not serial.clean
+    assert "serial" in serial.summary()
+
+
+def test_payload_is_plain_json():
+    """No typed objects leak into the serialized form."""
+    payload = _sample_report().to_json()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["schema_version"] == ANALYZE_SCHEMA_VERSION
+    assert payload["clean"] is False
+
+
+def test_real_report_round_trips():
+    loop = build_app("fig2.1", {"n": 12})
+    report = verify(loop, make_scheme("reference-based"), app="fig2.1")
+    clone = AnalysisReport.from_json(report.to_json())
+    assert clone == report
+    assert clone.summary() == report.summary()

@@ -1,0 +1,140 @@
+"""Static verifier: shipped placements prove clean; broken ones do not."""
+
+from __future__ import annotations
+
+from repro.analyze import (apply_mutant, enumerate_mutants, gate,
+                           verify, verify_instrumented)
+from repro.analyze.verifier import choose_window
+from repro.depend.graph import DependenceGraph
+from repro.depend.model import Loop, Statement, index_expr, ref1, ArrayRef
+from repro.lab.apps import build_app
+from repro.schemes.registry import make_scheme
+
+
+def test_gate_every_shipped_pair_verifies_clean():
+    result = gate()
+    assert result.ok, result.failing
+    assert not result.skipped, result.skipped
+    # 13 registered apps x 4 schemes, none skipped
+    assert len(result.reports) == 52
+    for key, report in result.reports.items():
+        assert report.clean, f"{key}: {report.summary()}"
+        assert report.window >= 4
+        # a doall loop (first-diff) legitimately has nothing to check
+        if key.startswith("fig2.1/"):
+            assert report.stats["instances_checked"] > 0, key
+
+
+def test_window_covers_twice_the_max_distance():
+    """Fig 2.1's farthest arc is d=4 (S1->S5): window 2*4 + slack."""
+    loop = build_app("fig2.1", {"n": 64})
+    window = choose_window(loop, DependenceGraph(loop))
+    assert window >= 8 + 2
+
+
+def test_window_at_least_the_fold_factor():
+    """Process-counter folding (X counters) widens the window."""
+    loop = build_app("fig2.1", {"n": 64})
+    scheme = make_scheme("process-oriented", n_counters=16)
+    report = verify(loop, scheme, app="fig2.1")
+    assert report.clean
+    assert report.window >= 16
+    assert report.stats["fold_factor"] == 16
+
+
+def test_window_never_exceeds_the_iteration_space():
+    loop = build_app("fig2.1", {"n": 6})
+    report = verify(loop, make_scheme("statement-oriented"), app="fig2.1")
+    assert report.window <= 6
+
+
+def test_explicit_window_override():
+    loop = build_app("fig2.1", {"n": 64})
+    report = verify(loop, make_scheme("statement-oriented"), window=7,
+                    app="fig2.1")
+    assert report.window == 7
+    assert report.clean
+
+
+def test_weakened_wait_yields_race_with_concrete_witness():
+    """Weakening one await produces a finding naming a witness pair."""
+    loop = build_app("fig2.1", {"n": 10})
+    instrumented = make_scheme("statement-oriented").instrument(loop)
+    weakens = [m for m in enumerate_mutants(instrumented)
+               if m.kind == "weaken-wait"]
+    assert weakens
+    flagged = 0
+    for mutant in weakens:
+        report = verify_instrumented(apply_mutant(instrumented, mutant),
+                                     app="fig2.1",
+                                     scheme_name="statement-oriented")
+        if report.clean:
+            continue
+        flagged += 1
+        for race in report.races:
+            # the witness pair is inside the analyzed window and the
+            # arc really is one of the loop's dependences
+            assert 0 <= race.src_lpid < report.window
+            assert 0 <= race.dst_lpid < report.window
+            assert race.src_lpid != race.dst_lpid
+            assert (race.src_sid, race.dst_sid) in {
+                (d.src, d.dst)
+                for d in instrumented.graph.dependences}
+    assert flagged > 0
+
+
+def test_unknown_distance_refuses_to_certify():
+    """distance=None means run serially -- never 'covered'."""
+    body = [
+        Statement("S1", writes=(ArrayRef("A", (index_expr(0, 1, 0, 2),)),)),
+        Statement("S2", reads=(ref1("A", 1, 0),)),
+    ]
+    loop = Loop("mixed-coef", bounds=((1, 12),), body=body)
+    graph = DependenceGraph(loop)
+    assert graph.has_unknown_distance
+    for scheme_name in ("reference-based", "statement-oriented"):
+        report = verify(loop, make_scheme(scheme_name), graph=graph,
+                        app="mixed-coef")
+        assert report.requires_serial
+        assert not report.clean
+        assert not report.races and not report.deadlocks
+
+
+def test_uninstrumented_loop_races_on_every_carried_dependence():
+    """The null placement (no sync at all) must not verify clean."""
+    loop = build_app("fig2.1", {"n": 10})
+    instrumented = make_scheme("statement-oriented").instrument(loop)
+
+    class Bare:
+        def __getattr__(self, name):
+            return getattr(instrumented, name)
+
+        def make_process(self, iteration):
+            from repro.sim.ops import SyncUpdate, SyncWrite, WaitUntil
+            gen = instrumented.make_process(iteration)
+            send = None
+            while True:
+                try:
+                    op = gen.send(send)
+                except StopIteration:
+                    return
+                send = None
+                if isinstance(op, (SyncWrite, WaitUntil)):
+                    continue
+                if isinstance(op, SyncUpdate):
+                    send = 0
+                    continue
+                send = yield op
+
+    report = verify_instrumented(Bare(), app="fig2.1",
+                                 scheme_name="null")
+    assert not report.clean
+    assert len(report.races) >= 3
+
+
+def test_verify_is_deterministic():
+    loop = build_app("fig2.1", {"n": 16})
+    scheme = make_scheme("statement-oriented")
+    first = verify(loop, scheme, app="fig2.1").to_json()
+    second = verify(loop, scheme, app="fig2.1").to_json()
+    assert first == second

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.apps.kernels import (doall_loop, example2_loop, example3_loop,
                                 fig21_loop, fig21_loop_with_delay,
                                 recurrence_loop, relaxation_loop)

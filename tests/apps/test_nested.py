@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.apps.kernels import example2_loop
 from repro.apps.nested import (run_nested, with_boundary_overhead)
 from repro.core.linearize import boundary_check_cost

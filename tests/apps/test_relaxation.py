@@ -33,7 +33,7 @@ def test_serial_strategy_correct():
 
 def test_wavefront_correct_and_counts_steps():
     workload = WavefrontRelaxation(N, PCButterflyBarrier(P))
-    result = run_relaxation(workload, processors=P, schedule="block")
+    run_relaxation(workload, processors=P, schedule="block")
     assert workload.parallel_steps == 2 * N - 3
 
 

@@ -4,9 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
-
-from repro.apps.kernels import doall_loop, fig21_loop, recurrence_loop
 from repro.compiler.delay import (doacross_delay, statement_offsets,
                                   worth_doacross)
 from repro.depend.model import Loop, Statement, ref1

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.kernels import doall_loop, fig21_loop
+from repro.apps.kernels import fig21_loop
 from repro.compiler import CompileError, compile_loop
 from repro.depend.model import AffineExpr, ArrayRef, Loop, Statement, ref1
 from repro.sim import Machine, MachineConfig

@@ -6,7 +6,6 @@ import pytest
 
 from repro.compiler import run_program
 from repro.frontend import parse_loop
-from repro.sim import ValidationError
 
 
 def make_program():

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.codegen import build_sync_plan
 from repro.depend.graph import DependenceGraph
-from repro.depend.model import Loop, Statement, ref1
 
 
 def test_fig42b_plan_exact(fig21):

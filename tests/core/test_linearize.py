@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.linearize import (boundary_check_cost, coalesced_iterations,
                                   extra_dependences)
 from repro.depend.graph import DependenceGraph

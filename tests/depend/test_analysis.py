@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.depend.analysis import Dependence, analyze
 from repro.depend.model import (AffineExpr, ArrayRef, Loop, Statement,
-                                index_expr, ref1)
+                                ref1)
 
 
 def arcs_of(loop):

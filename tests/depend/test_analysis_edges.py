@@ -1,0 +1,103 @@
+"""Dependence-tester edge cases the static verifier leans on.
+
+The verifier's soundness rests on three properties of
+:mod:`repro.depend.analysis` exercised here: equal non-unit
+coefficients still yield exact constant distances, coefficient
+mismatches degrade to ``distance=None`` (and the verifier then refuses
+to certify anything rather than treating the arc as covered), and
+multi-dimensional references produce full distance vectors.
+"""
+
+from __future__ import annotations
+
+from repro.analyze import verify
+from repro.depend.analysis import analyze
+from repro.depend.graph import DependenceGraph
+from repro.depend.model import (ArrayRef, Loop, Statement, index_expr,
+                                ref1)
+from repro.schemes.registry import make_scheme
+
+
+def arcs_of(loop):
+    return {(d.src, d.dst, d.dep_type, d.distance) for d in analyze(loop)}
+
+
+def stride2(offset):
+    """The reference ``A[2i + offset]``."""
+    return ArrayRef("A", (index_expr(0, 1, offset, 2),))
+
+
+def test_equal_nonunit_coefficients_give_exact_distance():
+    """A[2i+2] -> A[2i]: gap 2 over coefficient 2 is distance 1."""
+    loop = Loop("stride", bounds=((1, 12),), body=[
+        Statement("S1", writes=(stride2(2),)),
+        Statement("S2", reads=(stride2(0),)),
+    ])
+    assert ("S1", "S2", "flow", (1,)) in arcs_of(loop)
+    graph = DependenceGraph(loop)
+    assert not graph.has_unknown_distance
+    report = verify(loop, make_scheme("statement-oriented"), graph=graph,
+                    app="stride")
+    assert report.clean
+
+
+def test_odd_gap_under_coefficient_two_is_independent():
+    """A[2i+1] and A[2i] never collide: no arc, loop is doall."""
+    loop = Loop("odd-gap", bounds=((1, 12),), body=[
+        Statement("S1", writes=(stride2(1),)),
+        Statement("S2", reads=(stride2(0),)),
+    ])
+    assert arcs_of(loop) == set()
+
+
+def test_coefficient_mismatch_is_conservative_not_covered():
+    """A[2i] vs A[i] has no constant distance: the tester reports
+    ``distance=None`` and the verifier must answer *requires serial*,
+    never 'covered'."""
+    loop = Loop("mixed", bounds=((1, 12),), body=[
+        Statement("S1", writes=(stride2(0),)),
+        Statement("S2", reads=(ref1("A", 1, 0),)),
+    ])
+    deps = analyze(loop)
+    assert any(d.distance is None for d in deps)
+    assert all(d.loop_carried for d in deps if d.distance is None)
+    graph = DependenceGraph(loop)
+    assert graph.has_unknown_distance
+    report = verify(loop, make_scheme("statement-oriented"), graph=graph,
+                    app="mixed")
+    assert report.requires_serial
+    assert not report.clean
+    assert report.races == [] and report.deadlocks == []
+
+
+def test_multidimensional_distance_vector():
+    """B[i-1, j-1] read after B[i, j] write: distance (1, 1)."""
+    write = ArrayRef("B", (index_expr(0, 2, 0), index_expr(1, 2, 0)))
+    read = ArrayRef("B", (index_expr(0, 2, -1), index_expr(1, 2, -1)))
+    loop = Loop("grid", bounds=((1, 6), (1, 5)), body=[
+        Statement("S1", writes=(write,)),
+        Statement("S2", reads=(read,)),
+    ], array_shapes={"B": (8, 8)})
+    assert ("S1", "S2", "flow", (1, 1)) in arcs_of(loop)
+    report = verify(loop, make_scheme("reference-based"), app="grid")
+    assert report.clean
+
+
+def test_mixed_dimension_mismatch_within_one_array():
+    """Same array, one subscript pair solvable and one not: the whole
+    pair must fall back to unknown, and the verifier to serial."""
+    solvable = ArrayRef("B", (index_expr(0, 2, 1), index_expr(1, 2, 0)))
+    unsolvable = ArrayRef("B", (index_expr(0, 2, 0, 2),
+                                index_expr(1, 2, 0)))
+    loop = Loop("half-known", bounds=((1, 6), (1, 5)), body=[
+        Statement("S1", writes=(solvable,)),
+        Statement("S2", reads=(unsolvable,)),
+    ], array_shapes={"B": (16, 8)})
+    graph = DependenceGraph(loop)
+    if not graph.dependences:
+        # provably independent is also sound; nothing more to check
+        return
+    assert graph.has_unknown_distance
+    report = verify(loop, make_scheme("reference-based"), graph=graph,
+                    app="half-known")
+    assert report.requires_serial

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.depend.analysis import Dependence
-from repro.depend.graph import DependenceGraph, SyncArc, linear_distance
+from repro.depend.graph import DependenceGraph, linear_distance
 from repro.depend.model import Loop, Statement, ref1
 
 

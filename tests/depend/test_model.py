@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.depend.model import (AffineExpr, ArrayRef, Loop, Statement,
+from repro.depend.model import (AffineExpr, Loop, Statement,
                                 index_expr, ref1)
 from repro.sim.validate import mix
 

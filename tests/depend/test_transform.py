@@ -8,7 +8,7 @@ import pytest
 
 from repro.apps.kernels import example2_loop, relaxation_loop
 from repro.depend import analyze
-from repro.depend.model import Loop, Statement, ref1
+from repro.depend.model import Loop, Statement
 from repro.depend.transform import (IllegalTransform, inner_loop_parallel,
                                     interchange, skew, wavefront)
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.apps.kernels import example2_loop, fig21_loop
+from repro.apps.kernels import fig21_loop
 from repro.depend import DependenceGraph
 from repro.frontend import ParseError, parse_affine, parse_loop
 

@@ -84,6 +84,22 @@ def test_build_app_rejects_unknown():
         build_app("nope", {})
 
 
+def test_eliminate_flag_round_trips_and_marks_keys():
+    spec = SweepSpec.build("elim", apps=[("fold-chain", {"n": 16})],
+                           schemes=["statement-oriented"], eliminate=True)
+    assert SweepSpec.from_json(spec.to_json()) == spec
+    (cell,) = spec.cells()
+    assert cell.eliminate
+    assert cell.key.endswith("/elim")
+    assert cell.config()["eliminate"] is True
+    # the comparison preset opts in; a default-built spec does not
+    assert make_spec("scheme-comparison").eliminate
+    plain = SweepSpec.build("plain", apps=[("fig2.1", {"n": 8})],
+                            schemes=["statement-oriented"])
+    (cell,) = plain.cells()
+    assert not cell.eliminate and "elim" not in cell.key
+
+
 def test_auto_scheme_runs_through_compiler(tmp_path):
     spec = SweepSpec.build("auto-one", apps=[("fig2.1", {"n": 10})],
                            schemes=["auto"], processors=(2,))

@@ -6,7 +6,6 @@ from repro.apps import PipelinedRelaxation, run_relaxation
 from repro.apps.pde import BarrierPDE, run_pde
 from repro.barriers import CounterBarrier
 from repro.report import render_timeline, utilization_profile
-from repro.sim import Machine, MachineConfig
 from repro.sim.metrics import RunResult
 
 

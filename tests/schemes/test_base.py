@@ -4,13 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.depend.graph import DependenceGraph
 from repro.schemes.base import execute_statement
 from repro.schemes.process_oriented import ProcessOrientedScheme
-from repro.sim import (Annotate, BroadcastSyncFabric, Compute, Engine,
-                       Machine, MachineConfig, MemRead, MemWrite,
-                       SharedMemory, ValidationError, mix)
-from repro.apps.kernels import fig21_loop
+from repro.sim import (BroadcastSyncFabric, Engine, Machine,
+                       MachineConfig, SharedMemory, ValidationError,
+                       mix)
 
 
 def test_execute_statement_op_sequence(fig21):

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.apps.kernels import fig21_loop, recurrence_loop
 from repro.depend.model import Loop, Statement, ref1
 from repro.schemes.instance_based import InstanceBasedScheme, rename

@@ -6,8 +6,7 @@ import pytest
 
 from repro.apps.kernels import fig21_loop
 from repro.schemes.process_oriented import ProcessOrientedScheme
-from repro.sim import (DeadlockError, Machine, MachineConfig,
-                       ValidationError)
+from repro.sim import Machine, MachineConfig
 
 
 @pytest.mark.parametrize("style", ["basic", "improved"])

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.apps.kernels import fig21_loop
 from repro.schemes.reference_based import (ReferenceBasedScheme,
                                            plan_accesses)

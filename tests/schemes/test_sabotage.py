@@ -15,9 +15,7 @@ import pytest
 from repro.apps.kernels import fig21_loop
 from repro.core.codegen import PlannedWait, StatementPlan, SyncPlan
 from repro.depend.model import Loop, Statement, ref1
-from repro.depend.graph import DependenceGraph
-from repro.schemes.process_oriented import (ProcessOrientedLoop,
-                                            ProcessOrientedScheme)
+from repro.schemes.process_oriented import ProcessOrientedScheme
 from repro.schemes.statement_oriented import StatementOrientedScheme
 from repro.sim import (DeadlockError, Machine, MachineConfig,
                        ValidationError)
@@ -89,8 +87,6 @@ def test_publishing_steps_early_is_detected():
     scheme = ProcessOrientedScheme(processors=8, style="basic")
     instrumented = scheme.instrument(loop)
 
-    original = instrumented._basic_process
-
     def premature(pid: int) -> Generator:
         # publish everything immediately, then run the plain body
         from repro.core.primitives import get_pc, release_pc, set_pc
@@ -135,7 +131,6 @@ def test_statement_scheme_without_awaits_detected():
     loop = tight_loop()
     scheme = StatementOrientedScheme()
     instrumented = scheme.instrument(loop)
-    original = instrumented._await
 
     def no_wait(sid, dist, pid):
         return iter(())  # Await becomes a no-op

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.apps.kernels import fig21_loop, fig21_loop_with_delay
 from repro.schemes.statement_oriented import (StatementOrientedScheme,
                                               at_least)
@@ -34,7 +32,6 @@ def test_advance_order_is_strictly_sequential(fig21):
     instrumented = scheme.instrument(fig21)
     result = machine.run(instrumented)
     instrumented.validate(result)
-    n = fig21.bounds[0][1]
     for sid, var in instrumented._sc_vars.items():
         # fabric value after the run = last advancing iteration
         assert result.sync_transactions > 0

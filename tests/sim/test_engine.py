@@ -7,7 +7,7 @@ import pytest
 from repro.sim import (Annotate, BroadcastSyncFabric, Compute, DeadlockError,
                        Engine, Fence, MemRead, MemWrite, MemoryConfig,
                        MemorySyncFabric, SharedMemory, SimulationLimitError,
-                       SyncRead, SyncUpdate, SyncWrite, WaitUntil)
+                       SyncUpdate, SyncWrite, WaitUntil)
 
 
 def make_engine(fabric=None, memory=None, **kwargs):

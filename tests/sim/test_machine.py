@@ -7,7 +7,7 @@ from typing import Any, Dict, Generator, List
 import pytest
 
 from repro.sim import (BroadcastSyncFabric, Compute, Machine, MachineConfig,
-                       MemWrite, MemoryConfig, SCHED_COUNTER, SharedMemory,
+                       MemWrite, SCHED_COUNTER, SharedMemory,
                        SyncWrite)
 
 

@@ -50,8 +50,6 @@ def test_chunk_validation():
 
 def test_guided_chunks_shrink():
     scheduler = GuidedSelfScheduler(list(range(64)), n_processors=4)
-    sizes = []
-    cursor = 0
     # grab everything on one processor to observe the shrinking sizes
     while True:
         value = scheduler.next_for(0)

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import (BroadcastSyncFabric, Compute, Engine, MemoryConfig,
+from repro.sim import (BroadcastSyncFabric, Engine, MemoryConfig,
                        MemorySyncFabric, SharedMemory, SyncRead, SyncWrite,
                        WaitUntil)
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import importlib
 import inspect
-import pathlib
 import pkgutil
 
 import pytest
