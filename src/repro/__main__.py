@@ -37,8 +37,12 @@ structured error -- never a hang, never silent corruption.  See
 ``sweep`` mode runs the declarative benchmark grids of
 :mod:`repro.lab`: preset (or JSON-file) sweep specs expand into cells,
 warm cells come from the content-addressed cache, cold cells fan out
-over ``--procs`` workers, and versioned records merge into the
-``--json`` store.  See ``python -m repro sweep --help``.
+over ``--procs`` *supervised* workers (per-cell ``--cell-timeout``,
+bounded ``--max-retries`` with backoff, crash detection + respawn,
+quarantine of budget-exhausted cells with exit code 3), and versioned
+records merge into the ``--json`` store as they land.  An interrupted
+sweep (Ctrl-C / SIGTERM) re-enters with ``--resume`` recomputing zero
+completed cells.  See ``python -m repro sweep --help``.
 
 ``analyze`` mode is the static side of :mod:`repro.analyze`: it proves
 a compiled sync placement enforces every dependence arc (races and
@@ -58,7 +62,8 @@ import pathlib
 import sys
 import time
 
-from .cli import add_common_options, make_parser
+from .cli import (add_common_options, add_executor_options, graceful_sigterm,
+                  make_parser)
 from .compiler import compile_loop, run_program
 from .frontend import parse_loop, parse_program
 from .report import render_timeline
@@ -166,6 +171,19 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="statically verify every (app, scheme) "
                              "placement in the grid before simulating "
                              "(see 'python -m repro analyze')")
+    add_executor_options(parser)
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="inject seeded orchestration faults into "
+                             "the executor (testing/CI), e.g. "
+                             "'crash=0.2,hang=0.1,flaky=0.3'; the "
+                             "merged store must still match a "
+                             "fault-free run byte for byte")
+    parser.add_argument("--chaos-seed", type=int, default=0, metavar="N",
+                        help="seed for --chaos draws (default 0)")
+    parser.add_argument("--failures-json", type=pathlib.Path,
+                        default=None, metavar="PATH",
+                        help="write quarantined-cell failures (retry "
+                             "budget exhausted) as JSON to PATH")
     return parser
 
 
@@ -308,8 +326,9 @@ def _analyze_mode(argv) -> int:
 
 def _sweep_mode(argv) -> int:
     """Run declarative sweeps and print per-cell rows + cache stats."""
-    from .lab import (DEFAULT_CACHE_DIR, ResultCache, SweepSpec, make_spec,
-                      merge_records, run_sweep, sweep_presets)
+    from .lab import (DEFAULT_CACHE_DIR, DEFAULT_MAX_RETRIES, ExecutorChaos,
+                      ResultCache, SweepSpec, make_spec, merge_records,
+                      run_sweep, sweep_presets)
     from .report import print_table
 
     parser = build_sweep_parser()
@@ -321,6 +340,17 @@ def _sweep_mode(argv) -> int:
     if not args.spec:
         parser.error(f"need at least one --spec; presets: "
                      f"{', '.join(sweep_presets())}")
+    if args.resume and args.no_cache:
+        parser.error("--resume recovers completed cells from the cache; "
+                     "it cannot be combined with --no-cache")
+    chaos = None
+    if args.chaos is not None:
+        try:
+            chaos = ExecutorChaos.parse(args.chaos, seed=args.chaos_seed)
+        except ValueError as err:
+            parser.error(f"bad --chaos spec: {err}")
+    max_retries = (args.max_retries if args.max_retries is not None
+                   else DEFAULT_MAX_RETRIES)
     specs = []
     for token in args.spec:
         path = pathlib.Path(token)
@@ -332,32 +362,61 @@ def _sweep_mode(argv) -> int:
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
 
-    rows, records = [], []
-    hits = misses = 0
+    rows, records, failures = [], [], []
+    hits = misses = resumed = retries = respawns = 0
     start = time.perf_counter()
-    for spec in specs:
-        report = run_sweep(spec, procs=args.procs, cache=cache,
-                           preflight=args.preflight)
-        hits += report.hits
-        misses += report.misses
-        records.extend(report.records)
-        for record in report.records:
-            config, metrics = record["config"], record["metrics"] or {}
-            params = ",".join(f"{k}={v}" for k, v in
-                              sorted(config["app_params"].items()))
-            rows.append([spec.name, f"{config['app']}({params})",
-                         config["scheme"], config["processors"],
-                         config["seed"], record["outcome"],
-                         metrics.get("makespan", "-"),
-                         metrics.get("speedup", "-")])
+    try:
+        with graceful_sigterm():
+            for spec in specs:
+                # cache_dir=None so --no-cache truly disables caching:
+                # run_sweep would otherwise fall back to the default
+                # cache directory when handed cache=None
+                report = run_sweep(spec, procs=args.procs, cache=cache,
+                                   cache_dir=None,
+                                   preflight=args.preflight,
+                                   cell_timeout=args.cell_timeout,
+                                   max_retries=max_retries,
+                                   chaos=chaos, resume=args.resume)
+                hits += report.hits
+                misses += report.misses
+                retries += report.notes.get("retries", 0)
+                respawns += report.notes.get("respawns", 0)
+                resumed += report.hits if args.resume else 0
+                records.extend(report.records)
+                failures.extend(report.failed)
+                for record in report.records:
+                    config = record["config"]
+                    metrics = record["metrics"] or {}
+                    params = ",".join(f"{k}={v}" for k, v in
+                                      sorted(config["app_params"].items()))
+                    rows.append([spec.name, f"{config['app']}({params})",
+                                 config["scheme"], config["processors"],
+                                 config["seed"], record["outcome"],
+                                 metrics.get("makespan", "-"),
+                                 metrics.get("speedup", "-")])
+    except KeyboardInterrupt:
+        # children are already torn down and every landed record is in
+        # the cache + journal; nothing to merge, everything to resume
+        print("\nsweep interrupted: completed cells are journaled; "
+              "re-run with --resume to pick up where it stopped "
+              "(zero recomputation)")
+        return 130
     elapsed = time.perf_counter() - start
 
+    supervision = ""
+    if retries or respawns:
+        supervision = (f" [{retries} retrie(s), {respawns} worker "
+                       f"respawn(s)]")
     print_table(
         ["spec", "app", "scheme", "P", "seed", "outcome", "makespan",
          "speedup"],
         rows,
         title=f"sweep: {len(records)} cell(s) from {len(specs)} spec(s) "
-              f"on {args.procs} worker(s) in {elapsed:.2f}s")
+              f"on {args.procs} worker(s) in {elapsed:.2f}s"
+              + supervision)
+    if args.resume:
+        print(f"resume: {resumed} completed cell(s) recovered from "
+              f"cache/journal, {misses} simulated")
     if cache is not None:
         print(f"cache: {hits} hit(s), {misses} miss(es) "
               f"[fingerprint {cache.fingerprint[:12]}, {cache.root}]")
@@ -366,6 +425,19 @@ def _sweep_mode(argv) -> int:
     if args.json is not None:
         merge_records(args.json, records)
         print(f"merged {len(records)} record(s) into {args.json}")
+    if args.failures_json is not None:
+        args.failures_json.write_text(json.dumps({
+            "schema_version": 1,
+            "failures": [failure.to_json() for failure in failures],
+        }, sort_keys=True, indent=1) + "\n")
+        print(f"wrote {len(failures)} failure(s) to {args.failures_json}")
+    if failures:
+        print(f"\nDEGRADED: {len(failures)} cell(s) exhausted their "
+              f"retry budget ({max_retries} retrie(s)) and were "
+              "quarantined:")
+        for failure in failures:
+            print(f"  {failure.describe()}")
+        return 3
     if args.assert_cached and misses:
         print(f"--assert-cached: FAILED, {misses} cell(s) re-simulated")
         return 1

@@ -14,12 +14,19 @@ three IO/parallelism flags mean the same thing everywhere:
 ``--procs N``
     number of parallel worker processes used to fan out independent
     runs (1 = serial, identical output either way).
+
+Modes that fan cells over supervised workers additionally share the
+executor trio (``--cell-timeout`` / ``--max-retries`` / ``--resume``,
+see :func:`add_executor_options`) and the SIGTERM-as-clean-shutdown
+behavior of :func:`graceful_sigterm`.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
+import signal
 
 
 def make_parser(prog: str, description: str) -> argparse.ArgumentParser:
@@ -48,3 +55,52 @@ def add_common_options(parser: argparse.ArgumentParser, *,
              f"(default {procs_default}; results are identical at "
              "any value)")
     return parser
+
+
+def add_executor_options(parser: argparse.ArgumentParser,
+                         ) -> argparse.ArgumentParser:
+    """Attach the supervised-executor trio shared by fan-out modes.
+
+    ``--cell-timeout`` / ``--max-retries`` / ``--resume`` configure the
+    :class:`repro.lab.executor.SupervisedExecutor` supervision loop;
+    any mode that fans cells over workers takes them with identical
+    semantics.  ``--max-retries`` defaults to None so callers can fill
+    in the executor's own default without importing it here.
+    """
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget: a cell running longer is "
+             "killed and re-dispatched (counts against --max-retries)")
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="extra attempts per cell after the first, with capped "
+             "exponential backoff (default 2); cells that exhaust the "
+             "budget are quarantined and reported, not fatal")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="re-enter an interrupted sweep: completed cells are "
+             "recovered by cache/journal lookup and never recomputed")
+    return parser
+
+
+@contextlib.contextmanager
+def graceful_sigterm():
+    """Map SIGTERM to KeyboardInterrupt for the enclosed block.
+
+    A supervised sweep cleans up identically for Ctrl-C and a polite
+    kill: children terminated, journal flushed, no half-written
+    stores.  Restores the previous handler on exit; a no-op where
+    signals are unavailable (non-main thread).
+    """
+    def raise_interrupt(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, raise_interrupt)
+    except ValueError:
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)

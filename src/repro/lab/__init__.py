@@ -28,18 +28,26 @@ or from the shell::
 
 from ..schemes.base import RunConfig
 from .apps import APP_BUILDERS, app_names, build_app
-from .cache import (DEFAULT_CACHE_DIR, ResultCache, source_fingerprint)
+from .cache import (DEFAULT_CACHE_DIR, ResultCache, SweepJournal,
+                    source_fingerprint)
+from .chaos import ChaosError, ExecutorChaos
+from .executor import (DEFAULT_MAX_RETRIES, CellFailure, ExecutionOutcome,
+                       SupervisedExecutor, backoff_delay)
 from .parallel import parallel_map
 from .record import (RECORD_SCHEMA_VERSION, canonical_dumps, make_record,
                      merge_records, record_is_current)
-from .runner import SweepReport, execute_cell, run_sweep
+from .runner import (IncompleteSweepError, SweepReport, execute_cell,
+                     run_sweep)
 from .spec import (AUTO_SCHEME, PRESETS, SweepCell, SweepSpec, make_spec,
                    sweep_presets)
 
 __all__ = [
-    "APP_BUILDERS", "AUTO_SCHEME", "DEFAULT_CACHE_DIR", "PRESETS",
-    "RECORD_SCHEMA_VERSION", "ResultCache", "RunConfig", "SweepCell",
-    "SweepReport", "SweepSpec", "app_names", "build_app",
+    "APP_BUILDERS", "AUTO_SCHEME", "CellFailure", "ChaosError",
+    "DEFAULT_CACHE_DIR", "DEFAULT_MAX_RETRIES", "ExecutionOutcome",
+    "ExecutorChaos", "IncompleteSweepError", "PRESETS",
+    "RECORD_SCHEMA_VERSION", "ResultCache", "RunConfig",
+    "SupervisedExecutor", "SweepCell", "SweepJournal", "SweepReport",
+    "SweepSpec", "app_names", "backoff_delay", "build_app",
     "canonical_dumps", "execute_cell", "make_record", "make_spec",
     "merge_records", "parallel_map", "record_is_current", "run_sweep",
     "source_fingerprint", "sweep_presets",

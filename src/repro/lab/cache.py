@@ -104,3 +104,81 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp{os.getpid()}")
         tmp.write_text(canonical_dumps(dict(record)) + "\n")
         tmp.replace(path)
+
+    def contains(self, key: str) -> bool:
+        """True when a current (non-stale) entry exists for ``key``.
+
+        Does not touch the hit/miss counters: this is a peek, used by
+        resume accounting, not a load.
+        """
+        path = self._path(key)
+        try:
+            import json
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return False
+        return record_is_current(record)
+
+
+class SweepJournal:
+    """Append-only JSONL trail of one sweep's landed and failed cells.
+
+    The content-addressed cache is the durable *store* (resume
+    correctness comes from per-cell cache lookups); the journal is the
+    durable *trail*: one line per landed record or quarantined cell,
+    flushed as it happens, so an interrupted or degraded sweep leaves
+    an inspectable account of exactly what it paid for.  Journals live
+    under ``<cache root>/journal/``, named by a digest of the grid's
+    cache keys so re-running the same grid continues the same file; a
+    fully-successful sweep clears its journal on the way out.
+
+    Lines land in completion order, which under a parallel sweep is
+    not deterministic -- the journal is operational evidence, never an
+    input to the byte-identical merged store.
+    """
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+
+    @classmethod
+    def for_keys(cls, root: pathlib.Path,
+                 cache_keys: "list[str]") -> "SweepJournal":
+        """The journal for the grid whose cell cache keys are given."""
+        digest = hashlib.sha256(
+            "\n".join(sorted(cache_keys)).encode()).hexdigest()[:20]
+        return cls(pathlib.Path(root) / "journal" / f"{digest}.jsonl")
+
+    def entries(self) -> "list[Dict[str, Any]]":
+        """Every decodable journal line (a torn last line is skipped).
+
+        A sweep killed mid-append leaves at most one partial line;
+        tolerating it is what makes the journal safe to read right
+        after a SIGKILL.
+        """
+        import json
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return []
+        out = []
+        for line in text.splitlines():
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict):
+                out.append(entry)
+        return out
+
+    def append(self, entry: Mapping[str, Any]) -> None:
+        """Flush one completed/failed-cell line to the trail."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(canonical_dumps(dict(entry)) + "\n")
+
+    def clear(self) -> None:
+        """Remove the trail (a finished sweep owes no explanation)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

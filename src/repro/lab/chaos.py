@@ -1,0 +1,151 @@
+"""Seeded orchestration-fault injection for the supervised executor.
+
+:mod:`repro.faults` injects faults into the *simulated machine*; this
+module injects them one layer up, into the orchestration of sweep
+cells across worker processes -- the failure modes the supervisor in
+:mod:`repro.lab.executor` exists to survive:
+
+``crash``
+    the worker process dies mid-cell (``os._exit``), exactly like an
+    OOM kill or a segfault in a native extension;
+``hang``
+    the worker stops making progress for ``hang_seconds`` -- with a
+    cell timeout configured the supervisor kills and re-dispatches;
+``flaky``
+    the cell raises a transient :class:`ChaosError`;
+``corrupt``
+    the worker returns garbage instead of a record;
+``oversize``
+    the worker returns a record bloated past the supervisor's result
+    byte limit.
+
+Determinism is the whole design: every draw is a pure function of
+(chaos seed, cell key, fault kind, attempt number) -- never of
+wall-clock time, worker identity, or arrival order -- so the same grid
+under the same chaos spec fails in exactly the same places whether it
+runs on 1 worker or 8.  A drawn fault fires on attempts
+``0 .. fault_attempts-1`` and then stops, so every finitely-faulty
+cell succeeds once the retry budget outlasts ``fault_attempts``; the
+executor contract (the merged sweep store is byte-identical to a
+fault-free run) follows directly.  ``always_fail`` key fragments
+escape that guarantee on purpose: they fail every attempt, which is
+how tests and CI exercise the quarantine path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: draw order; the first kind whose draw fires wins the attempt
+FAULT_KINDS = ("crash", "hang", "flaky", "corrupt", "oversize")
+
+
+class ChaosError(RuntimeError):
+    """Transient injected failure raised inside a chaos-wrapped cell."""
+
+
+def _unit(seed: int, key: str, kind: str) -> float:
+    """A uniform [0, 1) draw pinned to (seed, cell key, fault kind)."""
+    digest = hashlib.sha256(f"{seed}|{kind}|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+
+@dataclass(frozen=True)
+class ExecutorChaos:
+    """Seeded description of the orchestration faults to inject."""
+
+    seed: int = 0
+    #: per-cell chance the worker process dies mid-cell
+    crash_prob: float = 0.0
+    #: per-cell chance the worker hangs for ``hang_seconds``
+    hang_prob: float = 0.0
+    #: per-cell chance the cell raises a transient :class:`ChaosError`
+    flaky_prob: float = 0.0
+    #: per-cell chance the worker returns a non-record
+    corrupt_prob: float = 0.0
+    #: per-cell chance the worker returns an oversized record
+    oversize_prob: float = 0.0
+    #: attempts on which a drawn fault keeps firing (1 = first try only)
+    fault_attempts: int = 1
+    #: how long an injected hang stalls the cell; with a cell timeout
+    #: configured the supervisor kills the worker long before this
+    hang_seconds: float = 3600.0
+    #: padding bytes of an ``oversize`` record (must exceed the
+    #: supervisor's result byte limit to actually trip it)
+    oversize_bytes: int = 16 * 2 ** 20
+    #: cell-key fragments whose cells raise on *every* attempt -- these
+    #: exhaust any finite retry budget and land in quarantine
+    always_fail: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for kind in FAULT_KINDS:
+            prob = getattr(self, f"{kind}_prob")
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{kind}_prob must be in [0, 1], "
+                                 f"got {prob}")
+        if self.fault_attempts < 1:
+            raise ValueError("fault_attempts must be >= 1, got "
+                             f"{self.fault_attempts}")
+        if self.hang_seconds < 0 or self.oversize_bytes < 0:
+            raise ValueError("hang_seconds and oversize_bytes must be "
+                             ">= 0")
+
+    def draw(self, key: str, attempt: int) -> Optional[str]:
+        """The fault kind to inject for this (cell, attempt), if any.
+
+        Pure in (seed, key, kind): re-drawing the same cell gives the
+        same answer regardless of worker count or dispatch order.
+        """
+        for fragment in self.always_fail:
+            if fragment in key:
+                return "flaky"
+        if attempt >= self.fault_attempts:
+            return None
+        for kind in FAULT_KINDS:
+            if _unit(self.seed, key, kind) < getattr(self, f"{kind}_prob"):
+                return kind
+        return None
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "ExecutorChaos":
+        """Build a spec from CLI syntax, e.g. ``crash=0.2,flaky=0.5``.
+
+        Keys are the fault kinds (probabilities), ``attempts``
+        (``fault_attempts``), ``hang-seconds``, and ``always-fail`` (a
+        cell-key fragment; repeatable).
+        """
+        kwargs: dict = {"seed": seed}
+        fragments = []
+        for token in filter(None, (t.strip() for t in text.split(","))):
+            name, sep, value = token.partition("=")
+            if not sep or not value:
+                raise ValueError(f"bad chaos token {token!r}: expected "
+                                 "KIND=VALUE")
+            if name in FAULT_KINDS:
+                kwargs[f"{name}_prob"] = float(value)
+            elif name == "attempts":
+                kwargs["fault_attempts"] = int(value)
+            elif name == "hang-seconds":
+                kwargs["hang_seconds"] = float(value)
+            elif name == "always-fail":
+                fragments.append(value)
+            else:
+                raise ValueError(
+                    f"unknown chaos knob {name!r}; known: "
+                    f"{', '.join(FAULT_KINDS)}, attempts, hang-seconds, "
+                    "always-fail")
+        if fragments:
+            kwargs["always_fail"] = tuple(fragments)
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """One-line summary for reports and CLI headers."""
+        parts = [f"{kind}={getattr(self, f'{kind}_prob')}"
+                 for kind in FAULT_KINDS
+                 if getattr(self, f"{kind}_prob")]
+        if self.always_fail:
+            parts.append(f"always-fail={','.join(self.always_fail)}")
+        return (f"seed {self.seed}: " + ", ".join(parts)) if parts else \
+            f"seed {self.seed}: no faults"

@@ -1,0 +1,409 @@
+"""The supervised executor: crash-safe fan-out for sweep cells.
+
+:func:`repro.lab.parallel.parallel_map` is the right tool for clean
+grids, but it fails whole: one crashed or hung worker aborts the
+``pool.map`` and every already-finished result dies with it.  This
+module replaces it under :func:`repro.lab.runner.run_sweep` with a
+supervision loop that assumes workers *will* misbehave:
+
+* **streaming** -- each worker holds exactly one in-flight cell;
+  completions are delivered to the caller (``on_result``) the moment
+  they land, tagged with their submission index, so paid work can be
+  journaled immediately and is never lost to a later failure;
+* **supervision** -- a per-cell wall-clock timeout kills stuck
+  workers; dead workers (pipe EOF / ``Process.exitcode``) are
+  detected, respawned, and their in-flight cell re-dispatched;
+* **bounded retry** -- a failed attempt (worker death, timeout, raised
+  exception, invalid result) re-queues the cell with capped
+  exponential backoff until the per-cell retry budget is spent;
+* **quarantine** -- cells that exhaust the budget become typed
+  :class:`CellFailure` entries and the rest of the grid still
+  finishes: graceful degradation instead of an opaque traceback.
+
+The supervisor never re-orders results semantically: they are keyed
+by submission index, so callers reassemble deterministic output
+regardless of completion order, worker count, or how many times a
+cell was retried.  On any exit -- success, quarantine, or an
+interrupt propagating through -- the ``finally`` block terminates
+every child, so no orphan processes outlive the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import (Any, Callable, Dict, List, Optional, Sequence)
+
+from .chaos import ChaosError, ExecutorChaos
+from .parallel import pool_context
+
+#: retries after the first attempt (so 3 attempts total by default)
+DEFAULT_MAX_RETRIES = 2
+#: first backoff step, seconds; doubles per retry up to the cap
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 2.0
+#: supervisor poll interval, seconds
+_TICK = 0.02
+#: exit code an injected worker crash dies with (recognizable in logs)
+_CHAOS_EXIT = 23
+
+
+def backoff_delay(attempt: int,
+                  base: float = DEFAULT_BACKOFF_BASE,
+                  cap: float = DEFAULT_BACKOFF_CAP) -> float:
+    """Seconds to wait before dispatching retry ``attempt`` (>= 1).
+
+    Capped exponential: ``min(cap, base * 2**(attempt-1))``.  A pure
+    function of the attempt number, so the retry schedule is
+    deterministic and testable.
+    """
+    if attempt < 1:
+        return 0.0
+    return min(cap, base * (2 ** (attempt - 1)))
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One quarantined cell: its identity, budget spent, and why.
+
+    ``reason`` taxonomy: ``worker-crash`` (the worker process died),
+    ``timeout`` (killed past the cell timeout), ``error`` (the cell
+    raised), ``bad-result`` (the returned value failed validation).
+    """
+
+    index: int
+    key: str
+    attempts: int
+    reason: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = (f"{self.key}: {self.reason} after {self.attempts} "
+                f"attempt(s)")
+        return f"{text} -- {self.detail}" if self.detail else text
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"index": self.index, "key": self.key,
+                "attempts": self.attempts, "reason": self.reason,
+                "detail": self.detail}
+
+
+@dataclass
+class ExecutionOutcome:
+    """What one supervised run produced, indexed by submission order."""
+
+    results: Dict[int, Any] = field(default_factory=dict)
+    failures: List[CellFailure] = field(default_factory=list)
+    #: attempts spent per index (1 = succeeded first try)
+    attempts: Dict[int, int] = field(default_factory=dict)
+    #: workers respawned after a crash, timeout kill, or dead dispatch
+    respawns: int = 0
+
+    @property
+    def retries(self) -> int:
+        """Total extra attempts beyond each cell's first."""
+        return sum(count - 1 for count in self.attempts.values())
+
+
+@dataclass
+class _Task:
+    index: int
+    key: str
+    item: Any
+    attempt: int = 0
+    not_before: float = 0.0
+
+
+class _Worker:
+    """One supervised child process and its dedicated pipe."""
+
+    def __init__(self, ctx, fn: Callable[[Any], Any],
+                 chaos: Optional[ExecutorChaos]) -> None:
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(target=_worker_main,
+                                   args=(child_conn, fn, chaos),
+                                   daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+
+    def kill(self) -> None:
+        """Tear the worker down hard; never leaves a zombie behind."""
+        try:
+            self.process.terminate()
+            self.process.join(0.5)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(0.5)
+        finally:
+            self.conn.close()
+
+
+def _worker_main(conn, fn: Callable[[Any], Any],
+                 chaos: Optional[ExecutorChaos]) -> None:
+    """Child loop: receive (index, key, attempt, item), run, reply.
+
+    The supervisor owns shutdown: SIGINT is ignored here so a Ctrl-C
+    in the parent tears workers down through the supervision loop
+    instead of racing interrupted children, and SIGTERM is reset to
+    its default so ``Process.terminate()`` kills quietly even when
+    the parent has remapped it (``repro.cli.graceful_sigterm``).
+    Exceptions from the cell function become ``("err", ...)`` replies;
+    only worker death or an injected crash breaks the pipe.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except ValueError:  # pragma: no cover - non-main-thread harness
+        pass
+    while True:
+        try:
+            index, key, attempt, item = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = chaos.draw(key, attempt) if chaos is not None else None
+        if kind == "crash":
+            os._exit(_CHAOS_EXIT)
+        if kind == "hang":
+            time.sleep(chaos.hang_seconds)
+        try:
+            if kind == "flaky":
+                raise ChaosError(f"injected transient failure "
+                                 f"(attempt {attempt})")
+            if kind == "corrupt":
+                result: Any = "\x00chaos-corrupted-result"
+            elif kind == "oversize":
+                result = {"key": key,
+                          "chaos_padding": "x" * chaos.oversize_bytes}
+            else:
+                result = fn(item)
+            conn.send(("ok", index, result))
+        except Exception as err:  # noqa: BLE001 - forwarded, not hidden
+            conn.send(("err", index, f"{type(err).__name__}: {err}"))
+
+
+class SupervisedExecutor:
+    """Run a function over items with supervision, retry, quarantine.
+
+    ``validate(result, key)`` may return an error string to reject a
+    landed result (treated as a failed attempt -- this is how the
+    sweep runner turns corrupted or oversized records into retries).
+    ``procs <= 1`` with no chaos and no timeout runs inline -- same
+    retry and quarantine semantics, zero multiprocessing overhead --
+    matching the old serial ``parallel_map`` fast path.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], *, procs: int = 1,
+                 cell_timeout: Optional[float] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 chaos: Optional[ExecutorChaos] = None,
+                 validate: Optional[
+                     Callable[[Any, str], Optional[str]]] = None) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive, got "
+                             f"{cell_timeout}")
+        self.fn = fn
+        self.procs = procs
+        self.cell_timeout = cell_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.chaos = chaos
+        self.validate = validate
+
+    # -- public ----------------------------------------------------------
+
+    def run(self, items: Sequence[Any],
+            keys: Optional[Sequence[str]] = None,
+            on_result: Optional[Callable[[int, str, Any], None]] = None,
+            ) -> ExecutionOutcome:
+        """Execute every item; stream completions through ``on_result``.
+
+        ``on_result(index, key, result)`` fires as each cell lands (in
+        completion order, not submission order); exceptions it raises
+        propagate after the children are torn down, so a caller-side
+        interrupt cannot orphan workers.
+        """
+        work = list(items)
+        if keys is None:
+            keys = [str(index) for index in range(len(work))]
+        elif len(keys) != len(work):
+            raise ValueError(f"{len(work)} item(s) but {len(keys)} "
+                             "key(s)")
+        outcome = ExecutionOutcome()
+        if not work:
+            return outcome
+        if (self.procs <= 1 and self.chaos is None
+                and self.cell_timeout is None):
+            self._run_inline(work, keys, on_result, outcome)
+            return outcome
+        self._run_supervised(work, keys, on_result, outcome)
+        return outcome
+
+    # -- serial fast path ------------------------------------------------
+
+    def _run_inline(self, work, keys, on_result,
+                    outcome: ExecutionOutcome) -> None:
+        for index, (item, key) in enumerate(zip(work, keys)):
+            attempt = 0
+            while True:
+                outcome.attempts[index] = attempt + 1
+                error = None
+                try:
+                    result = self.fn(item)
+                except Exception as err:  # noqa: BLE001 - becomes retry
+                    error = ("error", f"{type(err).__name__}: {err}")
+                else:
+                    detail = (self.validate(result, key)
+                              if self.validate else None)
+                    if detail is not None:
+                        error = ("bad-result", detail)
+                if error is None:
+                    outcome.results[index] = result
+                    if on_result is not None:
+                        on_result(index, key, result)
+                    break
+                if attempt >= self.max_retries:
+                    outcome.failures.append(CellFailure(
+                        index=index, key=key, attempts=attempt + 1,
+                        reason=error[0], detail=error[1]))
+                    break
+                attempt += 1
+                time.sleep(backoff_delay(attempt, self.backoff_base,
+                                         self.backoff_cap))
+
+    # -- supervised pool -------------------------------------------------
+
+    def _run_supervised(self, work, keys, on_result,
+                        outcome: ExecutionOutcome) -> None:
+        ctx = pool_context()
+        pending: List[_Task] = [
+            _Task(index=index, key=key, item=item)
+            for index, (item, key) in enumerate(zip(work, keys))]
+        workers: List[_Worker] = []
+        try:
+            for _ in range(max(1, min(self.procs, len(pending)))):
+                workers.append(_Worker(ctx, self.fn, self.chaos))
+            while pending or any(w.task is not None for w in workers):
+                now = time.monotonic()
+                self._dispatch(workers, pending, outcome, ctx, now)
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    # nothing in flight: the head of the queue is
+                    # backing off; sleep just past its eligibility
+                    wake = min(task.not_before for task in pending)
+                    time.sleep(max(0.0, min(wake - now, self.backoff_cap))
+                               or _TICK)
+                    continue
+                ready = connection.wait([w.conn for w in busy],
+                                        timeout=_TICK)
+                for worker in busy:
+                    if worker.conn in ready:
+                        self._collect(worker, workers, pending, outcome,
+                                      ctx, on_result)
+                self._reap_timeouts(workers, pending, outcome, ctx)
+        finally:
+            for worker in workers:
+                worker.kill()
+
+    def _spawn_replacement(self, workers: List[_Worker], dead: _Worker,
+                           outcome: ExecutionOutcome, ctx) -> None:
+        dead.kill()
+        workers[workers.index(dead)] = _Worker(ctx, self.fn, self.chaos)
+        outcome.respawns += 1
+
+    def _dispatch(self, workers, pending: List[_Task],
+                  outcome: ExecutionOutcome, ctx, now: float) -> None:
+        for worker in workers:
+            if worker.task is not None:
+                continue
+            eligible = next((task for task in pending
+                             if task.not_before <= now), None)
+            if eligible is None:
+                return
+            pending.remove(eligible)
+            outcome.attempts[eligible.index] = eligible.attempt + 1
+            try:
+                worker.conn.send((eligible.index, eligible.key,
+                                  eligible.attempt, eligible.item))
+            except (BrokenPipeError, OSError):
+                # the idle worker died between cells: replace it and
+                # put the cell back without charging its budget
+                pending.insert(0, eligible)
+                self._spawn_replacement(workers, worker, outcome, ctx)
+                return
+            worker.task = eligible
+            worker.deadline = (now + self.cell_timeout
+                               if self.cell_timeout is not None else None)
+
+    def _collect(self, worker: _Worker, workers, pending, outcome,
+                 ctx, on_result) -> None:
+        """Drain one readable worker pipe: a result, an error, or EOF."""
+        task = worker.task
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            # the worker died mid-cell: pipe EOF first, exitcode for
+            # the report detail; respawn and charge the attempt
+            worker.process.join(0.5)
+            code = worker.process.exitcode
+            self._spawn_replacement(workers, worker, outcome, ctx)
+            self._retry_or_quarantine(
+                task, pending, outcome, reason="worker-crash",
+                detail=f"worker exited with code {code}")
+            return
+        worker.task = None
+        worker.deadline = None
+        status, index, payload = message
+        if index != task.index:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"worker answered cell {index}, "
+                               f"expected {task.index}")
+        if status == "err":
+            self._retry_or_quarantine(task, pending, outcome,
+                                      reason="error", detail=payload)
+            return
+        detail = (self.validate(payload, task.key)
+                  if self.validate else None)
+        if detail is not None:
+            self._retry_or_quarantine(task, pending, outcome,
+                                      reason="bad-result", detail=detail)
+            return
+        outcome.results[task.index] = payload
+        if on_result is not None:
+            on_result(task.index, task.key, payload)
+
+    def _reap_timeouts(self, workers, pending, outcome, ctx) -> None:
+        if self.cell_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(workers):
+            if worker.task is None or worker.deadline is None:
+                continue
+            if now < worker.deadline:
+                continue
+            task = worker.task
+            self._spawn_replacement(workers, worker, outcome, ctx)
+            self._retry_or_quarantine(
+                task, pending, outcome, reason="timeout",
+                detail=f"killed after {self.cell_timeout:g}s wall clock")
+
+    def _retry_or_quarantine(self, task: _Task, pending: List[_Task],
+                             outcome: ExecutionOutcome, *, reason: str,
+                             detail: str) -> None:
+        if task.attempt >= self.max_retries:
+            outcome.failures.append(CellFailure(
+                index=task.index, key=task.key,
+                attempts=task.attempt + 1, reason=reason, detail=detail))
+            return
+        task.attempt += 1
+        task.not_before = time.monotonic() + backoff_delay(
+            task.attempt, self.backoff_base, self.backoff_cap)
+        pending.append(task)

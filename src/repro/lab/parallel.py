@@ -6,15 +6,27 @@ plain picklable items and the mapped function must be a module-level
 callable; results come back in submission order, so a parallel map is a
 drop-in replacement for the serial list comprehension and downstream
 output stays deterministic regardless of worker count.
+
+Internally results stream back ``imap_unordered``-style, each tagged
+with its submission index and re-slotted on arrival: a cheap cell's
+result is collected the moment it lands instead of queueing behind an
+expensive earlier cell, and the final reassembly asserts every index
+arrived exactly once.  This is the unsupervised fast path; sweeps that
+need timeouts, retry, or crash survival go through
+:class:`repro.lab.executor.SupervisedExecutor`, which layers a
+supervision loop over the same index-tagged streaming idiom.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Any, Callable, Iterable, List, Sequence, Tuple, TypeVar
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
+
+#: slot marker for "this index has not reported back yet"
+_MISSING = object()
 
 
 def pool_context() -> multiprocessing.context.BaseContext:
@@ -22,6 +34,11 @@ def pool_context() -> multiprocessing.context.BaseContext:
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+def _call_indexed(payload: Tuple[Callable, int, Any]) -> Tuple[int, Any]:
+    fn, index, item = payload
+    return index, fn(item)
 
 
 def parallel_map(fn: Callable[[Item], Result], items: Iterable[Item],
@@ -37,5 +54,16 @@ def parallel_map(fn: Callable[[Item], Result], items: Iterable[Item],
     work: Sequence[Item] = list(items)
     if procs <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
+    slots: List[Any] = [_MISSING] * len(work)
+    tagged = [(fn, index, item) for index, item in enumerate(work)]
     with pool_context().Pool(processes=min(procs, len(work))) as pool:
-        return pool.map(fn, work, chunksize=1)
+        for index, result in pool.imap_unordered(_call_indexed, tagged,
+                                                 chunksize=1):
+            slots[index] = result
+    missing = [index for index, slot in enumerate(slots)
+               if slot is _MISSING]
+    if missing:
+        raise RuntimeError(
+            f"parallel_map lost {len(missing)} of {len(work)} "
+            f"result(s); first missing indices: {missing[:8]}")
+    return slots

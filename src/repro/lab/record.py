@@ -24,6 +24,7 @@ serial, parallel and cached executions of the same grid.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Any, Dict, Mapping, Optional, Sequence
 
@@ -114,6 +115,11 @@ def merge_records(path: pathlib.Path,
                 store["records"][key] = record
     for record in records:
         store["records"][record["key"]] = dict(record)
-    path.write_text(json.dumps(store, sort_keys=True, indent=1,
-                               ensure_ascii=True) + "\n")
+    # write-then-atomic-rename: a sweep killed mid-merge (Ctrl-C,
+    # SIGTERM, OOM) leaves either the old store or the new one on
+    # disk, never a torn half-written JSON document
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(store, sort_keys=True, indent=1,
+                              ensure_ascii=True) + "\n")
+    tmp.replace(path)
     return store

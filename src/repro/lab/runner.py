@@ -6,20 +6,27 @@
 * **incremental** -- each cell is looked up in the content-addressed
   :class:`~repro.lab.cache.ResultCache` first; only cells whose inputs
   (source tree or config) changed are re-simulated;
-* **parallel** -- cache misses fan out across a process pool
-  (simulations are deterministic and share nothing, so workers are
-  safe);
+* **parallel** -- cache misses fan out across supervised worker
+  processes (simulations are deterministic and share nothing, so
+  workers are safe);
+* **supervised** -- the :class:`~repro.lab.executor.SupervisedExecutor`
+  journals each record as it lands, kills and re-dispatches timed-out
+  or crashed workers with bounded backoff-retry, and quarantines cells
+  that exhaust the budget instead of aborting the grid; an interrupted
+  sweep re-enters via ``resume=True`` recomputing nothing already paid
+  for;
 * **deterministic** -- records come back in grid order and contain no
   environment facts, so the merged ``BENCH_sweeps.json`` is
   byte-identical whether the sweep ran serially, on 8 workers, or
-  entirely from cache.
+  entirely from cache -- even under injected orchestration faults.
 """
 
 from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from ..compiler.pipeline import compile_loop
 from ..faults.plan import make_plan
@@ -28,15 +35,39 @@ from ..schemes.registry import make_scheme
 from ..sim import (DeadlockError, Machine, MachineConfig,
                    SimulationLimitError, ValidationError)
 from .apps import build_app
-from .cache import DEFAULT_CACHE_DIR, ResultCache
-from .record import make_record, merge_records
-from .parallel import parallel_map
+from .cache import DEFAULT_CACHE_DIR, ResultCache, SweepJournal
+from .chaos import ExecutorChaos
+from .executor import (DEFAULT_MAX_RETRIES, CellFailure, SupervisedExecutor)
+from .record import canonical_dumps, make_record, merge_records
 from .spec import AUTO_SCHEME, SweepCell, SweepSpec
 
 #: engine guards applied to fault-plan cells (mirrors the chaos harness:
 #: an injected hazard must surface as a diagnosed error, not a hang)
 FAULT_MAX_CYCLES = 2_000_000
 FAULT_STAGNATION_LIMIT = 20_000
+
+#: a worker result larger than this is rejected (and the attempt
+#: retried): real records are kilobytes, so anything near the limit is
+#: a corrupted or runaway payload, not a measurement
+RESULT_BYTE_LIMIT = 8 * 2 ** 20
+
+
+class IncompleteSweepError(RuntimeError):
+    """The executor returned neither a record nor a failure for cells.
+
+    Names the missing cell keys outright -- the supervised replacement
+    for the old silent ``zip(todo, fresh)`` merge, which would have
+    misaligned records on a length mismatch instead of failing loudly.
+    """
+
+    def __init__(self, missing_keys: Sequence[str]) -> None:
+        self.missing_keys = list(missing_keys)
+        preview = ", ".join(self.missing_keys[:4])
+        if len(self.missing_keys) > 4:
+            preview += f", ... ({len(self.missing_keys)} total)"
+        super().__init__(
+            f"sweep lost {len(self.missing_keys)} cell(s) without a "
+            f"record or a quarantine entry: {preview}")
 
 
 def _elimination_info(config: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
@@ -169,11 +200,19 @@ class SweepReport:
     json_path: Optional[pathlib.Path] = None
     #: extra per-report notes (e.g. cache fingerprint) for display
     notes: Dict[str, Any] = field(default_factory=dict)
+    #: cells that exhausted their retry budget -- quarantined, never
+    #: merged into the store, and a non-zero exit from the CLI
+    failed: List[CellFailure] = field(default_factory=list)
 
     @property
     def all_cached(self) -> bool:
         """True when every cell was served from the warm cache."""
         return self.misses == 0 and bool(self.records)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the sweep finished but quarantined cells."""
+        return bool(self.failed)
 
     def metrics_by(self, *config_fields: str) -> Dict[Tuple, Dict]:
         """Index the records' metrics by the given config fields.
@@ -198,13 +237,41 @@ class SweepReport:
         return out
 
 
+def _validate_worker_record(result: Any, key: str) -> Optional[str]:
+    """Reject malformed, mis-keyed, or oversized worker results.
+
+    Returning an error string makes the supervisor treat the landed
+    value as a failed attempt (``bad-result``) and retry the cell --
+    the guard that turns a corrupted or runaway payload into a
+    re-simulation instead of a poisoned store.
+    """
+    if not isinstance(result, Mapping):
+        return f"not a record: {type(result).__name__}"
+    if result.get("key") != key:
+        return f"record key {result.get('key')!r} != cell key {key!r}"
+    try:
+        size = len(canonical_dumps(dict(result)))
+    except (TypeError, ValueError) as err:
+        return f"unserializable record: {err}"
+    if size > RESULT_BYTE_LIMIT:
+        return f"record too large ({size} bytes > {RESULT_BYTE_LIMIT})"
+    return None
+
+
 def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
               procs: int = 1,
               cache_dir: Optional[pathlib.Path] = DEFAULT_CACHE_DIR,
               cache: Optional[ResultCache] = None,
               json_path: Optional[pathlib.Path] = None,
-              preflight: bool = False) -> SweepReport:
-    """Run a sweep: expand, cache-check, simulate misses, merge.
+              preflight: bool = False,
+              cell_timeout: Optional[float] = None,
+              max_retries: int = DEFAULT_MAX_RETRIES,
+              chaos: Optional[ExecutorChaos] = None,
+              resume: bool = False,
+              on_progress: Optional[
+                  Callable[[str, Dict[str, Any]], None]] = None,
+              ) -> SweepReport:
+    """Run a sweep: expand, cache-check, supervise misses, merge.
 
     ``cache_dir=None`` disables caching entirely; passing an explicit
     ``cache`` overrides ``cache_dir``.  ``json_path`` merges the run's
@@ -214,6 +281,19 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
     (at the analysis gate's small sizes) before spending simulation
     budget; a placement with a proven race or deadlock aborts the sweep
     with :class:`repro.analyze.AnalysisError`.
+
+    Cold cells run under the :class:`SupervisedExecutor`: each record
+    is stored to the cache and journaled *as it lands* (paid work
+    survives any later crash), a cell past ``cell_timeout`` seconds is
+    killed and re-dispatched, failed attempts retry with capped
+    exponential backoff up to ``max_retries`` extra tries, and cells
+    that exhaust the budget are quarantined into ``report.failed``
+    while the rest of the grid finishes.  ``resume=True`` (requires
+    the cache) re-enters an interrupted sweep: completed cells come
+    back via cache lookup, so zero already-paid cells recompute.
+    ``chaos`` injects seeded orchestration faults (worker crash, hang,
+    flaky cell, corrupted/oversized result) for testing the above;
+    ``on_progress(key, record)`` fires per landed record.
     """
     if isinstance(spec, SweepSpec):
         name, cells = spec.name, spec.cells()
@@ -238,33 +318,87 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
                                   f"verified clean")
     if cache is None and cache_dir is not None:
         cache = ResultCache(pathlib.Path(cache_dir))
+    if resume and cache is None:
+        raise ValueError("resume=True needs the result cache: completed "
+                         "cells are recovered by cache/journal lookup")
 
     records: List[Optional[Dict[str, Any]]] = [None] * len(cells)
     todo: List[Tuple[int, Dict[str, Any], str]] = []
+    cache_keys: List[str] = []
     for index, cell in enumerate(cells):
         config = cell.config()
         if cache is not None:
-            cached = cache.load(cache.key_for(config))
+            cache_keys.append(cache.key_for(config))
+            cached = cache.load(cache_keys[-1])
             if cached is not None:
                 records[index] = cached
                 continue
         todo.append((index, config, cell.key))
 
-    fresh = parallel_map(_worker,
-                         [(config, key) for _i, config, key in todo],
-                         procs=procs)
-    for (index, config, _key), record in zip(todo, fresh):
+    journal = (SweepJournal.for_keys(cache.root, cache_keys)
+               if cache is not None else None)
+    hits = len(cells) - len(todo)
+    if journal is not None:
+        if resume:
+            notes["resumed"] = (f"{hits} completed cell(s) recovered "
+                                f"from cache/journal, {len(todo)} left")
+        else:
+            # a fresh (non-resume) run starts a fresh trail
+            journal.clear()
+
+    def on_landed(position: int, key: str, record: Dict[str, Any]) -> None:
+        index, config, _key = todo[position]
         records[index] = record
+        # journal as it lands: store first (the durable result), then
+        # the trail line, then the caller's progress hook -- a crash
+        # between any two steps loses bookkeeping, never paid work
         if cache is not None:
             cache.store(cache.key_for(config), record)
+        if journal is not None:
+            journal.append({"cell": key, "status": "done",
+                            "outcome": record.get("outcome")})
+        if on_progress is not None:
+            on_progress(key, record)
+
+    failures: List[CellFailure] = []
+    if todo:
+        executor = SupervisedExecutor(
+            _worker, procs=procs, cell_timeout=cell_timeout,
+            max_retries=max_retries, chaos=chaos,
+            validate=_validate_worker_record)
+        outcome = executor.run(
+            [(config, key) for _i, config, key in todo],
+            keys=[key for _i, _config, key in todo],
+            on_result=on_landed)
+        for failure in outcome.failures:
+            failures.append(failure)
+            if journal is not None:
+                journal.append({"cell": failure.key, "status": "failed",
+                                "reason": failure.reason,
+                                "attempts": failure.attempts,
+                                "detail": failure.detail})
+        if outcome.retries:
+            notes["retries"] = outcome.retries
+        if outcome.respawns:
+            notes["respawns"] = outcome.respawns
+
+    failed_keys = {failure.key for failure in failures}
+    missing = [key for index, _config, key in todo
+               if records[index] is None and key not in failed_keys]
+    if missing:
+        raise IncompleteSweepError(missing)
+
+    if journal is not None and not failures:
+        journal.clear()
 
     done = [record for record in records if record is not None]
     report = SweepReport(
-        spec_name=name, records=done, hits=len(cells) - len(todo),
+        spec_name=name, records=done, hits=hits,
         misses=len(todo),
         procs=procs, json_path=json_path,
         notes=dict(notes, **({"fingerprint": cache.fingerprint[:12]}
-                             if cache else {})))
+                             if cache else {})),
+        failed=failures)
     if json_path is not None:
         merge_records(pathlib.Path(json_path), done)
     return report
