@@ -8,6 +8,7 @@ Usage::
     python -m repro sweep --spec NAME --procs 8 --json BENCH_sweeps.json
     python -m repro analyze --app fig2.1 --scheme statement-oriented
     python -m repro analyze --gate
+    python -m repro doctor [--repair] [--json PATH]
 
 Reads a mini-Fortran ``DO`` nest (see :mod:`repro.frontend`), runs the
 full pipeline -- dependence analysis, classification, doacross-delay
@@ -42,7 +43,17 @@ bounded ``--max-retries`` with backoff, crash detection + respawn,
 quarantine of budget-exhausted cells with exit code 3), and versioned
 records merge into the ``--json`` store as they land.  An interrupted
 sweep (Ctrl-C / SIGTERM) re-enters with ``--resume`` recomputing zero
-completed cells.  See ``python -m repro sweep --help``.
+completed cells.  N sweeps may share one ``--cache-dir`` concurrently:
+per-cell claim files give single-flight semantics (an in-flight cell is
+waited for, not recomputed; a crashed claimant's cell is taken over),
+every entry is checksummed, and the merged store is lock-serialized.
+See ``python -m repro sweep --help``.
+
+``doctor`` mode is the fsck for that shared store: it verifies entry
+checksums and schema versions, reaps orphaned tmp files and stale
+claims, and reports a typed summary; ``--repair`` quarantines corrupt
+entries and deletes stale ones so the next sweep re-simulates exactly
+the damaged cells.  See ``python -m repro doctor --help``.
 
 ``analyze`` mode is the static side of :mod:`repro.analyze`: it proves
 a compiled sync placement enforces every dependence arc (races and
@@ -62,8 +73,8 @@ import pathlib
 import sys
 import time
 
-from .cli import (add_common_options, add_executor_options, graceful_sigterm,
-                  make_parser)
+from .cli import (add_cache_options, add_common_options,
+                  add_executor_options, graceful_sigterm, make_parser)
 from .compiler import compile_loop, run_program
 from .frontend import parse_loop, parse_program
 from .report import render_timeline
@@ -157,12 +168,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                              "file (repeatable)")
     parser.add_argument("--list", action="store_true",
                         help="list the preset sweep specs and exit")
-    parser.add_argument("--cache-dir", type=pathlib.Path,
-                        default=None, metavar="PATH",
-                        help="result cache directory "
-                             "(default .repro-cache)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="ignore and do not write the result cache")
+    add_cache_options(parser, no_cache=True)
     parser.add_argument("--assert-cached", action="store_true",
                         help="fail (exit 1) unless every cell was a "
                              "cache hit -- CI uses this to pin "
@@ -172,6 +178,10 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                              "placement in the grid before simulating "
                              "(see 'python -m repro analyze')")
     add_executor_options(parser)
+    parser.add_argument("--no-single-flight", action="store_true",
+                        help="do not coordinate with other sweeps "
+                             "sharing this cache via per-cell claim "
+                             "files (may duplicate in-flight work)")
     parser.add_argument("--chaos", default=None, metavar="SPEC",
                         help="inject seeded orchestration faults into "
                              "the executor (testing/CI), e.g. "
@@ -185,6 +195,70 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="write quarantined-cell failures (retry "
                              "budget exhausted) as JSON to PATH")
     return parser
+
+
+def build_doctor_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro doctor``."""
+    parser = make_parser(
+        "python -m repro doctor",
+        "fsck for the shared experiment store: verify every cache "
+        "entry's checksum and schema versions, reap orphaned in-flight "
+        "tmp files and stale single-flight claims, count torn journal "
+        "lines, and report a typed summary (ok / stale / corrupt / "
+        "orphaned / quarantined).  With --repair, corrupt entries are "
+        "quarantined and stale ones deleted, so the next sweep "
+        "re-simulates exactly the damaged cells.")
+    add_common_options(parser)
+    add_cache_options(parser)
+    parser.add_argument("--repair", action="store_true",
+                        help="act on entry damage: quarantine corrupt "
+                             "entries, delete stale ones, rewrite torn "
+                             "journals (orphans and stale claims are "
+                             "always reaped)")
+    parser.add_argument("--inject", default=None, metavar="SPEC",
+                        help="testing/CI: first damage the store with "
+                             "seeded faults, e.g. 'bit-flips=3,"
+                             "truncations=2,torn-tmps=2,dead-claims=1' "
+                             "(seeded by --seed), then diagnose")
+    return parser
+
+
+def _doctor_mode(argv) -> int:
+    """Diagnose (and optionally repair) the shared experiment store."""
+    from .lab import DEFAULT_CACHE_DIR, ResultCache, StoreChaos, diagnose
+
+    parser = build_doctor_parser()
+    args = parser.parse_args(argv)
+    root = args.cache_dir or DEFAULT_CACHE_DIR
+    if not root.is_dir():
+        print(f"no cache directory at {root}: nothing to diagnose")
+        return 0
+
+    if args.inject is not None:
+        try:
+            chaos = StoreChaos.parse(args.inject, seed=args.seed)
+        except ValueError as err:
+            parser.error(f"bad --inject spec: {err}")
+        touched = chaos.inject(root)
+        for kind, names in sorted(touched.items()):
+            if names:
+                print(f"injected {kind}: {len(names)} file(s)")
+
+    # key_fn lets the doctor flag entries the current source tree can
+    # never look up again (superseded content addresses)
+    cache = ResultCache(root)
+    report = diagnose(root, repair=args.repair,
+                      key_fn=cache.key_for)
+    for finding in report.findings:
+        action = f" [{finding.action}]" if finding.action else ""
+        print(f"  {finding.status:12s} {finding.path}: "
+              f"{finding.detail}{action}")
+    print(report.summary())
+    if args.json is not None:
+        args.json.write_text(json.dumps(report.to_json(), sort_keys=True,
+                                        indent=1) + "\n")
+        print(f"wrote doctor report to {args.json}")
+    return 0 if (report.healthy or args.repair) else 1
 
 
 def build_analyze_parser() -> argparse.ArgumentParser:
@@ -363,7 +437,7 @@ def _sweep_mode(argv) -> int:
         cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
 
     rows, records, failures = [], [], []
-    hits = misses = resumed = retries = respawns = 0
+    hits = misses = shared = resumed = retries = respawns = 0
     start = time.perf_counter()
     try:
         with graceful_sigterm():
@@ -376,9 +450,11 @@ def _sweep_mode(argv) -> int:
                                    preflight=args.preflight,
                                    cell_timeout=args.cell_timeout,
                                    max_retries=max_retries,
-                                   chaos=chaos, resume=args.resume)
+                                   chaos=chaos, resume=args.resume,
+                                   single_flight=not args.no_single_flight)
                 hits += report.hits
                 misses += report.misses
+                shared += report.notes.get("shared", 0)
                 retries += report.notes.get("retries", 0)
                 respawns += report.notes.get("respawns", 0)
                 resumed += report.hits if args.resume else 0
@@ -418,7 +494,9 @@ def _sweep_mode(argv) -> int:
         print(f"resume: {resumed} completed cell(s) recovered from "
               f"cache/journal, {misses} simulated")
     if cache is not None:
-        print(f"cache: {hits} hit(s), {misses} miss(es) "
+        sharing = (f", {shared} served by concurrent sweep(s)"
+                   if shared else "")
+        print(f"cache: {hits} hit(s), {misses} miss(es){sharing} "
               f"[fingerprint {cache.fingerprint[:12]}, {cache.root}]")
     else:
         print(f"cache: disabled, {misses} cell(s) simulated")
@@ -517,6 +595,8 @@ def main(argv=None) -> int:
         return _sweep_mode(argv[1:])
     if argv and argv[0] == "analyze":
         return _analyze_mode(argv[1:])
+    if argv and argv[0] == "doctor":
+        return _doctor_mode(argv[1:])
     args = build_parser().parse_args(argv)
 
     bindings = {}

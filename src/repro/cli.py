@@ -57,6 +57,25 @@ def add_common_options(parser: argparse.ArgumentParser, *,
     return parser
 
 
+def add_cache_options(parser: argparse.ArgumentParser, *,
+                      no_cache: bool = False) -> argparse.ArgumentParser:
+    """Attach the shared ``--cache-dir`` (and optionally ``--no-cache``).
+
+    Every mode that touches the on-disk experiment store (``sweep``,
+    ``doctor``) takes the same spelling; ``no_cache=True`` additionally
+    offers the opt-out flag for modes where running uncached makes
+    sense.
+    """
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=None, metavar="PATH",
+        help="result cache directory (default .repro-cache)")
+    if no_cache:
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="ignore and do not write the result cache")
+    return parser
+
+
 def add_executor_options(parser: argparse.ArgumentParser,
                          ) -> argparse.ArgumentParser:
     """Attach the supervised-executor trio shared by fan-out modes.

@@ -30,7 +30,7 @@ from ..schemes.base import RunConfig
 from .apps import APP_BUILDERS, app_names, build_app
 from .cache import (DEFAULT_CACHE_DIR, ResultCache, SweepJournal,
                     source_fingerprint)
-from .chaos import ChaosError, ExecutorChaos
+from .chaos import ChaosError, ExecutorChaos, StoreChaos
 from .executor import (DEFAULT_MAX_RETRIES, CellFailure, ExecutionOutcome,
                        SupervisedExecutor, backoff_delay)
 from .parallel import parallel_map
@@ -40,15 +40,21 @@ from .runner import (IncompleteSweepError, SweepReport, execute_cell,
                      run_sweep)
 from .spec import (AUTO_SCHEME, PRESETS, SweepCell, SweepSpec, make_spec,
                    sweep_presets)
+from .store import (CellClaims, ClaimPolicy, DoctorReport, EnvelopeError,
+                    StoreLock, StoreLockTimeout, diagnose, open_envelope,
+                    reap_orphan_tmps, seal_record)
 
 __all__ = [
-    "APP_BUILDERS", "AUTO_SCHEME", "CellFailure", "ChaosError",
-    "DEFAULT_CACHE_DIR", "DEFAULT_MAX_RETRIES", "ExecutionOutcome",
-    "ExecutorChaos", "IncompleteSweepError", "PRESETS",
-    "RECORD_SCHEMA_VERSION", "ResultCache", "RunConfig",
-    "SupervisedExecutor", "SweepCell", "SweepJournal", "SweepReport",
-    "SweepSpec", "app_names", "backoff_delay", "build_app",
-    "canonical_dumps", "execute_cell", "make_record", "make_spec",
-    "merge_records", "parallel_map", "record_is_current", "run_sweep",
-    "source_fingerprint", "sweep_presets",
+    "APP_BUILDERS", "AUTO_SCHEME", "CellClaims", "CellFailure",
+    "ChaosError", "ClaimPolicy", "DEFAULT_CACHE_DIR",
+    "DEFAULT_MAX_RETRIES", "DoctorReport", "EnvelopeError",
+    "ExecutionOutcome", "ExecutorChaos", "IncompleteSweepError", "PRESETS",
+    "RECORD_SCHEMA_VERSION", "ResultCache", "RunConfig", "StoreChaos",
+    "StoreLock", "StoreLockTimeout", "SupervisedExecutor", "SweepCell",
+    "SweepJournal", "SweepReport", "SweepSpec", "app_names",
+    "backoff_delay", "build_app", "canonical_dumps", "diagnose",
+    "execute_cell", "make_record", "make_spec", "merge_records",
+    "open_envelope", "parallel_map", "reap_orphan_tmps",
+    "record_is_current", "run_sweep", "seal_record", "source_fingerprint",
+    "sweep_presets",
 ]

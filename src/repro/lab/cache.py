@@ -10,19 +10,25 @@ The cache key of a cell is a SHA-256 over
 
 A warm cache therefore returns instantly and is always either exactly
 what a fresh simulation would produce, or a miss.  Entries are single
-JSON files named by their key; writes go through a temp file + rename
-so a killed sweep never leaves a torn entry behind.
+JSON files named by their key, each a checksummed envelope (see
+:mod:`repro.lab.store`): writes go through a uniquely-named temp file,
+fsync, and atomic rename, so a killed sweep never leaves a torn entry
+behind and "stored" means durable; loads verify the payload SHA-256
+and *quarantine* damaged entries instead of serving them.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
+import json
 import pathlib
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..sim.metrics import EXTRA_SCHEMA_VERSION
 from .record import RECORD_SCHEMA_VERSION, canonical_dumps, record_is_current
+from .store import (EnvelopeError, JOURNAL_DIR, durable_append_line,
+                    durable_write_text, open_envelope, quarantine_file,
+                    seal_record)
 
 #: default cache location, relative to the invoking directory
 DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache")
@@ -66,6 +72,8 @@ class ResultCache:
         self.fingerprint = fingerprint or source_fingerprint()
         self.hits = 0
         self.misses = 0
+        #: corrupt entries moved to ``<root>/quarantine/`` by lookups
+        self.quarantined = 0
 
     def key_for(self, config: Mapping[str, Any]) -> str:
         """The cell's content address (hex SHA-256)."""
@@ -80,44 +88,69 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
 
-    def load(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached record for ``key``, or None on miss/stale entry."""
+    def _lookup(self, key: str) -> Tuple[str, Optional[Dict[str, Any]]]:
+        """Read + verify the entry for ``key``: the one parse path.
+
+        Returns ``(status, record)`` with status in ``miss`` (no file),
+        ``corrupt`` (undecodable, non-envelope, or checksum-mismatched
+        -- the file is quarantined as a side effect), ``stale``
+        (produced by older schemas: detected and invalidated, never
+        silently mixed into a fresh sweep), or ``ok``.  Both
+        :meth:`load` and :meth:`contains` go through here, so integrity
+        verification lives in exactly one place.
+        """
         path = self._path(key)
         try:
-            import json
-            record = json.loads(path.read_text())
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
+            raw = path.read_bytes()
+        except OSError:
+            return "miss", None
+        try:
+            record = open_envelope(raw.decode("utf-8"))
+        except (EnvelopeError, UnicodeDecodeError):
+            # damaged bytes must neither be served as truth nor linger
+            # as a silent re-miss every sweep: move them aside
+            if quarantine_file(self.root, path) is not None:
+                self.quarantined += 1
+            return "corrupt", None
         if not record_is_current(record):
-            # produced by older code: detected and invalidated, never
-            # silently mixed into a fresh sweep
+            return "stale", None
+        return "ok", record
+
+    def load(self, key: str, *,
+             count: bool = True) -> Optional[Dict[str, Any]]:
+        """The verified record for ``key``, or None on any non-hit.
+
+        ``count=False`` skips the hit/miss counters -- for single-flight
+        re-checks and waits, which poll the same cell many times but
+        must charge it to the stats at most once.
+        """
+        status, record = self._lookup(key)
+        if status == "ok":
+            if count:
+                self.hits += 1
+            return record
+        if count:
             self.misses += 1
-            return None
-        self.hits += 1
-        return record
+        return None
 
     def store(self, key: str, record: Mapping[str, Any]) -> None:
-        """Persist ``record`` under ``key`` (atomic rename)."""
+        """Persist ``record`` durably under ``key``.
+
+        The entry is a checksummed envelope written via unique tmp file
+        + fsync + atomic rename: concurrent writers (threads or
+        processes) cannot collide on the tmp name, and once this
+        returns the record survives a crash.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(canonical_dumps(dict(record)) + "\n")
-        tmp.replace(path)
+        durable_write_text(self._path(key), seal_record(record))
 
     def contains(self, key: str) -> bool:
-        """True when a current (non-stale) entry exists for ``key``.
+        """True when a current, checksum-verified entry exists.
 
         Does not touch the hit/miss counters: this is a peek, used by
         resume accounting, not a load.
         """
-        path = self._path(key)
-        try:
-            import json
-            record = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return False
-        return record_is_current(record)
+        return self._lookup(key)[0] == "ok"
 
 
 class SweepJournal:
@@ -146,7 +179,7 @@ class SweepJournal:
         """The journal for the grid whose cell cache keys are given."""
         digest = hashlib.sha256(
             "\n".join(sorted(cache_keys)).encode()).hexdigest()[:20]
-        return cls(pathlib.Path(root) / "journal" / f"{digest}.jsonl")
+        return cls(pathlib.Path(root) / JOURNAL_DIR / f"{digest}.jsonl")
 
     def entries(self) -> "list[Dict[str, Any]]":
         """Every decodable journal line (a torn last line is skipped).
@@ -155,9 +188,10 @@ class SweepJournal:
         tolerating it is what makes the journal safe to read right
         after a SIGKILL.
         """
-        import json
         try:
-            text = self.path.read_text()
+            # replace, not raise: a mangled byte loses one line's
+            # decode, never the whole trail
+            text = self.path.read_bytes().decode("utf-8", "replace")
         except OSError:
             return []
         out = []
@@ -171,10 +205,14 @@ class SweepJournal:
         return out
 
     def append(self, entry: Mapping[str, Any]) -> None:
-        """Flush one completed/failed-cell line to the trail."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(canonical_dumps(dict(entry)) + "\n")
+        """Flush + fsync one cell-event line to the trail.
+
+        The fsync is what lets a journal line mean "this work is
+        durably accounted for" to a reader arriving right after the
+        writer was SIGKILLed; O_APPEND keeps concurrent writers'
+        lines whole.
+        """
+        durable_append_line(self.path, canonical_dumps(dict(entry)))
 
     def clear(self) -> None:
         """Remove the trail (a finished sweep owes no explanation)."""

@@ -149,3 +149,165 @@ class ExecutorChaos:
             parts.append(f"always-fail={','.join(self.always_fail)}")
         return (f"seed {self.seed}: " + ", ".join(parts)) if parts else \
             f"seed {self.seed}: no faults"
+
+
+#: storage-fault kinds :class:`StoreChaos` can inject, in applied order
+STORE_FAULT_KINDS = ("bit-flips", "truncations", "torn-tmps",
+                     "dead-claims", "torn-journal-lines")
+
+
+@dataclass(frozen=True)
+class StoreChaos:
+    """Seeded injection of *storage* faults into a cache directory.
+
+    :class:`ExecutorChaos` breaks the orchestration of cells;
+    this breaks the bytes underneath it -- the failure modes
+    :mod:`repro.lab.store` exists to survive:
+
+    ``bit_flips``
+        entries with one flipped payload bit -- valid JSON or not, the
+        checksum must catch it;
+    ``truncations``
+        entries cut off mid-file, like a torn write on a full disk;
+    ``torn_tmps``
+        abandoned half-written ``*.tmp-*`` files from a fictitious
+        long-dead writer, exactly what a SIGKILL mid-store leaves;
+    ``dead_claims``
+        claim files whose owner is gone and whose heartbeat is ancient
+        -- a waiter must take these over, never honor them;
+    ``torn_journal_lines``
+        journal files truncated mid-line.
+
+    Target selection is a pure function of (seed, fault kind, file
+    name): the same cache contents under the same spec are damaged in
+    exactly the same places, so every doctor/repair test is
+    reproducible.  Each entry receives at most one fault kind.
+    """
+
+    seed: int = 0
+    bit_flips: int = 0
+    truncations: int = 0
+    torn_tmps: int = 0
+    dead_claims: int = 0
+    torn_journal_lines: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("bit_flips", "truncations", "torn_tmps",
+                     "dead_claims", "torn_journal_lines"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got "
+                                 f"{getattr(self, name)}")
+
+    def _pick(self, names: "list[str]", kind: str,
+              count: int) -> "list[str]":
+        ranked = sorted(names, key=lambda name: _unit(self.seed, name,
+                                                      kind))
+        return ranked[:count]
+
+    def inject(self, root) -> "dict[str, list[str]]":
+        """Damage the cache at ``root``; returns kind -> touched files.
+
+        Mutates on-disk state only -- no process is harmed -- so it
+        composes with live sweeps in tests and CI.
+        """
+        import json
+        import os
+        import pathlib
+        import time
+
+        from .store import CLAIMS_DIR, JOURNAL_DIR
+
+        root = pathlib.Path(root)
+        touched: "dict[str, list[str]]" = {kind: []
+                                           for kind in STORE_FAULT_KINDS}
+        entries = sorted(path.name for path in root.glob("*.json")
+                         if path.is_file())
+        taken: "set[str]" = set()
+
+        for name in self._pick(entries, "bit-flip", self.bit_flips):
+            path = root / name
+            data = bytearray(path.read_bytes())
+            if not data:
+                continue
+            offset = int(_unit(self.seed, name, "bit-flip-at")
+                         * len(data))
+            data[offset] ^= 1 << int(
+                _unit(self.seed, name, "bit-flip-bit") * 8)
+            path.write_bytes(bytes(data))
+            taken.add(name)
+            touched["bit-flips"].append(name)
+
+        candidates = [name for name in entries if name not in taken]
+        for name in self._pick(candidates, "truncate", self.truncations):
+            path = root / name
+            data = path.read_bytes()
+            keep = max(1, int(_unit(self.seed, name, "truncate-at")
+                              * max(1, len(data) - 1)))
+            path.write_bytes(data[:keep])
+            taken.add(name)
+            touched["truncations"].append(name)
+
+        ancient = time.time() - 7 * 24 * 3600
+        for index, name in enumerate(
+                self._pick(entries, "torn-tmp", self.torn_tmps)):
+            tmp = root / f"{name}.tmp-{os.getpid()}-chaos{index}"
+            tmp.write_text('{"torn": "half-written entr')
+            os.utime(tmp, (ancient, ancient))
+            touched["torn-tmps"].append(tmp.name)
+
+        if self.dead_claims:
+            claims_dir = root / CLAIMS_DIR
+            claims_dir.mkdir(parents=True, exist_ok=True)
+            for name in self._pick(entries, "dead-claim",
+                                   self.dead_claims):
+                claim = claims_dir / f"{pathlib.Path(name).stem}.claim"
+                claim.write_text(json.dumps(
+                    {"pid": 2 ** 22 + 1, "host": "long-gone-host",
+                     "key": pathlib.Path(name).stem}))
+                os.utime(claim, (ancient, ancient))
+                touched["dead-claims"].append(claim.name)
+
+        if self.torn_journal_lines:
+            journal_dir = root / JOURNAL_DIR
+            journals = (sorted(path.name
+                               for path in journal_dir.glob("*.jsonl"))
+                        if journal_dir.is_dir() else [])
+            for name in self._pick(journals, "torn-journal",
+                                   self.torn_journal_lines):
+                path = journal_dir / name
+                text = path.read_text()
+                if len(text) < 2:
+                    continue
+                path.write_text(text[:int(len(text) * 0.6)].rstrip("\n")
+                                + '\n{"cell": "torn mid-app')
+                touched["torn-journal-lines"].append(name)
+
+        return touched
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "StoreChaos":
+        """Build a spec from CLI syntax, e.g. ``bit-flips=3,torn-tmps=2``.
+
+        Keys are the :data:`STORE_FAULT_KINDS`, each taking an integer
+        count of files to damage.
+        """
+        kwargs: dict = {"seed": seed}
+        for token in filter(None, (t.strip() for t in text.split(","))):
+            name, sep, value = token.partition("=")
+            if not sep or not value:
+                raise ValueError(f"bad store-chaos token {token!r}: "
+                                 "expected KIND=COUNT")
+            if name not in STORE_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown store-chaos kind {name!r}; known: "
+                    f"{', '.join(STORE_FAULT_KINDS)}")
+            kwargs[name.replace("-", "_")] = int(value)
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """One-line summary for reports and CLI headers."""
+        parts = [f"{kind}={getattr(self, kind.replace('-', '_'))}"
+                 for kind in STORE_FAULT_KINDS
+                 if getattr(self, kind.replace("-", "_"))]
+        return (f"seed {self.seed}: " + ", ".join(parts)) if parts else \
+            f"seed {self.seed}: no store faults"

@@ -224,13 +224,17 @@ class SupervisedExecutor:
     def run(self, items: Sequence[Any],
             keys: Optional[Sequence[str]] = None,
             on_result: Optional[Callable[[int, str, Any], None]] = None,
+            on_dispatch: Optional[Callable[[int, str, int], None]] = None,
             ) -> ExecutionOutcome:
         """Execute every item; stream completions through ``on_result``.
 
         ``on_result(index, key, result)`` fires as each cell lands (in
         completion order, not submission order); exceptions it raises
         propagate after the children are torn down, so a caller-side
-        interrupt cannot orphan workers.
+        interrupt cannot orphan workers.  ``on_dispatch(index, key,
+        attempt)`` fires as each attempt *starts* (``attempt`` is
+        0-based), which is how the sweep runner journals "began paying
+        for this cell" before the worker can crash.
         """
         work = list(items)
         if keys is None:
@@ -243,19 +247,21 @@ class SupervisedExecutor:
             return outcome
         if (self.procs <= 1 and self.chaos is None
                 and self.cell_timeout is None):
-            self._run_inline(work, keys, on_result, outcome)
+            self._run_inline(work, keys, on_result, on_dispatch, outcome)
             return outcome
-        self._run_supervised(work, keys, on_result, outcome)
+        self._run_supervised(work, keys, on_result, on_dispatch, outcome)
         return outcome
 
     # -- serial fast path ------------------------------------------------
 
-    def _run_inline(self, work, keys, on_result,
+    def _run_inline(self, work, keys, on_result, on_dispatch,
                     outcome: ExecutionOutcome) -> None:
         for index, (item, key) in enumerate(zip(work, keys)):
             attempt = 0
             while True:
                 outcome.attempts[index] = attempt + 1
+                if on_dispatch is not None:
+                    on_dispatch(index, key, attempt)
                 error = None
                 try:
                     result = self.fn(item)
@@ -282,7 +288,7 @@ class SupervisedExecutor:
 
     # -- supervised pool -------------------------------------------------
 
-    def _run_supervised(self, work, keys, on_result,
+    def _run_supervised(self, work, keys, on_result, on_dispatch,
                         outcome: ExecutionOutcome) -> None:
         ctx = pool_context()
         pending: List[_Task] = [
@@ -294,7 +300,8 @@ class SupervisedExecutor:
                 workers.append(_Worker(ctx, self.fn, self.chaos))
             while pending or any(w.task is not None for w in workers):
                 now = time.monotonic()
-                self._dispatch(workers, pending, outcome, ctx, now)
+                self._dispatch(workers, pending, outcome, ctx, now,
+                               on_dispatch)
                 busy = [w for w in workers if w.task is not None]
                 if not busy:
                     # nothing in flight: the head of the queue is
@@ -321,7 +328,8 @@ class SupervisedExecutor:
         outcome.respawns += 1
 
     def _dispatch(self, workers, pending: List[_Task],
-                  outcome: ExecutionOutcome, ctx, now: float) -> None:
+                  outcome: ExecutionOutcome, ctx, now: float,
+                  on_dispatch=None) -> None:
         for worker in workers:
             if worker.task is not None:
                 continue
@@ -340,6 +348,8 @@ class SupervisedExecutor:
                 pending.insert(0, eligible)
                 self._spawn_replacement(workers, worker, outcome, ctx)
                 return
+            if on_dispatch is not None:
+                on_dispatch(eligible.index, eligible.key, eligible.attempt)
             worker.task = eligible
             worker.deadline = (now + self.cell_timeout
                                if self.cell_timeout is not None else None)

@@ -24,7 +24,6 @@ serial, parallel and cached executions of the same grid.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 from typing import Any, Dict, Mapping, Optional, Sequence
 
@@ -102,24 +101,34 @@ def merge_records(path: pathlib.Path,
     replace same-key predecessors.  The file is written with sorted
     keys and a trailing newline, so identical record sets produce
     byte-identical files regardless of how the sweep was executed.
+
+    The whole read-merge-write runs under the advisory
+    :class:`~repro.lab.store.StoreLock` at ``<path>.lock``, so N
+    concurrent sweeps merging into one store serialize instead of
+    losing each other's records to a read-modify-write race; the write
+    itself goes through a unique tmp file + fsync + atomic rename, so
+    a sweep killed mid-merge (Ctrl-C, SIGTERM, OOM) leaves either the
+    old store or the new one on disk, never a torn half-written JSON
+    document.
     """
+    # lazy: store.py imports this module's canonical helpers, so a
+    # module-level import here would be circular
+    from .store import StoreLock, durable_write_text
+
+    path = pathlib.Path(path)
     store: Dict[str, Any] = {"schema_version": RECORD_SCHEMA_VERSION,
                              "records": {}}
-    if path.exists():
-        try:
-            previous = json.loads(path.read_text())
-        except (ValueError, OSError):
-            previous = {}
-        for key, record in previous.get("records", {}).items():
-            if record_is_current(record):
-                store["records"][key] = record
-    for record in records:
-        store["records"][record["key"]] = dict(record)
-    # write-then-atomic-rename: a sweep killed mid-merge (Ctrl-C,
-    # SIGTERM, OOM) leaves either the old store or the new one on
-    # disk, never a torn half-written JSON document
-    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
-    tmp.write_text(json.dumps(store, sort_keys=True, indent=1,
-                              ensure_ascii=True) + "\n")
-    tmp.replace(path)
+    with StoreLock(path.with_name(path.name + ".lock")):
+        if path.exists():
+            try:
+                previous = json.loads(path.read_text())
+            except (ValueError, OSError):
+                previous = {}
+            for key, record in previous.get("records", {}).items():
+                if record_is_current(record):
+                    store["records"][key] = record
+        for record in records:
+            store["records"][record["key"]] = dict(record)
+        durable_write_text(path, json.dumps(store, sort_keys=True, indent=1,
+                                            ensure_ascii=True) + "\n")
     return store

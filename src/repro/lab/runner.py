@@ -23,7 +23,9 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
+import time
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
@@ -37,9 +39,11 @@ from ..sim import (DeadlockError, Machine, MachineConfig,
 from .apps import build_app
 from .cache import DEFAULT_CACHE_DIR, ResultCache, SweepJournal
 from .chaos import ExecutorChaos
-from .executor import (DEFAULT_MAX_RETRIES, CellFailure, SupervisedExecutor)
+from .executor import (DEFAULT_MAX_RETRIES, CellFailure, SupervisedExecutor,
+                       backoff_delay)
 from .record import canonical_dumps, make_record, merge_records
 from .spec import AUTO_SCHEME, SweepCell, SweepSpec
+from .store import CellClaims, ClaimPolicy, reap_orphan_tmps
 
 #: engine guards applied to fault-plan cells (mirrors the chaos harness:
 #: an injected hazard must surface as a diagnosed error, not a hang)
@@ -203,6 +207,10 @@ class SweepReport:
     #: cells that exhausted their retry budget -- quarantined, never
     #: merged into the store, and a non-zero exit from the CLI
     failed: List[CellFailure] = field(default_factory=list)
+    #: cell keys *this process* actually simulated (paid for); cells
+    #: served by waiting on another writer's claim are not in here --
+    #: the accounting behind "zero duplicated simulations"
+    simulated_keys: List[str] = field(default_factory=list)
 
     @property
     def all_cached(self) -> bool:
@@ -268,6 +276,9 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
               max_retries: int = DEFAULT_MAX_RETRIES,
               chaos: Optional[ExecutorChaos] = None,
               resume: bool = False,
+              single_flight: bool = True,
+              claim_policy: Optional[ClaimPolicy] = None,
+              keep_journal: bool = False,
               on_progress: Optional[
                   Callable[[str, Dict[str, Any]], None]] = None,
               ) -> SweepReport:
@@ -294,6 +305,19 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
     ``chaos`` injects seeded orchestration faults (worker crash, hang,
     flaky cell, corrupted/oversized result) for testing the above;
     ``on_progress(key, record)`` fires per landed record.
+
+    ``single_flight`` (on by default whenever a cache is in play) makes
+    N concurrent sweeps sharing one cache cooperate instead of
+    duplicating paid work: each cold cell is claimed via an advisory
+    claim file before simulation (:class:`~repro.lab.store.CellClaims`),
+    a cell already claimed by a live writer is *waited for* (bounded by
+    ``claim_policy.wait_timeout``, with backoff) and served from the
+    cache when the claimant lands it, and a claim whose owner died
+    (SIGKILL, OOM) goes stale and is taken over.  The merged store and
+    every record stay byte-identical to a solo run; only who paid for
+    each cell changes -- ``report.simulated_keys`` says what this
+    process paid for.  ``keep_journal=True`` preserves the journal
+    trail of a fully-successful sweep for post-hoc accounting.
     """
     if isinstance(spec, SweepSpec):
         name, cells = spec.name, spec.cells()
@@ -323,17 +347,20 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
                          "cells are recovered by cache/journal lookup")
 
     records: List[Optional[Dict[str, Any]]] = [None] * len(cells)
-    todo: List[Tuple[int, Dict[str, Any], str]] = []
+    #: (grid index, config, human key, cache key-or-None) per cold cell
+    todo: List[Tuple[int, Dict[str, Any], str, Optional[str]]] = []
     cache_keys: List[str] = []
     for index, cell in enumerate(cells):
         config = cell.config()
+        cache_key = None
         if cache is not None:
-            cache_keys.append(cache.key_for(config))
-            cached = cache.load(cache_keys[-1])
+            cache_key = cache.key_for(config)
+            cache_keys.append(cache_key)
+            cached = cache.load(cache_key)
             if cached is not None:
                 records[index] = cached
                 continue
-        todo.append((index, config, cell.key))
+        todo.append((index, config, cell.key, cache_key))
 
     journal = (SweepJournal.for_keys(cache.root, cache_keys)
                if cache is not None else None)
@@ -346,59 +373,186 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
             # a fresh (non-resume) run starts a fresh trail
             journal.clear()
 
-    def on_landed(position: int, key: str, record: Dict[str, Any]) -> None:
-        index, config, _key = todo[position]
-        records[index] = record
-        # journal as it lands: store first (the durable result), then
-        # the trail line, then the caller's progress hook -- a crash
-        # between any two steps loses bookkeeping, never paid work
-        if cache is not None:
-            cache.store(cache.key_for(config), record)
+    claims: Optional[CellClaims] = None
+    policy = claim_policy or ClaimPolicy()
+    if cache is not None and single_flight and todo:
+        # a SIGKILLed predecessor's half-written tmp files are garbage
+        # the moment its pid is gone; sweep startup is the natural
+        # place to sweep them up
+        reap_orphan_tmps(cache.root)
+        claims = CellClaims(cache.root, policy)
+
+    simulated: List[str] = []
+    failures: List[CellFailure] = []
+
+    def journal_line(entry: Dict[str, Any]) -> None:
         if journal is not None:
-            journal.append({"cell": key, "status": "done",
-                            "outcome": record.get("outcome")})
+            journal.append(entry)
+
+    def serve_shared(index: int, key: str,
+                     record: Dict[str, Any]) -> None:
+        """Another writer paid for this cell; we just read its entry."""
+        records[index] = record
+        journal_line({"cell": key, "status": "shared",
+                      "pid": os.getpid()})
         if on_progress is not None:
             on_progress(key, record)
 
-    failures: List[CellFailure] = []
-    if todo:
+    def run_batch(batch: List[Tuple[int, Dict[str, Any], str,
+                                    Optional[str]]]) -> None:
+        """Simulate one batch of claimed (or unclaimed) cold cells."""
+        def on_landed(position: int, key: str,
+                      record: Dict[str, Any]) -> None:
+            index, config, _key, cache_key = batch[position]
+            records[index] = record
+            # journal as it lands: store first (the durable result),
+            # then release the claim (waiters may now read), then the
+            # trail line, then the caller's progress hook -- a crash
+            # between any two steps loses bookkeeping, never paid work
+            if cache is not None:
+                cache.store(cache_key or cache.key_for(config), record)
+            if claims is not None and cache_key is not None:
+                claims.release(cache_key)
+            journal_line({"cell": key, "status": "done",
+                          "outcome": record.get("outcome"),
+                          "pid": os.getpid(), "simulated": True})
+            simulated.append(key)
+            if on_progress is not None:
+                on_progress(key, record)
+
+        def on_dispatch(_position: int, key: str, attempt: int) -> None:
+            journal_line({"cell": key, "status": "start",
+                          "attempt": attempt + 1, "pid": os.getpid()})
+
         executor = SupervisedExecutor(
             _worker, procs=procs, cell_timeout=cell_timeout,
             max_retries=max_retries, chaos=chaos,
             validate=_validate_worker_record)
         outcome = executor.run(
-            [(config, key) for _i, config, key in todo],
-            keys=[key for _i, _config, key in todo],
-            on_result=on_landed)
+            [(config, key) for _i, config, key, _ck in batch],
+            keys=[key for _i, _config, key, _ck in batch],
+            on_result=on_landed,
+            on_dispatch=(on_dispatch if journal is not None else None))
         for failure in outcome.failures:
             failures.append(failure)
-            if journal is not None:
-                journal.append({"cell": failure.key, "status": "failed",
-                                "reason": failure.reason,
-                                "attempts": failure.attempts,
-                                "detail": failure.detail})
-        if outcome.retries:
-            notes["retries"] = outcome.retries
-        if outcome.respawns:
-            notes["respawns"] = outcome.respawns
+            journal_line({"cell": failure.key, "status": "failed",
+                          "reason": failure.reason,
+                          "attempts": failure.attempts,
+                          "detail": failure.detail, "pid": os.getpid()})
+            # a quarantined cell must not stay claimed: other writers
+            # would wait out the full staleness horizon for a cell
+            # this process has already given up on
+            if claims is not None:
+                position = next(i for i, item in enumerate(batch)
+                                if item[2] == failure.key)
+                cache_key = batch[position][3]
+                if cache_key is not None:
+                    claims.release(cache_key)
+        notes["retries"] = notes.get("retries", 0) + outcome.retries
+        notes["respawns"] = notes.get("respawns", 0) + outcome.respawns
+
+    try:
+        mine: List[Tuple[int, Dict[str, Any], str, Optional[str]]] = []
+        theirs: List[Tuple[int, Dict[str, Any], str, Optional[str]]] = []
+        shared = 0
+        if claims is not None:
+            for item in todo:
+                index, _config, key, cache_key = item
+                if not claims.acquire(cache_key):
+                    theirs.append(item)
+                    continue
+                # double-check under the claim: another writer may have
+                # landed the entry between our cache miss and the claim
+                record = cache.load(cache_key, count=False)
+                if record is not None:
+                    claims.release(cache_key)
+                    serve_shared(index, key, record)
+                    shared += 1
+                else:
+                    mine.append(item)
+        else:
+            mine = list(todo)
+
+        if mine:
+            run_batch(mine)
+
+        takeovers: List[Tuple[int, Dict[str, Any], str,
+                              Optional[str]]] = []
+        forced = 0
+        if theirs:
+            # single-flight wait: another sweep owns these cells.  Poll
+            # (bounded, with backoff) for either its landed entry or a
+            # stale claim we can take over; past the wait budget we
+            # recompute rather than hang -- duplicated work degrades
+            # gracefully, a stuck sweep does not.
+            pending = list(theirs)
+            deadline = time.monotonic() + policy.wait_timeout
+            spin = 0
+            while pending:
+                still: List[Tuple[int, Dict[str, Any], str,
+                                  Optional[str]]] = []
+                for item in pending:
+                    index, _config, key, cache_key = item
+                    record = cache.load(cache_key, count=False)
+                    if record is not None:
+                        serve_shared(index, key, record)
+                        shared += 1
+                        continue
+                    if claims.acquire(cache_key):
+                        record = cache.load(cache_key, count=False)
+                        if record is not None:
+                            claims.release(cache_key)
+                            serve_shared(index, key, record)
+                            shared += 1
+                        else:
+                            takeovers.append(item)
+                        continue
+                    still.append(item)
+                pending = still
+                if not pending:
+                    break
+                if time.monotonic() >= deadline:
+                    forced = len(pending)
+                    takeovers.extend(pending)
+                    pending = []
+                    break
+                spin += 1
+                time.sleep(backoff_delay(spin, policy.poll_base,
+                                         policy.poll_cap))
+        if takeovers:
+            run_batch(takeovers)
+    finally:
+        if claims is not None:
+            claims.close()
+
+    paid = len(mine) + len(takeovers)
+    if shared:
+        notes["shared"] = shared
+    if takeovers:
+        notes["takeovers"] = len(takeovers) - forced
+    if forced:
+        notes["forced"] = forced
+    for count_key in ("retries", "respawns", "takeovers"):
+        if not notes.get(count_key):
+            notes.pop(count_key, None)
 
     failed_keys = {failure.key for failure in failures}
-    missing = [key for index, _config, key in todo
+    missing = [key for index, _config, key, _ck in todo
                if records[index] is None and key not in failed_keys]
     if missing:
         raise IncompleteSweepError(missing)
 
-    if journal is not None and not failures:
+    if journal is not None and not failures and not keep_journal:
         journal.clear()
 
     done = [record for record in records if record is not None]
     report = SweepReport(
-        spec_name=name, records=done, hits=hits,
-        misses=len(todo),
+        spec_name=name, records=done, hits=hits + shared,
+        misses=paid,
         procs=procs, json_path=json_path,
         notes=dict(notes, **({"fingerprint": cache.fingerprint[:12]}
                              if cache else {})),
-        failed=failures)
+        failed=failures, simulated_keys=simulated)
     if json_path is not None:
         merge_records(pathlib.Path(json_path), done)
     return report

@@ -1,0 +1,741 @@
+"""Storage integrity for the shared experiment store.
+
+``.repro-cache/`` started life as a private scratch directory: one
+sweep process, entries trusted byte-for-byte, tmp files named by bare
+pid.  The sweep-as-a-service direction makes it a *shared, crash-prone,
+multi-writer database*, and this module is the layer that makes that
+safe.  Four mechanisms, each independent:
+
+**Durability** (:func:`durable_write_text`, :func:`durable_append_line`)
+    every entry write goes through a uniquely-named tmp file that is
+    flushed, fsynced, atomically renamed, and followed by a directory
+    fsync; journal appends are flushed and fsynced per line.  "Landed"
+    means durable, not merely buffered.
+
+**Checksummed envelopes** (:func:`seal_record`, :func:`open_envelope`)
+    cache entries are stored as a small envelope carrying the payload's
+    SHA-256.  A bit-flipped or truncated-but-valid-JSON entry fails
+    verification and is *quarantined* (moved under
+    ``<cache>/quarantine/``), never served as truth and never silently
+    treated as a plain miss that hides the damage.
+
+**Single-flight claims** (:class:`CellClaims`)
+    a writer about to simulate a cell first creates an advisory claim
+    file (``<cache>/claims/<key>.claim``, O_EXCL) recording its pid and
+    host; a heartbeat thread refreshes the claim's mtime while the cell
+    is in flight.  A second writer that wants the same cell *waits* for
+    the claimant instead of duplicating paid work, and takes over if
+    the claim goes stale (owner dead, or heartbeat older than
+    :attr:`ClaimPolicy.stale_after`).  Claims are advisory: a writer
+    that ignores them computes a correct (identical) record -- they
+    eliminate duplicated work, not correctness hazards.
+
+**The doctor** (:func:`diagnose`)
+    an fsck for the cache: verifies every entry's checksum and schema
+    version, reaps orphaned tmp files and stale claims, counts torn
+    journal lines, and reports a typed summary (``ok`` / ``stale`` /
+    ``corrupt`` / ``orphaned`` / ``quarantined``).  With ``repair=True``
+    it deletes-or-quarantines bad entries so the next sweep
+    re-simulates exactly the damaged cells.
+
+Lock ordering: the per-cell claim is always taken *before* any store
+write for that cell, and the global :class:`StoreLock` around the
+merged ``BENCH_sweeps.json`` is taken last and held only across one
+read-merge-write; no path ever holds two claims or a claim while
+waiting on another writer's claim, so the layer cannot deadlock with
+itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from .record import canonical_dumps, record_is_current
+
+#: bump when the on-disk envelope layout changes shape
+ENVELOPE_VERSION = 1
+#: bump when the doctor report layout changes shape
+DOCTOR_SCHEMA_VERSION = 1
+
+#: subdirectories of the cache root owned by this layer
+QUARANTINE_DIR = "quarantine"
+CLAIMS_DIR = "claims"
+JOURNAL_DIR = "journal"
+
+#: marker every in-flight tmp file carries: ``<name>.tmp-<pid>-<n>``
+TMP_MARKER = ".tmp-"
+#: a tmp file whose owner cannot be proven alive is reaped past this age
+TMP_GRACE_SECONDS = 60.0
+
+_HOST = socket.gethostname()
+#: per-process counter making tmp names unique across threads too
+_TMP_COUNTER = itertools.count()
+
+
+# -- durability ----------------------------------------------------------
+
+
+def tmp_path_for(path: pathlib.Path) -> pathlib.Path:
+    """A collision-free sibling tmp path for an in-flight write.
+
+    ``<name>.tmp-<pid>-<counter>``: the pid lets reapers test owner
+    liveness, the counter keeps concurrent threads of one process from
+    clobbering each other (the old bare-pid suffix collided).
+    """
+    return path.with_name(
+        f"{path.name}{TMP_MARKER}{os.getpid()}-{next(_TMP_COUNTER)}")
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    """Flush a directory's metadata (the rename itself), best effort."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically *and* durably.
+
+    tmp write -> flush -> fsync -> rename -> directory fsync: a crash
+    at any point leaves either the old file or the new one, and once
+    this returns the bytes survive power loss, not just process death.
+    """
+    path = pathlib.Path(path)
+    tmp = tmp_path_for(path)
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)
+    _fsync_dir(path.parent)
+
+
+def durable_append_line(path: pathlib.Path, line: str) -> None:
+    """Append one line to ``path`` and fsync it (O_APPEND semantics).
+
+    A single small write under O_APPEND lands contiguously, so
+    concurrent appenders interleave whole lines, and the fsync means an
+    acknowledged journal line survives a crash.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(line if line.endswith("\n") else line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` is a live process on this host."""
+    try:
+        os.kill(pid, 0)
+    except (ProcessLookupError, OverflowError, ValueError):
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def _age_seconds(path: pathlib.Path) -> float:
+    try:
+        return max(0.0, time.time() - path.stat().st_mtime)
+    except OSError:
+        return 0.0
+
+
+def _tmp_owner_pid(name: str) -> Optional[int]:
+    """The owner pid encoded in a tmp file name, if parseable.
+
+    Understands both the current ``.tmp-<pid>-<n>`` form and the old
+    bare ``.tmp<pid>`` suffix orphans of which may still be on disk.
+    """
+    _, _, rest = name.partition(".tmp")
+    rest = rest.lstrip("-")
+    digits = "".join(itertools.takewhile(str.isdigit, rest))
+    return int(digits) if digits else None
+
+
+def reap_orphan_tmps(root: pathlib.Path,
+                     grace: float = TMP_GRACE_SECONDS,
+                     ) -> List[pathlib.Path]:
+    """Delete abandoned in-flight tmp files under ``root``, recursively.
+
+    A tmp file is an orphan when its owner pid is dead (a SIGKILLed
+    writer never renames) or unparseable, or when it has outlived
+    ``grace`` seconds -- live writes exist for milliseconds.  Our own
+    fresh tmp files are never touched.  Returns the reaped paths.
+    """
+    root = pathlib.Path(root)
+    reaped: List[pathlib.Path] = []
+    for path in sorted(root.rglob(f"*{TMP_MARKER[:-1]}*")):
+        if TMP_MARKER[:-1] not in path.name or path.is_dir():
+            continue
+        pid = _tmp_owner_pid(path.name)
+        if pid == os.getpid() and _age_seconds(path) <= grace:
+            continue
+        if pid is not None and _pid_alive(pid) \
+                and _age_seconds(path) <= grace:
+            continue
+        try:
+            path.unlink()
+            reaped.append(path)
+        except OSError:
+            pass
+    return reaped
+
+
+# -- checksummed envelopes ----------------------------------------------
+
+
+class EnvelopeError(ValueError):
+    """A cache entry failed integrity verification.
+
+    ``kind`` taxonomy: ``json`` (not decodable JSON at all), ``format``
+    (JSON but not a current-version envelope -- includes legacy naked
+    records), ``checksum`` (envelope intact, payload digest mismatch:
+    bit flip or partial overwrite).
+    """
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+def _payload_digest(record: Mapping[str, Any]) -> str:
+    return hashlib.sha256(canonical_dumps(dict(record)).encode()).hexdigest()
+
+
+def seal_record(record: Mapping[str, Any]) -> str:
+    """The durable on-disk form of a record: a checksummed envelope."""
+    return canonical_dumps({
+        "envelope_version": ENVELOPE_VERSION,
+        "sha256": _payload_digest(record),
+        "record": dict(record),
+    }) + "\n"
+
+
+def open_envelope(text: str) -> Dict[str, Any]:
+    """Verify an envelope and return its payload record.
+
+    Raises :class:`EnvelopeError` instead of returning damaged data;
+    callers decide between quarantine (cache lookups) and reporting
+    (the doctor).
+    """
+    try:
+        data = json.loads(text)
+    except ValueError as err:
+        raise EnvelopeError("json", f"undecodable entry: {err}") from None
+    if (not isinstance(data, Mapping)
+            or data.get("envelope_version") != ENVELOPE_VERSION
+            or not isinstance(data.get("record"), Mapping)
+            or not isinstance(data.get("sha256"), str)):
+        raise EnvelopeError("format", "not a current checksummed envelope")
+    record = dict(data["record"])
+    digest = _payload_digest(record)
+    if digest != data["sha256"]:
+        raise EnvelopeError(
+            "checksum", f"payload digest {digest[:12]} != recorded "
+            f"{str(data['sha256'])[:12]}")
+    return record
+
+
+def quarantine_file(root: pathlib.Path,
+                    path: pathlib.Path) -> Optional[pathlib.Path]:
+    """Move a damaged file under ``<root>/quarantine/`` for forensics.
+
+    Quarantining instead of deleting keeps the evidence (what *did* the
+    bytes look like?) while guaranteeing the entry can never be served;
+    the cell simply re-simulates.  Returns the new path, or None when
+    the file vanished underneath us (a concurrent quarantine won).
+    """
+    quarantine = pathlib.Path(root) / QUARANTINE_DIR
+    quarantine.mkdir(parents=True, exist_ok=True)
+    target = quarantine / path.name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = quarantine / f"{path.name}.{suffix}"
+    try:
+        path.replace(target)
+    except OSError:
+        return None
+    return target
+
+
+# -- single-flight claims -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClaimPolicy:
+    """Timing knobs for claim heartbeats, staleness, and waiting."""
+
+    #: how often a claimant refreshes its claims' mtimes
+    heartbeat_interval: float = 1.0
+    #: a claim whose heartbeat is older than this is up for takeover
+    #: (a dead pid on the same host is stale immediately)
+    stale_after: float = 15.0
+    #: max seconds a sweep waits for another writer's in-flight cell
+    #: before giving up on sharing and recomputing it
+    wait_timeout: float = 600.0
+    #: wait-loop backoff: first sleep, doubling up to the cap
+    poll_base: float = 0.05
+    poll_cap: float = 0.5
+
+
+@dataclass(frozen=True)
+class ClaimInfo:
+    """One observed claim file: who holds it and for how long."""
+
+    path: pathlib.Path
+    pid: Optional[int]
+    host: Optional[str]
+    age: float
+
+
+class CellClaims:
+    """Advisory per-cell claim files giving single-flight semantics.
+
+    One instance per sweep process; ``acquire`` is cross-process
+    atomic (O_EXCL create) and a daemon heartbeat thread keeps every
+    held claim's mtime fresh so other writers can tell "in flight"
+    from "abandoned".  ``close`` releases everything; a SIGKILLed
+    owner's claims are reaped by the next acquirer via the staleness
+    rules in :meth:`is_stale`.
+    """
+
+    def __init__(self, root: pathlib.Path,
+                 policy: Optional[ClaimPolicy] = None) -> None:
+        self.root = pathlib.Path(root) / CLAIMS_DIR
+        self.policy = policy or ClaimPolicy()
+        self._held: Dict[str, pathlib.Path] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._heartbeat: Optional[threading.Thread] = None
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.claim"
+
+    def acquire(self, key: str) -> bool:
+        """Try to claim ``key``; True means this process now owns it.
+
+        An existing *stale* claim (dead or heartbeat-silent owner) is
+        reaped and re-contested; exactly one contender wins the O_EXCL
+        create.  Never blocks.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        body = json.dumps({"pid": os.getpid(), "host": _HOST, "key": key})
+        for _attempt in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                info = self.peek(key)
+                if info is not None and not self.is_stale(info):
+                    return False
+                # stale (or vanished mid-peek): reap and re-contest once
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(body)
+            with self._lock:
+                self._held[key] = path
+            self._ensure_heartbeat()
+            return True
+        return False
+
+    def release(self, key: str) -> None:
+        """Drop a claim this process holds (no-op for foreign claims)."""
+        with self._lock:
+            path = self._held.pop(key, None)
+        if path is None:
+            return
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def peek(self, key: str) -> Optional[ClaimInfo]:
+        """Observe the current claim on ``key``, if any."""
+        return self._info(self.path_for(key))
+
+    def is_stale(self, info: ClaimInfo) -> bool:
+        """True when the claim's owner is provably or probably gone.
+
+        Same host + dead pid: stale immediately (SIGKILL takeover is
+        fast).  Otherwise the heartbeat decides: an owner that has not
+        touched the claim for ``stale_after`` seconds has crashed, hung
+        past usefulness, or been suspended -- all grounds for takeover.
+        """
+        if info.pid is None or info.host is None:
+            # torn claim write: give the writer one heartbeat to finish
+            return info.age > min(self.policy.stale_after,
+                                  2 * self.policy.heartbeat_interval)
+        if info.host == _HOST and not _pid_alive(info.pid):
+            return True
+        return info.age > self.policy.stale_after
+
+    def reap_stale(self) -> List[str]:
+        """Remove every stale claim under the root; returns their names."""
+        reaped: List[str] = []
+        if not self.root.is_dir():
+            return reaped
+        for path in sorted(self.root.glob("*.claim")):
+            info = self._info(path)
+            if info is None or not self.is_stale(info):
+                continue
+            try:
+                path.unlink()
+                reaped.append(path.stem)
+            except OSError:
+                pass
+        return reaped
+
+    def close(self) -> None:
+        """Stop the heartbeat and release every held claim."""
+        self._stop.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=2 * self.policy.heartbeat_interval)
+            self._heartbeat = None
+        with self._lock:
+            held = list(self._held)
+        for key in held:
+            self.release(key)
+
+    def __enter__(self) -> "CellClaims":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _info(self, path: pathlib.Path) -> Optional[ClaimInfo]:
+        try:
+            age = max(0.0, time.time() - path.stat().st_mtime)
+        except OSError:
+            return None
+        pid = host = None
+        try:
+            body = json.loads(path.read_text())
+            pid = int(body["pid"])
+            host = str(body["host"])
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # torn or mid-write claim: age alone decides staleness
+        return ClaimInfo(path=path, pid=pid, host=host, age=age)
+
+    def _ensure_heartbeat(self) -> None:
+        if self._heartbeat is not None and self._heartbeat.is_alive():
+            return
+        self._stop.clear()
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="claim-heartbeat",
+            daemon=True)
+        self._heartbeat.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.policy.heartbeat_interval):
+            with self._lock:
+                paths = list(self._held.values())
+            for path in paths:
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass  # released or reaped under us; acquire decides
+
+
+# -- the global merged-store lock ---------------------------------------
+
+
+class StoreLockTimeout(TimeoutError):
+    """Could not acquire the merged-store lock within the budget."""
+
+
+class StoreLock:
+    """Advisory exclusive lock serializing merged-store read-merge-write.
+
+    Same file-based discipline as claims (O_EXCL create, pid + host in
+    the body, stale-break on dead or silent owners) but scoped to one
+    short critical section -- no heartbeat thread, just a generous
+    staleness horizon relative to how long a merge can possibly take.
+    """
+
+    def __init__(self, path: pathlib.Path, *, timeout: float = 60.0,
+                 stale_after: float = 30.0, poll: float = 0.02) -> None:
+        self.path = pathlib.Path(path)
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.poll = poll
+        self._held = False
+
+    def acquire(self) -> None:
+        deadline = time.monotonic() + self.timeout
+        body = json.dumps({"pid": os.getpid(), "host": _HOST})
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._break_stale() or time.monotonic() < deadline:
+                    time.sleep(self.poll)
+                    continue
+                raise StoreLockTimeout(
+                    f"gave up on {self.path} after {self.timeout:g}s; "
+                    "a dead holder would have been broken as stale -- "
+                    "a live one is wedged") from None
+            with os.fdopen(fd, "w") as handle:
+                handle.write(body)
+            self._held = True
+            return
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _break_stale(self) -> bool:
+        """Unlink the lock if its holder is dead or silent; True if so."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return True  # vanished: re-contest immediately
+        pid = host = None
+        try:
+            body = json.loads(self.path.read_text())
+            pid, host = int(body["pid"]), str(body["host"])
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        dead = (pid is not None and host == _HOST
+                and not _pid_alive(pid))
+        if dead or age > self.stale_after:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+            return True
+        return False
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+# -- the doctor ----------------------------------------------------------
+
+
+@dataclass
+class DoctorFinding:
+    """One diagnosed file: where, what, and what was done about it."""
+
+    path: str
+    status: str
+    detail: str = ""
+    #: repair action taken: "" (none), deleted, quarantined, rewritten
+    action: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"path": self.path, "status": self.status,
+                "detail": self.detail, "action": self.action}
+
+
+@dataclass
+class DoctorReport:
+    """The typed outcome of one cache diagnosis pass."""
+
+    root: str
+    repair: bool
+    counts: Dict[str, int] = field(default_factory=dict)
+    findings: List[DoctorFinding] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when nothing needs (or needed) attention.
+
+        Quarantined files are history, not live damage; they never
+        make a cache unhealthy on their own.
+        """
+        return not any(self.counts.get(status, 0) for status in
+                       ("corrupt", "stale", "orphaned", "stale_claims",
+                        "torn_journal_lines"))
+
+    def summary(self) -> str:
+        parts = [f"{name}={self.counts.get(name, 0)}" for name in
+                 ("ok", "stale", "corrupt", "orphaned", "quarantined",
+                  "stale_claims", "torn_journal_lines")]
+        state = "healthy" if self.healthy else (
+            "repaired" if self.repair else "NEEDS REPAIR")
+        return f"doctor {self.root}: {state} [{', '.join(parts)}]"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema_version": DOCTOR_SCHEMA_VERSION,
+            "root": self.root,
+            "repair": self.repair,
+            "healthy": self.healthy,
+            "counts": dict(sorted(self.counts.items())),
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def _count(report: DoctorReport, status: str, amount: int = 1) -> None:
+    report.counts[status] = report.counts.get(status, 0) + amount
+
+
+def diagnose(root: pathlib.Path, *, repair: bool = False,
+             policy: Optional[ClaimPolicy] = None,
+             key_fn: Optional[Callable[[Mapping[str, Any]], str]] = None,
+             grace: float = TMP_GRACE_SECONDS) -> DoctorReport:
+    """fsck the cache at ``root``; optionally repair what it finds.
+
+    Always (diagnosis *is* the repair for unambiguous garbage): reaps
+    orphaned in-flight tmp files and stale claims.  Entry damage is
+    only acted on under ``repair=True``: corrupt entries (undecodable,
+    non-envelope, checksum-mismatched) are quarantined, stale entries
+    (old schema versions, or -- when ``key_fn`` is given -- a content
+    address the current source tree can never look up again) are
+    deleted, and journals with torn lines are rewritten without them.
+    Either way every touched file comes back as a typed finding, so
+    ``repair=False`` is a faithful dry run of ``repair=True``.
+    """
+    root = pathlib.Path(root)
+    report = DoctorReport(root=str(root), repair=repair)
+    claims = CellClaims(root, policy)
+
+    for path in sorted(root.glob("*.json")):
+        if not path.is_file():
+            continue
+        try:
+            raw = path.read_bytes()
+        except OSError as err:
+            report.findings.append(DoctorFinding(
+                path=path.name, status="corrupt",
+                detail=f"unreadable: {err}"))
+            _count(report, "corrupt")
+            continue
+        try:
+            record = open_envelope(raw.decode("utf-8"))
+        except (EnvelopeError, UnicodeDecodeError) as err:
+            detail = (f"{err.kind}: {err.detail}"
+                      if isinstance(err, EnvelopeError)
+                      else f"encoding: not valid UTF-8 ({err})")
+            finding = DoctorFinding(path=path.name, status="corrupt",
+                                    detail=detail)
+            if repair and quarantine_file(root, path) is not None:
+                finding.action = "quarantined"
+            report.findings.append(finding)
+            _count(report, "corrupt")
+            continue
+        stale_reason = None
+        if not record_is_current(record):
+            stale_reason = "schema version mismatch"
+        elif key_fn is not None:
+            try:
+                expected = key_fn(record.get("config") or {})
+            except Exception:  # noqa: BLE001 - malformed config
+                expected = None
+            if expected is not None and expected != path.stem:
+                stale_reason = ("unreachable content address "
+                                "(source tree changed)")
+        if stale_reason is not None:
+            finding = DoctorFinding(path=path.name, status="stale",
+                                    detail=stale_reason)
+            if repair:
+                try:
+                    path.unlink()
+                    finding.action = "deleted"
+                except OSError:
+                    pass
+            report.findings.append(finding)
+            _count(report, "stale")
+            continue
+        _count(report, "ok")
+
+    for path in reap_orphan_tmps(root, grace=grace):
+        report.findings.append(DoctorFinding(
+            path=str(path.relative_to(root)), status="orphaned",
+            detail="abandoned in-flight tmp file", action="deleted"))
+        _count(report, "orphaned")
+
+    for name in claims.reap_stale():
+        report.findings.append(DoctorFinding(
+            path=f"{CLAIMS_DIR}/{name}.claim", status="stale-claim",
+            detail="claimant dead or heartbeat silent", action="deleted"))
+        _count(report, "stale_claims")
+
+    journal_dir = root / JOURNAL_DIR
+    if journal_dir.is_dir():
+        for path in sorted(journal_dir.glob("*.jsonl")):
+            good: List[str] = []
+            torn = 0
+            try:
+                # replace, not raise: a mangled byte tears one line,
+                # never the whole journal
+                lines = path.read_bytes().decode(
+                    "utf-8", "replace").splitlines()
+            except OSError:
+                continue
+            for line in lines:
+                if not line.strip():
+                    continue
+                try:
+                    json.loads(line)
+                except ValueError:
+                    torn += 1
+                    continue
+                good.append(line)
+            if not torn:
+                continue
+            finding = DoctorFinding(
+                path=f"{JOURNAL_DIR}/{path.name}", status="torn-journal",
+                detail=f"{torn} undecodable line(s)")
+            if repair:
+                durable_write_text(
+                    path, "".join(line + "\n" for line in good))
+                finding.action = "rewritten"
+            report.findings.append(finding)
+            _count(report, "torn_journal_lines", torn)
+
+    quarantine = root / QUARANTINE_DIR
+    if quarantine.is_dir():
+        _count(report, "quarantined",
+               sum(1 for entry in quarantine.iterdir() if entry.is_file()))
+    report.counts.setdefault("ok", 0)
+    report.counts.setdefault("quarantined", 0)
+    return report
+
+
+__all__ = [
+    "CLAIMS_DIR", "CellClaims", "ClaimInfo", "ClaimPolicy",
+    "DOCTOR_SCHEMA_VERSION", "DoctorFinding", "DoctorReport",
+    "ENVELOPE_VERSION", "EnvelopeError", "JOURNAL_DIR", "QUARANTINE_DIR",
+    "StoreLock", "StoreLockTimeout", "TMP_GRACE_SECONDS", "diagnose",
+    "durable_append_line", "durable_write_text", "open_envelope",
+    "quarantine_file", "reap_orphan_tmps", "seal_record", "tmp_path_for",
+]

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import json
 
-from repro.lab import ResultCache, SweepSpec, run_sweep, source_fingerprint
+from repro.lab import (ResultCache, SweepSpec, open_envelope, run_sweep,
+                       seal_record, source_fingerprint)
 from repro.lab.record import (RECORD_SCHEMA_VERSION, merge_records,
                               record_is_current)
 
@@ -58,17 +59,18 @@ def test_stale_schema_record_invalidated(tmp_path):
     run_sweep(spec, cache=cache)
     key = cache.key_for(spec.cells()[0].config())
     entry = tmp_path / f"{key}.json"
-    record = json.loads(entry.read_text())
+    record = open_envelope(entry.read_text())
     assert record_is_current(record)
 
     # a record written by older code (previous extra schema) must be
     # detected and re-simulated, never served
     record["extra_schema_version"] = 0
-    entry.write_text(json.dumps(record))
+    entry.write_text(seal_record(record))
     assert not record_is_current(record)
     report = run_sweep(spec, cache=ResultCache(tmp_path))
     assert report.misses == 1
-    assert json.loads(entry.read_text())["extra_schema_version"] != 0
+    reread = open_envelope(entry.read_text())
+    assert reread["extra_schema_version"] != 0
 
 
 def test_merge_drops_stale_store_records(tmp_path):

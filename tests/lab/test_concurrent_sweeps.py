@@ -1,0 +1,191 @@
+"""Two crash-prone writers, one cache: the multi-writer acceptance bar.
+
+Two concurrent ``run_sweep`` processes sharing one cache over
+overlapping grids must produce a merged store byte-identical to a solo
+run, with zero duplicated cell simulations (journal-accounted), and a
+SIGKILLed writer's claims must be taken over, not waited on forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+from repro.lab import (CellClaims, ClaimPolicy, ResultCache, SweepSpec,
+                       run_sweep)
+from repro.lab.cache import SweepJournal
+from repro.lab.store import CLAIMS_DIR, JOURNAL_DIR
+
+REPO_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+#: driver run as a subprocess: one sweep over an n-grid, sharing the
+#: cache and merged store with its sibling, reporting what it paid for
+DRIVER = """
+import json, pathlib, sys
+from repro.lab import SweepSpec, run_sweep
+
+cache_dir, store, out, ns = sys.argv[1:5]
+spec = SweepSpec.build(
+    "writer", apps=[("fig2.1", {"n": int(n), "cost": 4})
+                    for n in ns.split(",")],
+    schemes=["process-oriented", "statement-oriented"], processors=(2,))
+report = run_sweep(spec, procs=2, cache_dir=pathlib.Path(cache_dir),
+                   json_path=pathlib.Path(store), keep_journal=True)
+pathlib.Path(out).write_text(json.dumps({
+    "hits": report.hits, "misses": report.misses,
+    "failed": len(report.failed), "notes": report.notes,
+    "simulated": report.simulated_keys,
+}))
+"""
+
+
+def overlapping_grids():
+    """Two 6-cell grids overlapping on 4 cells (n in {12, 14})."""
+    return ("10,12,14", "12,14,16")
+
+
+def union_spec():
+    return SweepSpec.build(
+        "writer", apps=[("fig2.1", {"n": n, "cost": 4})
+                        for n in (10, 12, 14, 16)],
+        schemes=["process-oriented", "statement-oriented"],
+        processors=(2,))
+
+
+def test_concurrent_sweeps_share_one_cache(tmp_path):
+    clean_store = tmp_path / "clean.json"
+    run_sweep(union_spec(), procs=2, cache_dir=tmp_path / "clean-cache",
+              json_path=clean_store)
+
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+    cache = tmp_path / "cache"
+    store = tmp_path / "shared.json"
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    procs, outs = [], []
+    for label, ns in zip("ab", overlapping_grids()):
+        out = tmp_path / f"report-{label}.json"
+        outs.append(out)
+        procs.append(subprocess.Popen(
+            [sys.executable, str(driver), str(cache), str(store),
+             str(out), ns], env=env))
+    for proc in procs:
+        assert proc.wait(timeout=300) == 0
+    reports = [json.loads(out.read_text()) for out in outs]
+
+    # every writer finished whole: 6 cells each, none quarantined
+    for report in reports:
+        assert report["failed"] == 0
+        assert report["hits"] + report["misses"] == 6
+
+    # zero duplicated simulations: the overlapping cells were paid for
+    # exactly once across both processes...
+    paid = reports[0]["simulated"] + reports[1]["simulated"]
+    assert len(paid) == len(set(paid))
+    assert len(set(paid)) == 8  # the union grid, each cell once
+    # ...and the preserved journals agree (pid-tagged 'done' lines)
+    done = []
+    for journal in sorted((cache / JOURNAL_DIR).glob("*.jsonl")):
+        for entry in SweepJournal(journal).entries():
+            if entry.get("status") == "done" and entry.get("simulated"):
+                done.append(entry["cell"])
+            assert "pid" in entry
+    assert sorted(done) == sorted(paid)
+
+    # the shared merged store is byte-identical to the solo run over
+    # the union grid -- who paid for a cell never shows in the bytes
+    assert store.read_bytes() == clean_store.read_bytes()
+    # no claims or tmp garbage left behind
+    claims = cache / CLAIMS_DIR
+    assert not claims.is_dir() or not list(claims.glob("*.claim"))
+    assert not list(cache.glob("*.tmp-*"))
+
+
+def test_sigkilled_writers_claims_are_taken_over(tmp_path):
+    """A SIGKILL mid-cell must not wedge the next sweep on that cell."""
+    spec = SweepSpec.build(
+        "tiny", apps=[("fig2.1", {"n": 10, "cost": 4})],
+        schemes=["process-oriented"], processors=(2,))
+    cache = ResultCache(tmp_path)
+    key = cache.key_for(spec.cells()[0].config())
+
+    holder = tmp_path / "holder.py"
+    holder.write_text(
+        "import sys, time\n"
+        "from repro.lab import CellClaims\n"
+        "claims = CellClaims(sys.argv[1])\n"
+        "assert claims.acquire(sys.argv[2])\n"
+        "print('claimed', flush=True)\n"
+        "time.sleep(600)\n")
+    proc = subprocess.Popen(
+        [sys.executable, str(holder), str(tmp_path), key],
+        env=dict(os.environ, PYTHONPATH=REPO_SRC),
+        stdout=subprocess.PIPE)
+    assert proc.stdout.readline().strip() == b"claimed"
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    claim = tmp_path / CLAIMS_DIR / f"{key}.claim"
+    assert claim.exists()  # SIGKILL leaves the claim file behind
+
+    # dead pid on this host: stale immediately, no staleness horizon
+    report = run_sweep(spec, cache=cache,
+                       claim_policy=ClaimPolicy(stale_after=3600.0))
+    assert report.misses == 1 and not report.failed
+    assert not claim.exists()
+
+
+def test_live_foreign_claim_is_waited_out_then_taken_over(tmp_path):
+    """The wait loop: honor a fresh claim, take it over once stale."""
+    spec = SweepSpec.build(
+        "tiny", apps=[("fig2.1", {"n": 10, "cost": 4})],
+        schemes=["process-oriented"], processors=(2,))
+    cache = ResultCache(tmp_path)
+    key = cache.key_for(spec.cells()[0].config())
+    claim_dir = tmp_path / CLAIMS_DIR
+    claim_dir.mkdir(parents=True)
+    # a claim that liveness checks cannot settle (foreign host): only
+    # the heartbeat's silence can age it into a takeover
+    (claim_dir / f"{key}.claim").write_text(json.dumps(
+        {"pid": os.getpid(), "host": "some-other-host", "key": key}))
+
+    start = time.monotonic()
+    report = run_sweep(spec, cache=cache,
+                       claim_policy=ClaimPolicy(
+                           stale_after=0.6, wait_timeout=60.0,
+                           poll_base=0.05, poll_cap=0.2))
+    waited = time.monotonic() - start
+    assert report.misses == 1 and not report.failed
+    assert report.notes.get("takeovers") == 1
+    assert waited >= 0.6  # it honored the claim while fresh
+
+
+def test_wait_budget_exhaustion_degrades_to_recompute(tmp_path):
+    """A wedged-but-heartbeating claimant cannot stall a sweep forever."""
+    spec = SweepSpec.build(
+        "tiny", apps=[("fig2.1", {"n": 10, "cost": 4})],
+        schemes=["process-oriented"], processors=(2,))
+    cache = ResultCache(tmp_path)
+    key = cache.key_for(spec.cells()[0].config())
+
+    foreign = CellClaims(tmp_path, ClaimPolicy(heartbeat_interval=0.05))
+    # fake a foreign host so the local-pid shortcut cannot reap it
+    (tmp_path / CLAIMS_DIR).mkdir(parents=True, exist_ok=True)
+    try:
+        assert foreign.acquire(key)
+        claim = tmp_path / CLAIMS_DIR / f"{key}.claim"
+        claim.write_text(json.dumps(
+            {"pid": 1, "host": "some-other-host", "key": key}))
+        report = run_sweep(spec, cache=cache,
+                           claim_policy=ClaimPolicy(
+                               heartbeat_interval=0.05,
+                               stale_after=3600.0, wait_timeout=1.0,
+                               poll_base=0.05, poll_cap=0.2))
+    finally:
+        foreign.close()
+    assert report.misses == 1 and not report.failed
+    assert report.notes.get("forced") == 1

@@ -282,7 +282,8 @@ def test_lost_cells_raise_typed_error_naming_keys(tmp_path, monkeypatch):
     """A record-less, failure-less cell must fail loudly, never misalign."""
     monkeypatch.setattr(
         runner_module.SupervisedExecutor, "run",
-        lambda self, items, keys=None, on_result=None: ExecutionOutcome())
+        lambda self, items, keys=None, on_result=None, on_dispatch=None:
+        ExecutionOutcome())
     with pytest.raises(IncompleteSweepError) as excinfo:
         run_sweep(grid_spec(), procs=1, cache_dir=tmp_path / "cache")
     assert len(excinfo.value.missing_keys) == 4

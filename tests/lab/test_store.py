@@ -1,0 +1,335 @@
+"""Storage integrity: envelopes, claims, locks, the doctor, StoreChaos.
+
+The acceptance bar (pinned here and in the ``store-integrity`` CI job):
+``repro doctor --repair`` after injected storage corruption restores
+the cache to a state from which the next sweep produces a merged store
+byte-identical to a never-faulted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.lab import (ResultCache, StoreChaos, SweepSpec, diagnose,
+                       open_envelope, run_sweep, seal_record)
+from repro.lab.store import (CLAIMS_DIR, CellClaims, ClaimPolicy,
+                             EnvelopeError, JOURNAL_DIR, QUARANTINE_DIR,
+                             StoreLock, StoreLockTimeout,
+                             durable_append_line, quarantine_file,
+                             reap_orphan_tmps, tmp_path_for)
+
+
+def tiny_spec(n=10):
+    return SweepSpec.build("tiny", apps=[("fig2.1", {"n": n, "cost": 4})],
+                           schemes=["process-oriented"], processors=(2,))
+
+
+def grid_spec():
+    """4 cells: enough files for chaos to pick targets from."""
+    return SweepSpec.build(
+        "store-grid",
+        apps=[("fig2.1", {"n": n, "cost": 4}) for n in (10, 14)],
+        schemes=["process-oriented", "statement-oriented"],
+        processors=(2,))
+
+
+# -- envelopes ------------------------------------------------------------
+
+
+def test_envelope_round_trip():
+    record = {"key": "k", "outcome": "ok", "metrics": {"cycles": 7}}
+    assert open_envelope(seal_record(record)) == record
+
+
+def test_envelope_rejects_tampered_payload():
+    sealed = seal_record({"key": "k", "outcome": "ok"})
+    tampered = sealed.replace('"ok"', '"hacked"')
+    with pytest.raises(EnvelopeError) as excinfo:
+        open_envelope(tampered)
+    assert excinfo.value.kind == "checksum"
+
+
+def test_envelope_rejects_garbage_and_naked_records():
+    with pytest.raises(EnvelopeError) as excinfo:
+        open_envelope("{not json")
+    assert excinfo.value.kind == "json"
+    # a legacy naked record (pre-envelope cache) is a format error,
+    # never silently served
+    with pytest.raises(EnvelopeError) as excinfo:
+        open_envelope(json.dumps({"key": "k", "outcome": "ok"}))
+    assert excinfo.value.kind == "format"
+
+
+def test_corrupt_entry_is_quarantined_not_served(tmp_path):
+    cache = ResultCache(tmp_path, fingerprint="f")
+    cache.store("deadbeef", {"key": "k", "outcome": "ok"})
+    entry = tmp_path / "deadbeef.json"
+    data = bytearray(entry.read_bytes())
+    data[len(data) // 2] ^= 0x40
+    entry.write_bytes(bytes(data))
+
+    assert cache.load("deadbeef") is None
+    assert not entry.exists()
+    assert cache.quarantined == 1
+    quarantined = list((tmp_path / QUARANTINE_DIR).iterdir())
+    assert [p.name for p in quarantined] == ["deadbeef.json"]
+    # the cell is now a plain miss that a sweep will re-pay
+    assert not cache.contains("deadbeef")
+
+
+def test_quarantine_names_never_collide(tmp_path):
+    first = tmp_path / "x.json"
+    first.write_text("one")
+    moved1 = quarantine_file(tmp_path, first)
+    second = tmp_path / "x.json"
+    second.write_text("two")
+    moved2 = quarantine_file(tmp_path, second)
+    assert moved1 != moved2
+    assert moved1.read_text() == "one" and moved2.read_text() == "two"
+
+
+# -- tmp-file hygiene -----------------------------------------------------
+
+
+def test_tmp_paths_are_unique_per_call(tmp_path):
+    target = tmp_path / "entry.json"
+    names = {tmp_path_for(target).name for _ in range(64)}
+    assert len(names) == 64
+    assert all(str(os.getpid()) in name for name in names)
+
+
+def test_reap_orphans_spares_live_and_kills_dead(tmp_path):
+    mine = tmp_path / f"a.json.tmp-{os.getpid()}-0"
+    mine.write_text("in flight")
+    dead = tmp_path / "b.json.tmp-999999999-0"
+    dead.write_text("orphan")
+    legacy = tmp_path / "c.json.tmp999999998"
+    legacy.write_text("old-style orphan")
+    aged = tmp_path / f"d.json.tmp-{os.getpid()}-1"
+    aged.write_text("ours but ancient")
+    ancient = time.time() - 3600
+    os.utime(aged, (ancient, ancient))
+
+    reaped = {p.name for p in reap_orphan_tmps(tmp_path, grace=60.0)}
+    assert reaped == {dead.name, legacy.name, aged.name}
+    assert mine.exists()
+
+
+# -- claims ---------------------------------------------------------------
+
+
+def test_claim_acquire_is_exclusive_until_released(tmp_path):
+    a = CellClaims(tmp_path)
+    b = CellClaims(tmp_path)
+    try:
+        assert a.acquire("cell")
+        assert not b.acquire("cell")
+        a.release("cell")
+        assert b.acquire("cell")
+    finally:
+        a.close()
+        b.close()
+
+
+def test_release_ignores_foreign_claims(tmp_path):
+    a = CellClaims(tmp_path)
+    b = CellClaims(tmp_path)
+    try:
+        assert a.acquire("cell")
+        b.release("cell")  # b never held it: must not unlink a's claim
+        assert (tmp_path / CLAIMS_DIR / "cell.claim").exists()
+    finally:
+        a.close()
+        b.close()
+
+
+def test_dead_owner_claim_is_taken_over(tmp_path):
+    claims = CellClaims(tmp_path, ClaimPolicy(stale_after=3600.0))
+    claim_dir = tmp_path / CLAIMS_DIR
+    claim_dir.mkdir(parents=True)
+    # same host, provably dead pid: stale immediately, no heartbeat wait
+    (claim_dir / "cell.claim").write_text(json.dumps(
+        {"pid": 2 ** 22 + 1, "host": os.uname().nodename, "key": "cell"}))
+    try:
+        assert claims.acquire("cell")
+    finally:
+        claims.close()
+
+
+def test_silent_heartbeat_claim_goes_stale(tmp_path):
+    claims = CellClaims(tmp_path, ClaimPolicy(stale_after=0.05))
+    claim_dir = tmp_path / CLAIMS_DIR
+    claim_dir.mkdir(parents=True)
+    path = claim_dir / "cell.claim"
+    # a live pid on another host: only the heartbeat age can decide
+    path.write_text(json.dumps(
+        {"pid": os.getpid(), "host": "some-other-host", "key": "cell"}))
+    old = time.time() - 10.0
+    os.utime(path, (old, old))
+    try:
+        assert claims.reap_stale() == ["cell"]
+        assert claims.acquire("cell")
+    finally:
+        claims.close()
+
+
+def test_heartbeat_keeps_claim_fresh(tmp_path):
+    policy = ClaimPolicy(heartbeat_interval=0.05, stale_after=0.3)
+    claims = CellClaims(tmp_path, policy)
+    try:
+        assert claims.acquire("cell")
+        path = tmp_path / CLAIMS_DIR / "cell.claim"
+        time.sleep(0.5)  # several staleness horizons of wall clock
+        info = claims.peek(key="cell")
+        assert info is not None and not claims.is_stale(info)
+        assert path.exists()
+    finally:
+        claims.close()
+
+
+# -- the merged-store lock ------------------------------------------------
+
+
+def test_store_lock_excludes_and_releases(tmp_path):
+    path = tmp_path / "store.json.lock"
+    with StoreLock(path) as _held:
+        contender = StoreLock(path, timeout=0.1, stale_after=3600.0,
+                              poll=0.01)
+        with pytest.raises(StoreLockTimeout):
+            contender.acquire()
+    # released on exit: the same contender now wins instantly
+    contender = StoreLock(path, timeout=0.5, stale_after=3600.0)
+    contender.acquire()
+    contender.release()
+
+
+def test_store_lock_breaks_stale_holder(tmp_path):
+    path = tmp_path / "store.json.lock"
+    path.write_text(json.dumps({"pid": 2 ** 22 + 1,
+                                "host": os.uname().nodename}))
+    lock = StoreLock(path, timeout=1.0, stale_after=3600.0)
+    lock.acquire()  # dead holder broken, not waited out
+    lock.release()
+
+
+# -- StoreChaos -----------------------------------------------------------
+
+
+def test_store_chaos_is_deterministic(tmp_path):
+    run_sweep(grid_spec(), cache_dir=tmp_path)
+    import shutil
+    clone = tmp_path.parent / "clone"
+    shutil.copytree(tmp_path, clone)
+    chaos = StoreChaos(seed=5, bit_flips=2, truncations=1, torn_tmps=1,
+                       dead_claims=1)
+    assert chaos.inject(tmp_path) == chaos.inject(clone)
+
+
+def test_store_chaos_parse_round_trip():
+    chaos = StoreChaos.parse("bit-flips=3,torn-tmps=2,dead-claims=1",
+                             seed=9)
+    assert chaos.seed == 9
+    assert (chaos.bit_flips, chaos.torn_tmps, chaos.dead_claims) == (3, 2, 1)
+    assert "bit-flips=3" in chaos.describe()
+    with pytest.raises(ValueError):
+        StoreChaos.parse("bogus=1")
+    with pytest.raises(ValueError):
+        StoreChaos(bit_flips=-1)
+
+
+# -- the doctor -----------------------------------------------------------
+
+
+def test_doctor_reports_healthy_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_sweep(grid_spec(), cache=cache)
+    report = diagnose(tmp_path, key_fn=cache.key_for)
+    assert report.healthy
+    assert report.counts["ok"] == 4
+    assert not report.findings
+    assert report.to_json()["healthy"] is True
+
+
+def test_doctor_taxonomy_under_injected_damage(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_sweep(grid_spec(), cache=cache)
+    durable_append_line(tmp_path / JOURNAL_DIR / "trail.jsonl",
+                        '{"cell": "a", "status": "done"}')
+    with open(tmp_path / JOURNAL_DIR / "trail.jsonl", "a") as handle:
+        handle.write('{"cell": "torn mid-li')
+    StoreChaos(seed=3, bit_flips=1, truncations=1, torn_tmps=1,
+               dead_claims=1).inject(tmp_path)
+
+    dry = diagnose(tmp_path, key_fn=cache.key_for)
+    assert not dry.healthy
+    assert dry.counts["corrupt"] == 2
+    assert dry.counts["orphaned"] == 1
+    assert dry.counts["stale_claims"] == 1
+    assert dry.counts["torn_journal_lines"] == 1
+    # dry run must not have touched the damaged entries
+    statuses = {f.status for f in dry.findings}
+    assert statuses == {"corrupt", "orphaned", "stale-claim",
+                        "torn-journal"}
+    assert all(f.action == "" for f in dry.findings
+               if f.status == "corrupt")
+
+    repaired = diagnose(tmp_path, repair=True, key_fn=cache.key_for)
+    assert repaired.counts["corrupt"] == 2
+    assert repaired.counts["quarantined"] == 2
+    assert all(f.action == "quarantined" for f in repaired.findings
+               if f.status == "corrupt")
+    # journal rewritten without the torn line
+    trail = (tmp_path / JOURNAL_DIR / "trail.jsonl").read_text()
+    assert all(json.loads(line) for line in trail.splitlines())
+
+    after = diagnose(tmp_path, key_fn=cache.key_for)
+    assert after.healthy
+    assert after.counts["quarantined"] == 2  # history, not live damage
+
+
+def test_doctor_repair_restores_byte_identical_resweeps(tmp_path):
+    """The acceptance bar: repair -> re-sweep -> bytes match clean run."""
+    clean_store = tmp_path / "clean.json"
+    run_sweep(grid_spec(), cache_dir=tmp_path / "clean-cache",
+              json_path=clean_store)
+
+    cache = ResultCache(tmp_path / "cache")
+    run_sweep(grid_spec(), cache=cache)
+    StoreChaos(seed=11, bit_flips=2, truncations=1).inject(cache.root)
+    report = diagnose(cache.root, repair=True, key_fn=cache.key_for)
+    assert report.counts["corrupt"] == 3
+
+    store = tmp_path / "repaired.json"
+    resweep = run_sweep(grid_spec(), cache=ResultCache(cache.root),
+                        json_path=store)
+    # exactly the damaged cells re-simulated, the rest served warm
+    assert resweep.misses == 3 and resweep.hits == 1
+    assert store.read_bytes() == clean_store.read_bytes()
+
+
+def test_doctor_flags_stale_schema_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_sweep(tiny_spec(), cache=cache)
+    entry = next(tmp_path.glob("*.json"))
+    record = open_envelope(entry.read_text())
+    record["extra_schema_version"] = 0
+    entry.write_text(seal_record(record))
+
+    dry = diagnose(tmp_path, key_fn=cache.key_for)
+    assert dry.counts["stale"] == 1 and not dry.healthy
+    diagnose(tmp_path, repair=True, key_fn=cache.key_for)
+    assert not entry.exists()
+
+
+def test_doctor_flags_unreachable_content_addresses(tmp_path):
+    run_sweep(tiny_spec(), cache=ResultCache(tmp_path, fingerprint="old"))
+    # "edited source tree": the old fingerprint's keys can never be
+    # looked up again, so those entries are dead weight
+    current = ResultCache(tmp_path, fingerprint="new")
+    report = diagnose(tmp_path, key_fn=current.key_for)
+    assert report.counts["stale"] == 1
+    assert "unreachable" in report.findings[0].detail

@@ -200,3 +200,51 @@ END DO
     out = capsys.readouterr().out
     assert "2-loop program" in out
     assert "validated" in out
+
+
+def test_doctor_absent_cache_is_a_clean_no_op(tmp_path, capsys):
+    assert main(["doctor", "--cache-dir", str(tmp_path / "nope")]) == 0
+    assert "nothing to diagnose" in capsys.readouterr().out
+
+
+def test_doctor_inject_diagnose_repair_cycle(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    assert main(["sweep", "--spec", "smoke", "--cache-dir",
+                 str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["doctor", "--cache-dir", str(cache)]) == 0
+    assert "healthy" in capsys.readouterr().out
+
+    # injected damage: the dry run reports it and exits non-zero
+    assert main(["doctor", "--cache-dir", str(cache), "--seed", "3",
+                 "--inject", "bit-flips=2,truncations=1"]) == 1
+    out = capsys.readouterr().out
+    assert "injected bit-flips: 2 file(s)" in out
+    assert "NEEDS REPAIR" in out
+
+    # --repair quarantines and exits 0, with a machine-readable report
+    report_path = tmp_path / "doctor.json"
+    assert main(["doctor", "--cache-dir", str(cache), "--repair",
+                 "--json", str(report_path)]) == 0
+    assert "repaired" in capsys.readouterr().out
+    report = json.loads(report_path.read_text())
+    assert report["counts"]["corrupt"] == 3
+    assert report["counts"]["quarantined"] == 3
+
+    # the store is clean again, and the next sweep re-pays exactly
+    # the damaged cells
+    assert main(["doctor", "--cache-dir", str(cache)]) == 0
+    assert "healthy" in capsys.readouterr().out
+    assert main(["sweep", "--spec", "smoke", "--cache-dir",
+                 str(cache)]) == 0
+    assert "5 hit(s), 3 miss(es)" in capsys.readouterr().out
+
+
+def test_doctor_rejects_bad_inject_spec(tmp_path, capsys):
+    (tmp_path / "cache").mkdir()
+    with pytest.raises(SystemExit):
+        main(["doctor", "--cache-dir", str(tmp_path / "cache"),
+              "--inject", "bogus=1"])
+    assert "bad --inject spec" in capsys.readouterr().err
