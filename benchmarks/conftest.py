@@ -24,7 +24,7 @@ import pathlib
 
 import pytest
 
-from repro.lab import make_spec, run_sweep
+from repro.lab import SweepOptions, make_spec, run_sweep
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_STORE = ROOT / "BENCH_sweeps.json"
@@ -48,7 +48,6 @@ def sweep(once):
     def runner(preset: str):
         spec = make_spec(preset)
         procs = int(os.environ.get("REPRO_SWEEP_PROCS", "1"))
-        return once(lambda: run_sweep(spec, procs=procs,
-                                      cache_dir=CACHE_DIR,
-                                      json_path=BENCH_STORE))
+        return once(lambda: run_sweep(spec, options=SweepOptions(procs=procs,
+                    cache_dir=CACHE_DIR, json_path=BENCH_STORE)))
     return runner

@@ -6,6 +6,9 @@ Usage::
     python -m repro --demo
     python -m repro chaos [chaos options]
     python -m repro sweep --spec NAME --procs 8 --json BENCH_sweeps.json
+    python -m repro serve --procs 8 --json BENCH_sweeps.json
+    python -m repro submit --spec fig3.1 --watch
+    python -m repro status | watch [JOB] | cancel JOB
     python -m repro analyze --app fig2.1 --scheme statement-oriented
     python -m repro analyze --gate
     python -m repro doctor [--repair] [--json PATH]
@@ -49,6 +52,15 @@ waited for, not recomputed; a crashed claimant's cell is taken over),
 every entry is checksummed, and the merged store is lock-serialized.
 See ``python -m repro sweep --help``.
 
+``serve`` mode keeps a sweep service resident: many clients submit
+jobs over a local unix socket to one shared supervised worker pool
+with in-flight dedup (two clients racing overlapping grids pay for
+the union exactly once), watch typed event streams, and cancel jobs;
+SIGTERM drains -- unfinished jobs are journaled and a restarted
+server resumes them recomputing zero completed cells.  ``submit`` /
+``status`` / ``watch`` / ``cancel`` are the matching client verbs.
+See ``python -m repro serve --help``.
+
 ``doctor`` mode is the fsck for that shared store: it verifies entry
 checksums and schema versions, reaps orphaned tmp files and stale
 claims, and reports a typed summary; ``--repair`` quarantines corrupt
@@ -74,7 +86,8 @@ import sys
 import time
 
 from .cli import (add_cache_options, add_common_options,
-                  add_executor_options, graceful_sigterm, make_parser)
+                  add_executor_options, add_service_options,
+                  graceful_sigterm, make_parser)
 from .compiler import compile_loop, run_program
 from .frontend import parse_loop, parse_program
 from .report import render_timeline
@@ -401,8 +414,8 @@ def _analyze_mode(argv) -> int:
 def _sweep_mode(argv) -> int:
     """Run declarative sweeps and print per-cell rows + cache stats."""
     from .lab import (DEFAULT_CACHE_DIR, DEFAULT_MAX_RETRIES, ExecutorChaos,
-                      ResultCache, SweepSpec, make_spec, merge_records,
-                      run_sweep, sweep_presets)
+                      ResultCache, SweepOptions, SweepSpec, make_spec,
+                      merge_records, run_sweep, sweep_presets)
     from .report import print_table
 
     parser = build_sweep_parser()
@@ -441,17 +454,18 @@ def _sweep_mode(argv) -> int:
     start = time.perf_counter()
     try:
         with graceful_sigterm():
+            # cache_dir=None so --no-cache truly disables caching:
+            # the sweep would otherwise fall back to the default cache
+            # directory when handed cache=None
+            options = SweepOptions(
+                procs=args.procs, cache=cache, cache_dir=None,
+                preflight=args.preflight,
+                cell_timeout=args.cell_timeout,
+                max_retries=max_retries, chaos=chaos,
+                resume=args.resume,
+                single_flight=not args.no_single_flight)
             for spec in specs:
-                # cache_dir=None so --no-cache truly disables caching:
-                # run_sweep would otherwise fall back to the default
-                # cache directory when handed cache=None
-                report = run_sweep(spec, procs=args.procs, cache=cache,
-                                   cache_dir=None,
-                                   preflight=args.preflight,
-                                   cell_timeout=args.cell_timeout,
-                                   max_retries=max_retries,
-                                   chaos=chaos, resume=args.resume,
-                                   single_flight=not args.no_single_flight)
+                report = run_sweep(spec, options=options)
                 hits += report.hits
                 misses += report.misses
                 shared += report.notes.get("shared", 0)
@@ -585,6 +599,279 @@ def _chaos_mode(argv) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro serve``."""
+    parser = make_parser(
+        "python -m repro serve",
+        "Run the resident sweep service: accept job submissions from "
+        "many concurrent clients over a local unix socket, shard their "
+        "cells across one shared supervised worker pool with fair "
+        "per-job interleaving and in-flight dedup, stream typed "
+        "events, and merge versioned records into the --json store.  "
+        "SIGTERM drains: unfinished jobs are journaled and a restarted "
+        "server resumes them recomputing zero completed cells.")
+    add_common_options(parser, procs_default=2)
+    add_cache_options(parser)
+    add_executor_options(parser)
+    add_service_options(parser)
+    return parser
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro submit``."""
+    parser = make_parser(
+        "python -m repro submit",
+        "Submit sweep specs to a running service; prints one job id "
+        "per spec.  Identical cells across jobs (or already in the "
+        "cache) are paid for once, service-wide.")
+    parser.add_argument("--spec", action="append", default=[],
+                        metavar="NAME_OR_PATH",
+                        help="sweep spec: a preset name or a JSON spec "
+                             "file (repeatable; one job each)")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="base seed added to every spec's seed grid")
+    parser.add_argument("--watch", action="store_true",
+                        help="stay attached and stream each job's "
+                             "events until it finishes (exit codes "
+                             "match 'python -m repro sweep': 3 "
+                             "degraded, 4 cancelled/interrupted)")
+    add_service_options(parser)
+    return parser
+
+
+def build_status_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro status``."""
+    parser = make_parser(
+        "python -m repro status",
+        "Show the running service's job table (or one job's row).")
+    parser.add_argument("job", nargs="?", default=None,
+                        help="job id (default: every job)")
+    add_service_options(parser)
+    return parser
+
+
+def build_watch_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro watch``."""
+    parser = make_parser(
+        "python -m repro watch",
+        "Stream a job's typed events from the running service (or the "
+        "global feed of every job when no JOB is given).")
+    parser.add_argument("job", nargs="?", default=None,
+                        help="job id (default: global event feed)")
+    parser.add_argument("--no-replay", action="store_true",
+                        help="live events only; do not replay the "
+                             "job's history first")
+    parser.add_argument("--json-lines", action="store_true",
+                        help="print raw schema-versioned event JSON, "
+                             "one object per line, instead of the "
+                             "human-readable form")
+    add_service_options(parser)
+    return parser
+
+
+def build_cancel_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro cancel``."""
+    parser = make_parser(
+        "python -m repro cancel",
+        "Cancel running service jobs.  Landed cells stay cached and "
+        "journaled; only unfinished cells are abandoned.")
+    parser.add_argument("jobs", nargs="+", metavar="JOB",
+                        help="job id(s) to cancel")
+    add_service_options(parser)
+    return parser
+
+
+def _describe_event(event) -> str:
+    """One human-readable line per sweep event (watch/submit --watch)."""
+    from .lab import (CellDone, CellFailed, CellShared, CellStarted,
+                      JobDone, JobSubmitted)
+
+    tag = f"[{event.job}]"
+    if isinstance(event, JobSubmitted):
+        return f"{tag} submitted {event.spec}: {event.cells} cell(s)"
+    if isinstance(event, CellStarted):
+        attempt = (f" (attempt {event.attempt})" if event.attempt > 1
+                   else "")
+        return f"{tag} start   {event.key}{attempt}"
+    if isinstance(event, CellDone):
+        return f"{tag} done    {event.key} [{event.outcome}]"
+    if isinstance(event, CellShared):
+        return f"{tag} shared  {event.key} [via {event.via}]"
+    if isinstance(event, CellFailed):
+        return (f"{tag} FAILED  {event.key}: {event.reason} after "
+                f"{event.attempts} attempt(s) -- {event.detail}")
+    if isinstance(event, JobDone):
+        detail = (f" -- {event.error}" if event.error else
+                  f": {event.hits} hit(s), {event.misses} simulated, "
+                  f"{event.failed} failed")
+        return f"{tag} {event.status}{detail}"
+    return f"{tag} {event.kind}"
+
+
+def _job_exit_code(event) -> int:
+    """Map a terminal job-done event onto the sweep-mode exit codes."""
+    if event.status == "done":
+        return 3 if event.failed else 0
+    if event.status in ("cancelled", "interrupted"):
+        return 4
+    return 1
+
+
+def _serve_mode(argv) -> int:
+    """Run the resident sweep service until SIGTERM/SIGINT drains it."""
+    import os
+    import signal
+    import threading
+
+    from .lab import (DEFAULT_CACHE_DIR, DEFAULT_MAX_RETRIES, ServiceServer,
+                      SweepOptions, SweepService)
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    max_retries = (args.max_retries if args.max_retries is not None
+                   else DEFAULT_MAX_RETRIES)
+    options = SweepOptions(
+        procs=args.procs, cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+        json_path=args.json, cell_timeout=args.cell_timeout,
+        max_retries=max_retries)
+    service = SweepService(options).start()
+    resumed = [row["job"] for row in service.status()]
+    server = ServiceServer(service, args.socket).start()
+    print(f"sweep service listening on {args.socket} "
+          f"(pid {os.getpid()}, {args.procs} worker(s), "
+          f"cache {options.cache_dir})")
+    if resumed:
+        print(f"resumed {len(resumed)} journaled job(s): "
+              f"{', '.join(resumed)}")
+    print("SIGTERM drains: unfinished jobs are journaled and resume "
+          "on restart", flush=True)
+
+    stop = threading.Event()
+
+    def request_stop(_signum, _frame):
+        stop.set()
+
+    previous = (signal.signal(signal.SIGTERM, request_stop),
+                signal.signal(signal.SIGINT, request_stop))
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        signal.signal(signal.SIGTERM, previous[0])
+        signal.signal(signal.SIGINT, previous[1])
+        server.close()
+        interrupted = service.drain()
+        service.close()
+        if interrupted:
+            print(f"drained: {len(interrupted)} unfinished job(s) "
+                  f"journaled for restart ({', '.join(interrupted)})",
+                  flush=True)
+        else:
+            print("drained: no unfinished jobs", flush=True)
+    return 0
+
+
+def _submit_mode(argv) -> int:
+    """Submit specs to a running service; optionally stream them."""
+    from .lab import ServiceClient, ServiceError, SweepSpec, make_spec
+
+    parser = build_submit_parser()
+    args = parser.parse_args(argv)
+    if not args.spec:
+        parser.error("need at least one --spec (a preset name or a "
+                     "JSON spec file)")
+    client = ServiceClient(args.socket)
+    try:
+        jobs = []
+        for token in args.spec:
+            path = pathlib.Path(token)
+            spec = (SweepSpec.from_json(path) if path.suffix == ".json"
+                    else make_spec(token))
+            spec = spec.with_seed_base(args.seed)
+            job = client.submit(spec)
+            print(f"{job}  {spec.name}  ({len(spec.cells())} cell(s))")
+            jobs.append(job)
+        if not args.watch:
+            return 0
+        code = 0
+        for job in jobs:
+            for event in client.watch(job):
+                print(_describe_event(event))
+                if event.kind == "job-done":
+                    code = max(code, _job_exit_code(event))
+        return code
+    except ServiceError as err:
+        print(f"service error: {err}", file=sys.stderr)
+        return 2
+
+
+def _status_mode(argv) -> int:
+    """Print the running service's job table."""
+    from .lab import ServiceError
+    from .lab.client import ServiceClient
+    from .report import print_table
+
+    parser = build_status_parser()
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.socket)
+    try:
+        ping = client.ping()
+        rows = client.status(args.job)
+    except ServiceError as err:
+        print(f"service error: {err}", file=sys.stderr)
+        return 2
+    print_table(
+        ["job", "spec", "state", "cells", "completed", "failed"],
+        [[row["job"], row["spec"], row["state"], row["cells"],
+          row["completed"], row["failed"]] for row in rows],
+        title=f"sweep service at {args.socket}: {ping['jobs']} job(s)"
+              + (" [draining]" if ping.get("draining") else ""))
+    return 0
+
+
+def _watch_mode(argv) -> int:
+    """Stream events from the running service."""
+    from .lab import ServiceClient, ServiceError
+
+    parser = build_watch_parser()
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.socket)
+    code = 0
+    try:
+        for event in client.watch(args.job, replay=not args.no_replay):
+            if args.json_lines:
+                print(event.to_line(), flush=True)
+            else:
+                print(_describe_event(event), flush=True)
+            if args.job is not None and event.kind == "job-done":
+                code = _job_exit_code(event)
+    except ServiceError as err:
+        print(f"service error: {err}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+    return code
+
+
+def _cancel_mode(argv) -> int:
+    """Cancel running service jobs."""
+    from .lab import ServiceClient, ServiceError
+
+    parser = build_cancel_parser()
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.socket)
+    code = 0
+    for job in args.jobs:
+        try:
+            cancelled = client.cancel(job)
+        except ServiceError as err:
+            print(f"{job}: service error: {err}", file=sys.stderr)
+            code = 2
+            continue
+        print(f"{job}: {'cancelled' if cancelled else 'already finished'}")
+    return code
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -593,6 +880,16 @@ def main(argv=None) -> int:
         return _chaos_mode(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_mode(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_mode(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_mode(argv[1:])
+    if argv and argv[0] == "status":
+        return _status_mode(argv[1:])
+    if argv and argv[0] == "watch":
+        return _watch_mode(argv[1:])
+    if argv and argv[0] == "cancel":
+        return _cancel_mode(argv[1:])
     if argv and argv[0] == "analyze":
         return _analyze_mode(argv[1:])
     if argv and argv[0] == "doctor":

@@ -102,6 +102,22 @@ def add_executor_options(parser: argparse.ArgumentParser,
     return parser
 
 
+def add_service_options(parser: argparse.ArgumentParser,
+                        ) -> argparse.ArgumentParser:
+    """Attach the shared ``--socket`` flag of the service modes.
+
+    ``serve`` listens on it; ``submit`` / ``status`` / ``watch`` /
+    ``cancel`` connect to it.  One spelling everywhere, so a client
+    command line is always the server command line plus a verb.
+    """
+    parser.add_argument(
+        "--socket", type=pathlib.Path,
+        default=pathlib.Path(".repro-service.sock"), metavar="PATH",
+        help="unix socket the sweep service listens on "
+             "(default .repro-service.sock)")
+    return parser
+
+
 @contextlib.contextmanager
 def graceful_sigterm():
     """Map SIGTERM to KeyboardInterrupt for the enclosed block.

@@ -10,51 +10,68 @@ hand-rolled nested loops into data:
 * :func:`run_sweep` expands it, serves warm cells from a
   content-addressed on-disk cache (keyed by a source fingerprint of
   ``repro`` plus the cell's canonical config), fans cold cells across a
-  process pool, and merges versioned records into
+  supervised process pool, and merges versioned records into
   ``BENCH_sweeps.json``;
+* :class:`SweepService` is the long-running form: many clients submit
+  jobs to one server sharing a worker pool and in-flight dedup, with
+  typed :class:`SweepEvent` streams (``python -m repro serve`` /
+  ``submit`` / ``watch``);
 * :class:`RunConfig` (re-exported from :mod:`repro.schemes`) is the
-  single-object form of one run's knobs.
+  single-object form of one run's knobs, :class:`SweepOptions` of one
+  sweep's.
 
 Quick start::
 
-    from repro.lab import make_spec, run_sweep
-    report = run_sweep(make_spec("scheme-comparison"), procs=8)
+    from repro.lab import SweepOptions, make_spec, run_sweep
+    report = run_sweep(make_spec("scheme-comparison"),
+                       options=SweepOptions(procs=8))
     rows = report.metrics_by("scheme")
 
 or from the shell::
 
     python -m repro sweep --spec fig3.1 --procs 8 --json BENCH_sweeps.json
+
+Names exported here are the supported API (see
+``docs/architecture.md``).  Internals -- executor backoff math,
+canonical JSON encoding, envelope sealing, journal plumbing -- live in
+their own modules (``repro.lab.executor``, ``repro.lab.record``,
+``repro.lab.store``, ...) and are deliberately *not* re-exported at
+package top level.
 """
 
 from ..schemes.base import RunConfig
 from .apps import APP_BUILDERS, app_names, build_app
-from .cache import (DEFAULT_CACHE_DIR, ResultCache, SweepJournal,
-                    source_fingerprint)
+from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .chaos import ChaosError, ExecutorChaos, StoreChaos
+from .client import ServiceClient, ServiceError
+from .events import (EVENT_SCHEMA_VERSION, CellDone, CellFailed,
+                     CellShared, CellStarted, EventDecodeError, JobDone,
+                     JobSubmitted, SweepEvent, adapt_progress_callback,
+                     event_from_json, event_from_line)
 from .executor import (DEFAULT_MAX_RETRIES, CellFailure, ExecutionOutcome,
-                       SupervisedExecutor, backoff_delay)
-from .parallel import parallel_map
-from .record import (RECORD_SCHEMA_VERSION, canonical_dumps, make_record,
-                     merge_records, record_is_current)
-from .runner import (IncompleteSweepError, SweepReport, execute_cell,
-                     run_sweep)
+                       PoolSupervisor, SupervisedExecutor)
+from .record import RECORD_SCHEMA_VERSION, merge_records
+from .runner import (IncompleteSweepError, JobCancelled, SweepOptions,
+                     SweepReport, execute_cell, execute_grid, run_sweep)
+from .service import (DEFAULT_SOCKET, JobHandle, ServiceClosed,
+                      ServiceServer, Subscription, SweepService)
 from .spec import (AUTO_SCHEME, PRESETS, SweepCell, SweepSpec, make_spec,
                    sweep_presets)
-from .store import (CellClaims, ClaimPolicy, DoctorReport, EnvelopeError,
-                    StoreLock, StoreLockTimeout, diagnose, open_envelope,
-                    reap_orphan_tmps, seal_record)
+from .store import (CellClaims, ClaimPolicy, DoctorReport, diagnose)
 
 __all__ = [
-    "APP_BUILDERS", "AUTO_SCHEME", "CellClaims", "CellFailure",
-    "ChaosError", "ClaimPolicy", "DEFAULT_CACHE_DIR",
-    "DEFAULT_MAX_RETRIES", "DoctorReport", "EnvelopeError",
-    "ExecutionOutcome", "ExecutorChaos", "IncompleteSweepError", "PRESETS",
-    "RECORD_SCHEMA_VERSION", "ResultCache", "RunConfig", "StoreChaos",
-    "StoreLock", "StoreLockTimeout", "SupervisedExecutor", "SweepCell",
-    "SweepJournal", "SweepReport", "SweepSpec", "app_names",
-    "backoff_delay", "build_app", "canonical_dumps", "diagnose",
-    "execute_cell", "make_record", "make_spec", "merge_records",
-    "open_envelope", "parallel_map", "reap_orphan_tmps",
-    "record_is_current", "run_sweep", "seal_record", "source_fingerprint",
-    "sweep_presets",
+    "APP_BUILDERS", "AUTO_SCHEME", "CellClaims", "CellDone", "CellFailed",
+    "CellFailure", "CellShared", "CellStarted", "ChaosError",
+    "ClaimPolicy", "DEFAULT_CACHE_DIR", "DEFAULT_MAX_RETRIES",
+    "DEFAULT_SOCKET", "DoctorReport", "EVENT_SCHEMA_VERSION",
+    "EventDecodeError", "ExecutionOutcome", "ExecutorChaos",
+    "IncompleteSweepError", "JobCancelled", "JobDone", "JobHandle",
+    "JobSubmitted", "PRESETS", "PoolSupervisor", "RECORD_SCHEMA_VERSION",
+    "ResultCache", "RunConfig", "ServiceClient", "ServiceClosed",
+    "ServiceError", "ServiceServer", "StoreChaos", "Subscription",
+    "SupervisedExecutor", "SweepCell", "SweepEvent", "SweepOptions",
+    "SweepReport", "SweepService", "SweepSpec", "adapt_progress_callback",
+    "app_names", "build_app", "diagnose", "event_from_json",
+    "event_from_line", "execute_cell", "execute_grid", "make_spec",
+    "merge_records", "run_sweep", "sweep_presets",
 ]

@@ -1,0 +1,159 @@
+"""The service client: talk to a ``python -m repro serve`` daemon.
+
+:class:`ServiceClient` speaks the :class:`~repro.lab.service
+.ServiceServer` protocol -- one JSON object per line over a local unix
+socket -- and decodes event streams back into typed
+:mod:`~repro.lab.events` objects, so a remote ``watch`` and an
+in-process :meth:`~repro.lab.service.SweepService.subscribe` hand the
+caller the same values.  Every request uses its own short-lived
+connection except :meth:`watch`, which holds one open for the stream.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import socket as socket_module
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .events import SweepEvent, event_from_json
+from .service import DEFAULT_SOCKET, PROTOCOL_VERSION
+from .spec import SweepSpec
+
+#: default per-request socket timeout, seconds
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceError(RuntimeError):
+    """The server refused a request, broke protocol, or is unreachable."""
+
+
+class ServiceClient:
+    """A thin, connection-per-request client for the sweep daemon."""
+
+    def __init__(self,
+                 socket_path: Union[str, pathlib.Path] = DEFAULT_SOCKET,
+                 timeout: Optional[float] = DEFAULT_TIMEOUT) -> None:
+        self.path = pathlib.Path(socket_path)
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _connect(self,
+                 timeout: Optional[float]) -> socket_module.socket:
+        sock = socket_module.socket(socket_module.AF_UNIX,
+                                    socket_module.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(str(self.path))
+        except OSError as err:
+            sock.close()
+            raise ServiceError(
+                f"no sweep service at {self.path} ({err}); start one "
+                "with: python -m repro serve") from None
+        return sock
+
+    @staticmethod
+    def _decode_reply(line: str) -> Dict[str, Any]:
+        try:
+            reply = json.loads(line)
+        except ValueError as err:
+            raise ServiceError(f"undecodable server reply: {err}") \
+                from None
+        if not isinstance(reply, dict):
+            raise ServiceError("server reply is not an object")
+        protocol = reply.get("protocol")
+        if protocol is not None and protocol != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"server speaks protocol {protocol}, this client "
+                f"speaks {PROTOCOL_VERSION}")
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error") or "request refused")
+        return reply
+
+    def request(self, payload: Dict[str, Any], *,
+                timeout: Optional[float] = ...) -> Dict[str, Any]:
+        """One request, one reply, one connection."""
+        if timeout is ...:
+            timeout = self.timeout
+        sock = self._connect(timeout)
+        try:
+            with sock.makefile("rw", encoding="utf-8",
+                               newline="\n") as stream:
+                stream.write(json.dumps(payload, sort_keys=True) + "\n")
+                stream.flush()
+                line = stream.readline()
+        except OSError as err:
+            raise ServiceError(f"request failed: {err}") from None
+        finally:
+            sock.close()
+        if not line:
+            raise ServiceError("server closed the connection mid-request")
+        return self._decode_reply(line)
+
+    # -- operations ------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def wait_ready(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Poll until the daemon answers ``ping`` (it may still be
+        binding its socket when the client starts)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.ping()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def submit(self, spec: Union[SweepSpec, Dict[str, Any], str]) -> str:
+        """Submit a spec (object, JSON dict, or preset name); returns
+        the assigned job id."""
+        payload = spec.to_json() if isinstance(spec, SweepSpec) else spec
+        return str(self.request({"op": "submit",
+                                 "spec": payload})["job"])
+
+    def status(self, job: Optional[str] = None) -> List[Dict[str, Any]]:
+        return list(self.request({"op": "status", "job": job})["jobs"])
+
+    def cancel(self, job: str) -> bool:
+        return bool(self.request({"op": "cancel", "job": job})["cancelled"])
+
+    def result(self, job: str,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until ``job`` finishes; its final status row."""
+        # the socket deadline must outlive the job wait
+        sock_timeout = timeout + 5.0 if timeout is not None else None
+        return self.request({"op": "result", "job": job,
+                             "timeout": timeout}, timeout=sock_timeout)
+
+    def watch(self, job: Optional[str] = None, *,
+              replay: bool = True) -> Iterator[SweepEvent]:
+        """Stream typed events: one job's (ends after its ``job-done``)
+        or the global feed (ends when the server goes away)."""
+        sock = self._connect(None)
+        try:
+            with sock.makefile("rw", encoding="utf-8",
+                               newline="\n") as stream:
+                stream.write(json.dumps(
+                    {"op": "watch", "job": job, "replay": replay},
+                    sort_keys=True) + "\n")
+                stream.flush()
+                self._decode_reply(stream.readline() or "")
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    data = json.loads(line)
+                    if "event" not in data:
+                        # the trailing summary reply ends the stream
+                        return
+                    yield event_from_json(data)
+        finally:
+            sock.close()
+
+
+__all__ = ["DEFAULT_TIMEOUT", "ServiceClient", "ServiceError"]

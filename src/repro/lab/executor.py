@@ -32,10 +32,12 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from multiprocessing import connection
-from typing import (Any, Callable, Dict, List, Optional, Sequence)
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Set)
 
 from .chaos import ChaosError, ExecutorChaos
 from .parallel import pool_context
@@ -101,6 +103,9 @@ class ExecutionOutcome:
     attempts: Dict[int, int] = field(default_factory=dict)
     #: workers respawned after a crash, timeout kill, or dead dispatch
     respawns: int = 0
+    #: the batch was abandoned (group cancel or pool shutdown) before
+    #: every cell landed; partial results/failures are still populated
+    cancelled: bool = False
 
     @property
     def retries(self) -> int:
@@ -417,3 +422,395 @@ class SupervisedExecutor:
         task.not_before = time.monotonic() + backoff_delay(
             task.attempt, self.backoff_base, self.backoff_cap)
         pending.append(task)
+
+
+# -- shared persistent pool ----------------------------------------------
+
+
+class _PoolBatch:
+    """Bookkeeping for one :meth:`PoolSupervisor.run_batch` ticket."""
+
+    def __init__(self, group: str, total: int,
+                 on_result: Optional[Callable[[int, str, Any], None]],
+                 on_dispatch: Optional[Callable[[int, str, int], None]],
+                 ) -> None:
+        self.group = group
+        self.on_result = on_result
+        self.on_dispatch = on_dispatch
+        self.outcome = ExecutionOutcome()
+        self.remaining = total
+        self.cancelled = False
+        self.done = threading.Event()
+        #: a callback exception to re-raise in the submitting thread
+        self.error: Optional[BaseException] = None
+
+
+@dataclass
+class _PoolTask(_Task):
+    batch: Optional[_PoolBatch] = None
+
+
+class PoolSupervisor:
+    """One persistent supervised worker pool shared by concurrent jobs.
+
+    The multi-tenant sibling of :class:`SupervisedExecutor`: the same
+    supervision contract (streamed completions, per-cell timeout kill,
+    crash respawn, capped backoff-retry, quarantine), but the workers
+    outlive any single batch and serve every caller:
+
+    * **dynamic submission** -- :meth:`run_batch` may be called
+      concurrently from many job threads; each call blocks until *its*
+      cells settle while the pool interleaves everyone's work;
+    * **fair interleaving** -- pending cells queue per group (job id)
+      and dispatch round-robin across groups, so a thousand-cell job
+      cannot starve a two-cell one;
+    * **group cancellation** -- :meth:`cancel_group` drops a group's
+      queued cells immediately and discards its in-flight results as
+      they land; affected batches return with ``outcome.cancelled``.
+
+    One background thread owns the workers and all supervision;
+    submitting threads only enqueue tasks and wait on their batch
+    ticket, so no lock is held across a blocking operation.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], *, procs: int = 1,
+                 cell_timeout: Optional[float] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 chaos: Optional[ExecutorChaos] = None,
+                 validate: Optional[
+                     Callable[[Any, str], Optional[str]]] = None) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive, got "
+                             f"{cell_timeout}")
+        self.fn = fn
+        self.procs = max(1, procs)
+        self.cell_timeout = cell_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.chaos = chaos
+        self.validate = validate
+        self._lock = threading.Lock()
+        #: group id -> FIFO of queued tasks; dict order is the
+        #: round-robin rotation (served group moves to the back)
+        self._queues: "OrderedDict[str, List[_PoolTask]]" = OrderedDict()
+        self._batches: Set[_PoolBatch] = set()
+        self._wake = threading.Event()
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- public ----------------------------------------------------------
+
+    def start(self) -> "PoolSupervisor":
+        """Spawn the workers and the supervision thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            if self._stopping:
+                raise RuntimeError("pool supervisor already closed")
+            self._thread = threading.Thread(
+                target=self._run, name="pool-supervisor", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Kill the workers; blocked :meth:`run_batch` calls return
+        with ``outcome.cancelled`` set."""
+        with self._lock:
+            self._stopping = True
+            thread = self._thread
+        self._wake.set()
+        if thread is not None:
+            thread.join()
+
+    def __enter__(self) -> "PoolSupervisor":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def run_batch(self, items: Sequence[Any],
+                  keys: Optional[Sequence[str]] = None, *,
+                  group: str = "",
+                  on_result: Optional[Callable[[int, str, Any],
+                                               None]] = None,
+                  on_dispatch: Optional[Callable[[int, str, int],
+                                                 None]] = None,
+                  ) -> ExecutionOutcome:
+        """Run one batch through the shared pool; blocks until settled.
+
+        The per-batch contract matches :meth:`SupervisedExecutor.run`:
+        ``on_result(index, key, result)`` streams completions (indexed
+        by this batch's submission order), ``on_dispatch(index, key,
+        attempt)`` fires as attempts start, and an exception either
+        hook raises cancels the rest of the batch and re-raises here,
+        in the submitting thread.  ``group`` names the fairness lane
+        (one per job); concurrent batches in different groups
+        interleave round-robin.
+        """
+        work = list(items)
+        if keys is None:
+            keys = [str(index) for index in range(len(work))]
+        elif len(keys) != len(work):
+            raise ValueError(f"{len(work)} item(s) but {len(keys)} "
+                             "key(s)")
+        batch = _PoolBatch(group, len(work), on_result, on_dispatch)
+        if not work:
+            return batch.outcome
+        with self._lock:
+            if self._stopping or self._thread is None:
+                batch.outcome.cancelled = True
+                return batch.outcome
+            lane = self._queues.setdefault(group, [])
+            for index, (item, key) in enumerate(zip(work, keys)):
+                lane.append(_PoolTask(index=index, key=key, item=item,
+                                      batch=batch))
+            self._batches.add(batch)
+        self._wake.set()
+        batch.done.wait()
+        with self._lock:
+            self._batches.discard(batch)
+        if batch.error is not None:
+            raise batch.error
+        return batch.outcome
+
+    def cancel_group(self, group: str) -> int:
+        """Cancel every batch in ``group``; returns cells dropped
+        before dispatch.  In-flight cells finish in their workers but
+        land discarded (never delivered to ``on_result``)."""
+        finish: List[_PoolBatch] = []
+        with self._lock:
+            lane = self._queues.pop(group, None) or []
+            for batch in self._batches:
+                if batch.group == group and not batch.cancelled:
+                    batch.cancelled = True
+                    batch.outcome.cancelled = True
+            for task in lane:
+                task.batch.remaining -= 1
+            finish = [batch for batch in self._batches
+                      if batch.group == group and batch.remaining <= 0]
+        for batch in finish:
+            batch.done.set()
+        return len(lane)
+
+    # -- supervision thread ----------------------------------------------
+
+    def _run(self) -> None:
+        ctx = pool_context()
+        workers = [_Worker(ctx, self.fn, self.chaos)
+                   for _ in range(self.procs)]
+        try:
+            while not self._stopping:
+                now = time.monotonic()
+                self._dispatch(workers, ctx, now)
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    self._idle_wait(now)
+                    continue
+                ready = connection.wait([w.conn for w in busy],
+                                        timeout=_TICK)
+                for worker in busy:
+                    if worker.conn in ready:
+                        self._collect(worker, workers, ctx)
+                self._reap_timeouts(workers, ctx)
+        finally:
+            for worker in workers:
+                worker.kill()
+            # unblock every submitter: whatever had not settled when
+            # the pool died is reported cancelled, never hung
+            with self._lock:
+                self._queues.clear()
+                batches = list(self._batches)
+            for batch in batches:
+                batch.outcome.cancelled = True
+                batch.done.set()
+
+    def _idle_wait(self, now: float) -> None:
+        """Nothing in flight: sleep until new work or backoff expiry."""
+        with self._lock:
+            pending = [task for lane in self._queues.values()
+                       for task in lane]
+        if pending:
+            wake = min(task.not_before for task in pending)
+            delay = max(0.0, min(wake - now, self.backoff_cap)) or _TICK
+        else:
+            delay = 0.05
+        self._wake.wait(delay)
+        self._wake.clear()
+
+    def _next_task(self, now: float) -> Optional[_PoolTask]:
+        """Pop the next eligible task, round-robin across groups."""
+        with self._lock:
+            for group in list(self._queues):
+                lane = self._queues[group]
+                # purge tasks whose batch was cancelled via a callback
+                # error (cancel_group removes whole lanes itself)
+                dead = [task for task in lane if task.batch.cancelled]
+                for task in dead:
+                    lane.remove(task)
+                    self._settle_locked(task.batch)
+                task = next((task for task in lane
+                             if task.not_before <= now), None)
+                if task is None:
+                    if not lane:
+                        del self._queues[group]
+                    continue
+                lane.remove(task)
+                if lane:
+                    self._queues.move_to_end(group)
+                else:
+                    del self._queues[group]
+                return task
+        return None
+
+    def _settle_locked(self, batch: _PoolBatch) -> None:
+        """Account one settled cell; caller holds ``self._lock``."""
+        batch.remaining -= 1
+        if batch.remaining <= 0:
+            batch.done.set()
+
+    def _settle(self, batch: _PoolBatch) -> None:
+        with self._lock:
+            self._settle_locked(batch)
+
+    def _callback(self, batch: _PoolBatch, hook: Callable[..., None],
+                  *args: Any) -> None:
+        """Run a batch hook; an exception cancels the batch and is
+        re-raised in its submitting thread."""
+        try:
+            hook(*args)
+        except BaseException as err:  # noqa: BLE001 - forwarded
+            if batch.error is None:
+                batch.error = err
+            self._cancel_batch(batch)
+
+    def _cancel_batch(self, batch: _PoolBatch) -> None:
+        finish = False
+        with self._lock:
+            if not batch.cancelled:
+                batch.cancelled = True
+                batch.outcome.cancelled = True
+            lane = self._queues.get(batch.group)
+            if lane is not None:
+                mine = [task for task in lane if task.batch is batch]
+                for task in mine:
+                    lane.remove(task)
+                    batch.remaining -= 1
+                if not lane:
+                    del self._queues[batch.group]
+            finish = batch.remaining <= 0
+        if finish:
+            batch.done.set()
+
+    def _spawn_replacement(self, workers: List[_Worker], dead: _Worker,
+                           batch: Optional[_PoolBatch], ctx) -> None:
+        dead.kill()
+        workers[workers.index(dead)] = _Worker(ctx, self.fn, self.chaos)
+        if batch is not None:
+            batch.outcome.respawns += 1
+
+    def _dispatch(self, workers: List[_Worker], ctx, now: float) -> None:
+        for worker in workers:
+            if worker.task is not None:
+                continue
+            task = self._next_task(now)
+            if task is None:
+                return
+            batch = task.batch
+            batch.outcome.attempts[task.index] = task.attempt + 1
+            try:
+                worker.conn.send((task.index, task.key, task.attempt,
+                                  task.item))
+            except (BrokenPipeError, OSError):
+                # idle worker died between cells: replace it and requeue
+                # the cell at the front without charging its budget
+                with self._lock:
+                    self._queues.setdefault(batch.group,
+                                            []).insert(0, task)
+                self._spawn_replacement(workers, worker, batch, ctx)
+                return
+            if batch.on_dispatch is not None:
+                self._callback(batch, batch.on_dispatch, task.index,
+                               task.key, task.attempt)
+            worker.task = task
+            worker.deadline = (now + self.cell_timeout
+                               if self.cell_timeout is not None else None)
+
+    def _collect(self, worker: _Worker, workers: List[_Worker],
+                 ctx) -> None:
+        task = worker.task
+        assert isinstance(task, _PoolTask) and task.batch is not None
+        batch = task.batch
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            worker.process.join(0.5)
+            code = worker.process.exitcode
+            self._spawn_replacement(workers, worker, batch, ctx)
+            self._settle_failure(task, reason="worker-crash",
+                                 detail=f"worker exited with code {code}")
+            return
+        worker.task = None
+        worker.deadline = None
+        status, index, payload = message
+        if index != task.index:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"worker answered cell {index}, "
+                               f"expected {task.index}")
+        if batch.cancelled:
+            self._settle(batch)
+            return
+        if status == "err":
+            self._settle_failure(task, reason="error", detail=payload)
+            return
+        detail = (self.validate(payload, task.key)
+                  if self.validate else None)
+        if detail is not None:
+            self._settle_failure(task, reason="bad-result", detail=detail)
+            return
+        batch.outcome.results[task.index] = payload
+        if batch.on_result is not None:
+            self._callback(batch, batch.on_result, task.index, task.key,
+                           payload)
+        self._settle(batch)
+
+    def _reap_timeouts(self, workers: List[_Worker], ctx) -> None:
+        if self.cell_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(workers):
+            if worker.task is None or worker.deadline is None:
+                continue
+            if now < worker.deadline:
+                continue
+            task = worker.task
+            assert isinstance(task, _PoolTask)
+            self._spawn_replacement(workers, worker, task.batch, ctx)
+            self._settle_failure(
+                task, reason="timeout",
+                detail=f"killed after {self.cell_timeout:g}s wall clock")
+
+    def _settle_failure(self, task: _PoolTask, *, reason: str,
+                        detail: str) -> None:
+        batch = task.batch
+        if batch.cancelled:
+            self._settle(batch)
+            return
+        if task.attempt >= self.max_retries:
+            batch.outcome.failures.append(CellFailure(
+                index=task.index, key=task.key,
+                attempts=task.attempt + 1, reason=reason, detail=detail))
+            self._settle(batch)
+            return
+        task.attempt += 1
+        task.not_before = time.monotonic() + backoff_delay(
+            task.attempt, self.backoff_base, self.backoff_cap)
+        with self._lock:
+            if batch.cancelled:
+                self._settle_locked(batch)
+                return
+            self._queues.setdefault(batch.group, []).append(task)
+        self._wake.set()

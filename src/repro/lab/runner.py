@@ -1,7 +1,16 @@
 """The sweep engine: expand a spec, consult the cache, fan out, merge.
 
-:func:`run_sweep` is the one entry point behind both the
-``python -m repro sweep`` command and the benchmarks.  Its contract:
+:func:`execute_grid` is the one grid-execution core behind both
+entry points:
+
+* :func:`run_sweep` -- the batch API: a thin synchronous wrapper that
+  submits the grid to a one-shot, inline
+  :class:`~repro.lab.service.SweepService` and waits for its report;
+* :class:`~repro.lab.service.SweepService` -- the server API: many
+  concurrent jobs run the same core against one shared supervised
+  worker pool.
+
+The contract, identical in both modes:
 
 * **incremental** -- each cell is looked up in the content-addressed
   :class:`~repro.lab.cache.ResultCache` first; only cells whose inputs
@@ -9,23 +18,29 @@
 * **parallel** -- cache misses fan out across supervised worker
   processes (simulations are deterministic and share nothing, so
   workers are safe);
-* **supervised** -- the :class:`~repro.lab.executor.SupervisedExecutor`
-  journals each record as it lands, kills and re-dispatches timed-out
-  or crashed workers with bounded backoff-retry, and quarantines cells
-  that exhaust the budget instead of aborting the grid; an interrupted
-  sweep re-enters via ``resume=True`` recomputing nothing already paid
-  for;
+* **supervised** -- the executor journals each record as it lands,
+  kills and re-dispatches timed-out or crashed workers with bounded
+  backoff-retry, and quarantines cells that exhaust the budget instead
+  of aborting the grid; an interrupted sweep re-enters via
+  ``resume=True`` recomputing nothing already paid for;
+* **observable** -- progress streams as typed, schema-versioned
+  :mod:`~repro.lab.events` (``cell-start`` / ``cell-done`` /
+  ``cell-shared`` / ``cell-failed``), the same stream service
+  subscribers consume;
 * **deterministic** -- records come back in grid order and contain no
   environment facts, so the merged ``BENCH_sweeps.json`` is
-  byte-identical whether the sweep ran serially, on 8 workers, or
-  entirely from cache -- even under injected orchestration faults.
+  byte-identical whether the sweep ran serially, on 8 workers, from
+  cache, or through a server shared by N clients.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pathlib
+import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
@@ -39,8 +54,10 @@ from ..sim import (DeadlockError, Machine, MachineConfig,
 from .apps import build_app
 from .cache import DEFAULT_CACHE_DIR, ResultCache, SweepJournal
 from .chaos import ExecutorChaos
-from .executor import (DEFAULT_MAX_RETRIES, CellFailure, SupervisedExecutor,
-                       backoff_delay)
+from .events import (CellDone, CellFailed, CellShared, CellStarted,
+                     SweepEvent, adapt_progress_callback)
+from .executor import (DEFAULT_MAX_RETRIES, CellFailure, PoolSupervisor,
+                       SupervisedExecutor, backoff_delay)
 from .record import canonical_dumps, make_record, merge_records
 from .spec import AUTO_SCHEME, SweepCell, SweepSpec
 from .store import CellClaims, ClaimPolicy, reap_orphan_tmps
@@ -72,6 +89,15 @@ class IncompleteSweepError(RuntimeError):
         super().__init__(
             f"sweep lost {len(self.missing_keys)} cell(s) without a "
             f"record or a quarantine entry: {preview}")
+
+
+class JobCancelled(RuntimeError):
+    """A sweep job was cancelled (client cancel or server drain).
+
+    Landed cells are already cached and journaled; only unfinished
+    cells were abandoned, so re-running the same grid recomputes
+    nothing already paid for.
+    """
 
 
 def _elimination_info(config: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
@@ -194,7 +220,7 @@ def _worker(item: Tuple[Dict[str, Any], str]) -> Dict[str, Any]:
 
 @dataclass
 class SweepReport:
-    """What one :func:`run_sweep` call produced."""
+    """What one :func:`run_sweep` call (or service job) produced."""
 
     spec_name: str
     records: List[Dict[str, Any]]
@@ -245,6 +271,53 @@ class SweepReport:
         return out
 
 
+@dataclass(frozen=True)
+class SweepOptions:
+    """Every knob of one sweep, as a single immutable value.
+
+    Collapses the keyword-argument pile :func:`run_sweep` had grown
+    into one object that can be built once and shared between batch
+    runs and a :class:`~repro.lab.service.SweepService` -- the same
+    move :class:`repro.schemes.RunConfig` made for ``scheme.run``.
+    Frozen so an options value can be shared without aliasing
+    surprises; derive variants with :func:`dataclasses.replace`.
+    """
+
+    #: parallel worker processes for cold cells (1 = inline serial)
+    procs: int = 1
+    #: result cache directory; None disables caching entirely
+    cache_dir: Optional[pathlib.Path] = DEFAULT_CACHE_DIR
+    #: an explicit cache instance (overrides ``cache_dir``)
+    cache: Optional[ResultCache] = None
+    #: merge the run's records into this versioned store
+    json_path: Optional[pathlib.Path] = None
+    #: statically verify every (app, scheme) placement before simulating
+    preflight: bool = False
+    #: per-cell wall-clock budget; a cell running longer is killed and
+    #: re-dispatched (counts against ``max_retries``)
+    cell_timeout: Optional[float] = None
+    #: extra attempts per cell after the first, with capped backoff
+    max_retries: int = DEFAULT_MAX_RETRIES
+    #: seeded orchestration-fault injection (testing/CI)
+    chaos: Optional[ExecutorChaos] = None
+    #: re-enter an interrupted sweep via cache/journal lookup
+    resume: bool = False
+    #: cooperate with concurrent sweeps via per-cell claim files
+    single_flight: bool = True
+    #: timing knobs for claim heartbeats, staleness, and waiting
+    claim_policy: Optional[ClaimPolicy] = None
+    #: preserve the journal trail of a fully-successful sweep
+    keep_journal: bool = False
+    #: typed progress hook; receives every :class:`SweepEvent`
+    on_event: Optional[Callable[[SweepEvent], None]] = None
+
+
+#: the deprecated run_sweep keyword spellings SweepOptions replaced
+_LEGACY_SWEEP_KWARGS = frozenset(
+    f.name for f in dataclasses.fields(SweepOptions)
+    if f.name != "on_event") | {"on_progress"}
+
+
 def _validate_worker_record(result: Any, key: str) -> Optional[str]:
     """Reject malformed, mis-keyed, or oversized worker results.
 
@@ -266,65 +339,53 @@ def _validate_worker_record(result: Any, key: str) -> Optional[str]:
     return None
 
 
-def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
-              procs: int = 1,
-              cache_dir: Optional[pathlib.Path] = DEFAULT_CACHE_DIR,
-              cache: Optional[ResultCache] = None,
-              json_path: Optional[pathlib.Path] = None,
-              preflight: bool = False,
-              cell_timeout: Optional[float] = None,
-              max_retries: int = DEFAULT_MAX_RETRIES,
-              chaos: Optional[ExecutorChaos] = None,
-              resume: bool = False,
-              single_flight: bool = True,
-              claim_policy: Optional[ClaimPolicy] = None,
-              keep_journal: bool = False,
-              on_progress: Optional[
-                  Callable[[str, Dict[str, Any]], None]] = None,
-              ) -> SweepReport:
-    """Run a sweep: expand, cache-check, supervise misses, merge.
+def execute_grid(name: str, cells: Sequence[SweepCell],
+                 options: Optional[SweepOptions] = None, *,
+                 emit: Optional[Callable[[SweepEvent], None]] = None,
+                 supervisor: Optional[PoolSupervisor] = None,
+                 claims: Optional[CellClaims] = None,
+                 cancel: Optional[threading.Event] = None,
+                 group: str = "") -> SweepReport:
+    """Execute one grid of cells: cache-check, supervise misses, merge.
 
-    ``cache_dir=None`` disables caching entirely; passing an explicit
-    ``cache`` overrides ``cache_dir``.  ``json_path`` merges the run's
-    records into that versioned store (see
-    :func:`~repro.lab.record.merge_records`).  ``preflight=True``
-    statically verifies every (app, scheme) placement the grid touches
-    (at the analysis gate's small sizes) before spending simulation
-    budget; a placement with a proven race or deadlock aborts the sweep
-    with :class:`repro.analyze.AnalysisError`.
+    The shared core under :func:`run_sweep` and every
+    :class:`~repro.lab.service.SweepService` job.  Batch callers leave
+    the service hooks at their defaults; the service passes its own:
 
-    Cold cells run under the :class:`SupervisedExecutor`: each record
-    is stored to the cache and journaled *as it lands* (paid work
-    survives any later crash), a cell past ``cell_timeout`` seconds is
-    killed and re-dispatched, failed attempts retry with capped
-    exponential backoff up to ``max_retries`` extra tries, and cells
-    that exhaust the budget are quarantined into ``report.failed``
-    while the rest of the grid finishes.  ``resume=True`` (requires
-    the cache) re-enters an interrupted sweep: completed cells come
-    back via cache lookup, so zero already-paid cells recompute.
-    ``chaos`` injects seeded orchestration faults (worker crash, hang,
-    flaky cell, corrupted/oversized result) for testing the above;
-    ``on_progress(key, record)`` fires per landed record.
+    ``emit``
+        receives every :class:`SweepEvent` as it happens (defaults to
+        ``options.on_event``);
+    ``supervisor``
+        a running :class:`~repro.lab.executor.PoolSupervisor` shared
+        with other jobs (None: a private per-batch
+        :class:`SupervisedExecutor`, with the serial inline fast path);
+    ``claims``
+        a shared :class:`CellClaims` instance (None: one is built and
+        closed here when single-flight applies) -- sharing one instance
+        is what extends single-flight dedup across a service's jobs:
+        a cell in flight for one job is waited on, not recomputed, by
+        every other;
+    ``cancel``
+        an event that aborts the job at the next safe point with
+        :class:`JobCancelled`; landed cells stay cached and journaled;
+    ``group``
+        the job id used for fair interleaving in the shared pool.
 
-    ``single_flight`` (on by default whenever a cache is in play) makes
-    N concurrent sweeps sharing one cache cooperate instead of
-    duplicating paid work: each cold cell is claimed via an advisory
-    claim file before simulation (:class:`~repro.lab.store.CellClaims`),
-    a cell already claimed by a live writer is *waited for* (bounded by
-    ``claim_policy.wait_timeout``, with backoff) and served from the
-    cache when the claimant lands it, and a claim whose owner died
-    (SIGKILL, OOM) goes stale and is taken over.  The merged store and
-    every record stay byte-identical to a solo run; only who paid for
-    each cell changes -- ``report.simulated_keys`` says what this
-    process paid for.  ``keep_journal=True`` preserves the journal
-    trail of a fully-successful sweep for post-hoc accounting.
+    Cold cells are stored to the cache and journaled *as they land*
+    (paid work survives any later crash); cells past
+    ``options.cell_timeout`` are killed and re-dispatched; failed
+    attempts retry with capped exponential backoff up to
+    ``options.max_retries`` extra tries; budget-exhausted cells are
+    quarantined into ``report.failed`` while the rest of the grid
+    finishes.  ``options.resume`` (requires the cache) re-enters an
+    interrupted sweep recomputing zero already-paid cells.
     """
-    if isinstance(spec, SweepSpec):
-        name, cells = spec.name, spec.cells()
-    else:
-        name, cells = "custom", list(spec)
+    options = options or SweepOptions()
+    if emit is None:
+        emit = options.on_event
+    cells = list(cells)
     notes: Dict[str, Any] = {}
-    if preflight:
+    if options.preflight:
         # lazy: repro.analyze imports lab.apps, so importing it at
         # module level here would be circular
         from ..analyze import AnalysisError
@@ -340,12 +401,24 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
                     + "; ".join(verdict.failing))
             notes["preflight"] = (f"{len(verdict.reports)} placement(s) "
                                   f"verified clean")
-    if cache is None and cache_dir is not None:
-        cache = ResultCache(pathlib.Path(cache_dir))
-    if resume and cache is None:
+    cache = options.cache
+    if cache is None and options.cache_dir is not None:
+        cache = ResultCache(pathlib.Path(options.cache_dir))
+    if options.resume and cache is None:
         raise ValueError("resume=True needs the result cache: completed "
                          "cells are recovered by cache/journal lookup")
 
+    def send(event: SweepEvent) -> None:
+        if emit is not None:
+            emit(event)
+
+    def bail() -> None:
+        if cancel is not None and cancel.is_set():
+            raise JobCancelled(
+                f"job {group or name!r} cancelled; landed cells are "
+                "cached and journaled, unfinished cells abandoned")
+
+    bail()
     records: List[Optional[Dict[str, Any]]] = [None] * len(cells)
     #: (grid index, config, human key, cache key-or-None) per cold cell
     todo: List[Tuple[int, Dict[str, Any], str, Optional[str]]] = []
@@ -359,6 +432,7 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
             cached = cache.load(cache_key)
             if cached is not None:
                 records[index] = cached
+                send(CellShared(key=cell.key, via="cache", record=cached))
                 continue
         todo.append((index, config, cell.key, cache_key))
 
@@ -366,24 +440,31 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
                if cache is not None else None)
     hits = len(cells) - len(todo)
     if journal is not None:
-        if resume:
+        if options.resume:
             notes["resumed"] = (f"{hits} completed cell(s) recovered "
                                 f"from cache/journal, {len(todo)} left")
         else:
             # a fresh (non-resume) run starts a fresh trail
             journal.clear()
 
-    claims: Optional[CellClaims] = None
-    policy = claim_policy or ClaimPolicy()
-    if cache is not None and single_flight and todo:
+    claims_owned = False
+    policy = options.claim_policy or ClaimPolicy()
+    if cache is None or not options.single_flight:
+        claims = None
+    elif claims is None and todo:
         # a SIGKILLed predecessor's half-written tmp files are garbage
         # the moment its pid is gone; sweep startup is the natural
         # place to sweep them up
         reap_orphan_tmps(cache.root)
         claims = CellClaims(cache.root, policy)
+        claims_owned = True
 
     simulated: List[str] = []
     failures: List[CellFailure] = []
+    #: cache keys this call claimed; any still held on exit (cancel,
+    #: interrupt) are released in the finally block so other writers
+    #: never wait out the staleness horizon on an abandoned cell
+    acquired: List[str] = []
 
     def journal_line(entry: Dict[str, Any]) -> None:
         if journal is not None:
@@ -395,8 +476,7 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
         records[index] = record
         journal_line({"cell": key, "status": "shared",
                       "pid": os.getpid()})
-        if on_progress is not None:
-            on_progress(key, record)
+        send(CellShared(key=key, via="concurrent", record=record))
 
     def run_batch(batch: List[Tuple[int, Dict[str, Any], str,
                                     Optional[str]]]) -> None:
@@ -417,28 +497,45 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
                           "outcome": record.get("outcome"),
                           "pid": os.getpid(), "simulated": True})
             simulated.append(key)
-            if on_progress is not None:
-                on_progress(key, record)
+            send(CellDone(key=key, outcome=record.get("outcome", "ok"),
+                          record=record))
 
         def on_dispatch(_position: int, key: str, attempt: int) -> None:
             journal_line({"cell": key, "status": "start",
                           "attempt": attempt + 1, "pid": os.getpid()})
+            send(CellStarted(key=key, attempt=attempt + 1))
 
-        executor = SupervisedExecutor(
-            _worker, procs=procs, cell_timeout=cell_timeout,
-            max_retries=max_retries, chaos=chaos,
-            validate=_validate_worker_record)
-        outcome = executor.run(
-            [(config, key) for _i, config, key, _ck in batch],
-            keys=[key for _i, _config, key, _ck in batch],
-            on_result=on_landed,
-            on_dispatch=(on_dispatch if journal is not None else None))
+        items = [(config, key) for _i, config, key, _ck in batch]
+        keys = [key for _i, _config, key, _ck in batch]
+        wire_dispatch = (on_dispatch
+                         if journal is not None or emit is not None
+                         else None)
+        if supervisor is not None:
+            outcome = supervisor.run_batch(
+                items, keys=keys, group=group,
+                on_result=on_landed, on_dispatch=wire_dispatch)
+        else:
+            executor = SupervisedExecutor(
+                _worker, procs=options.procs,
+                cell_timeout=options.cell_timeout,
+                max_retries=options.max_retries, chaos=options.chaos,
+                validate=_validate_worker_record)
+            outcome = executor.run(items, keys=keys,
+                                   on_result=on_landed,
+                                   on_dispatch=wire_dispatch)
+        if outcome.cancelled:
+            raise JobCancelled(
+                f"job {group or name!r} cancelled mid-batch; landed "
+                "cells are cached and journaled")
         for failure in outcome.failures:
             failures.append(failure)
             journal_line({"cell": failure.key, "status": "failed",
                           "reason": failure.reason,
                           "attempts": failure.attempts,
                           "detail": failure.detail, "pid": os.getpid()})
+            send(CellFailed(key=failure.key, reason=failure.reason,
+                            attempts=failure.attempts,
+                            detail=failure.detail))
             # a quarantined cell must not stay claimed: other writers
             # would wait out the full staleness horizon for a cell
             # this process has already given up on
@@ -457,10 +554,12 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
         shared = 0
         if claims is not None:
             for item in todo:
+                bail()
                 index, _config, key, cache_key = item
                 if not claims.acquire(cache_key):
                     theirs.append(item)
                     continue
+                acquired.append(cache_key)
                 # double-check under the claim: another writer may have
                 # landed the entry between our cache miss and the claim
                 record = cache.load(cache_key, count=False)
@@ -474,21 +573,23 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
             mine = list(todo)
 
         if mine:
+            bail()
             run_batch(mine)
 
         takeovers: List[Tuple[int, Dict[str, Any], str,
                               Optional[str]]] = []
         forced = 0
         if theirs:
-            # single-flight wait: another sweep owns these cells.  Poll
-            # (bounded, with backoff) for either its landed entry or a
-            # stale claim we can take over; past the wait budget we
-            # recompute rather than hang -- duplicated work degrades
-            # gracefully, a stuck sweep does not.
+            # single-flight wait: another job or sweep owns these
+            # cells.  Poll (bounded, with backoff) for either its
+            # landed entry or a stale claim we can take over; past the
+            # wait budget we recompute rather than hang -- duplicated
+            # work degrades gracefully, a stuck sweep does not.
             pending = list(theirs)
             deadline = time.monotonic() + policy.wait_timeout
             spin = 0
             while pending:
+                bail()
                 still: List[Tuple[int, Dict[str, Any], str,
                                   Optional[str]]] = []
                 for item in pending:
@@ -499,6 +600,7 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
                         shared += 1
                         continue
                     if claims.acquire(cache_key):
+                        acquired.append(cache_key)
                         record = cache.load(cache_key, count=False)
                         if record is not None:
                             claims.release(cache_key)
@@ -520,10 +622,16 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
                 time.sleep(backoff_delay(spin, policy.poll_base,
                                          policy.poll_cap))
         if takeovers:
+            bail()
             run_batch(takeovers)
     finally:
         if claims is not None:
-            claims.close()
+            # releasing an already-released key is a no-op, so simply
+            # drop everything this call ever claimed
+            for cache_key in acquired:
+                claims.release(cache_key)
+            if claims_owned:
+                claims.close()
 
     paid = len(mine) + len(takeovers)
     if shared:
@@ -542,17 +650,68 @@ def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]], *,
     if missing:
         raise IncompleteSweepError(missing)
 
-    if journal is not None and not failures and not keep_journal:
+    if journal is not None and not failures and not options.keep_journal:
         journal.clear()
 
     done = [record for record in records if record is not None]
     report = SweepReport(
         spec_name=name, records=done, hits=hits + shared,
         misses=paid,
-        procs=procs, json_path=json_path,
+        procs=options.procs, json_path=options.json_path,
         notes=dict(notes, **({"fingerprint": cache.fingerprint[:12]}
                              if cache else {})),
         failed=failures, simulated_keys=simulated)
-    if json_path is not None:
-        merge_records(pathlib.Path(json_path), done)
+    if options.json_path is not None:
+        merge_records(pathlib.Path(options.json_path), done)
     return report
+
+
+def run_sweep(spec: Union[SweepSpec, Sequence[SweepCell]],
+              options: Optional[SweepOptions] = None,
+              **legacy: Any) -> SweepReport:
+    """Run a sweep synchronously: the batch front end of the service.
+
+    The sweep is described by a single :class:`SweepOptions`::
+
+        run_sweep(spec, options=SweepOptions(procs=8, resume=True))
+
+    and executes as a one-shot, inline
+    :class:`~repro.lab.service.SweepService` job -- batch and server
+    modes share one code path (:func:`execute_grid`), so everything
+    documented there (supervision, retry, quarantine, single-flight,
+    resume, byte-identical merged stores) applies verbatim.
+
+    The pre-options keyword arguments (``procs``, ``cache_dir``,
+    ``cache``, ``json_path``, ``preflight``, ``cell_timeout``,
+    ``max_retries``, ``chaos``, ``resume``, ``single_flight``,
+    ``claim_policy``, ``keep_journal``, ``on_progress``) still work but
+    are deprecated: they emit a :class:`DeprecationWarning` and fold
+    into an equivalent options value, so both spellings return
+    identical reports.  The dict-style ``on_progress(key, record)``
+    hook is additionally adapted onto the typed event stream via
+    :func:`repro.lab.events.adapt_progress_callback`.
+    """
+    if legacy:
+        unknown = set(legacy) - _LEGACY_SWEEP_KWARGS
+        if unknown:
+            raise TypeError(f"run_sweep() got unexpected keyword "
+                            f"arguments {sorted(unknown)}")
+        if options is not None:
+            raise TypeError(
+                "pass either options= or the deprecated individual "
+                "kwargs, not both")
+        warnings.warn(
+            "run_sweep(spec, procs=..., cache_dir=..., ...) is "
+            "deprecated; pass a single SweepOptions: "
+            "run_sweep(spec, options=SweepOptions(...))",
+            DeprecationWarning, stacklevel=2)
+        on_progress = legacy.pop("on_progress", None)
+        options = SweepOptions(**legacy)
+        if on_progress is not None:
+            options = dataclasses.replace(
+                options, on_event=adapt_progress_callback(on_progress))
+    options = options or SweepOptions()
+    # lazy: the service module imports this one's grid core
+    from .service import SweepService
+    with SweepService(options, inline=True) as service:
+        return service.submit(spec).result()

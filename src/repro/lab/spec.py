@@ -73,6 +73,27 @@ class SweepCell:
             "eliminate": self.eliminate,
         }
 
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "SweepCell":
+        """Rebuild a cell from its :meth:`config` dict (the inverse).
+
+        How a restarted :class:`~repro.lab.service.SweepService`
+        reconstitutes the cells of a journaled job file.
+        """
+        return cls(
+            app=config["app"],
+            app_params=_freeze_params(config.get("app_params") or {}),
+            scheme=config["scheme"],
+            processors=config["processors"],
+            schedule=config.get("schedule", "self"),
+            seed=config.get("seed", 0),
+            wait_bound=config.get("wait_bound"),
+            validate=bool(config.get("validate", True)),
+            plan=config.get("plan"),
+            recover=bool(config.get("recover", False)),
+            eliminate=bool(config.get("eliminate", False)),
+        )
+
     @property
     def key(self) -> str:
         """Stable human-readable identity, used to index merged records."""

@@ -70,6 +70,9 @@ DOCTOR_SCHEMA_VERSION = 1
 QUARANTINE_DIR = "quarantine"
 CLAIMS_DIR = "claims"
 JOURNAL_DIR = "journal"
+#: durable job specs a draining SweepService leaves behind; a
+#: restarted server rescans this directory and resubmits each one
+JOBS_DIR = "jobs"
 
 #: marker every in-flight tmp file carries: ``<name>.tmp-<pid>-<n>``
 TMP_MARKER = ".tmp-"
@@ -726,6 +729,13 @@ def diagnose(root: pathlib.Path, *, repair: bool = False,
     if quarantine.is_dir():
         _count(report, "quarantined",
                sum(1 for entry in quarantine.iterdir() if entry.is_file()))
+    jobs_dir = root / JOBS_DIR
+    if jobs_dir.is_dir():
+        # surfaced, never repaired: an interrupted service job waiting
+        # to be resumed is state, not damage
+        _count(report, "pending_jobs",
+               sum(1 for entry in jobs_dir.glob("*.json")
+                   if entry.is_file()))
     report.counts.setdefault("ok", 0)
     report.counts.setdefault("quarantined", 0)
     return report
@@ -734,7 +744,8 @@ def diagnose(root: pathlib.Path, *, repair: bool = False,
 __all__ = [
     "CLAIMS_DIR", "CellClaims", "ClaimInfo", "ClaimPolicy",
     "DOCTOR_SCHEMA_VERSION", "DoctorFinding", "DoctorReport",
-    "ENVELOPE_VERSION", "EnvelopeError", "JOURNAL_DIR", "QUARANTINE_DIR",
+    "ENVELOPE_VERSION", "EnvelopeError", "JOBS_DIR", "JOURNAL_DIR",
+    "QUARANTINE_DIR",
     "StoreLock", "StoreLockTimeout", "TMP_GRACE_SECONDS", "diagnose",
     "durable_append_line", "durable_write_text", "open_envelope",
     "quarantine_file", "reap_orphan_tmps", "seal_record", "tmp_path_for",

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import json
 
-from repro.lab import (ResultCache, SweepSpec, open_envelope, run_sweep,
-                       seal_record, source_fingerprint)
+from repro.lab import ResultCache, SweepOptions, SweepSpec, run_sweep
+from repro.lab.cache import source_fingerprint
+from repro.lab.store import open_envelope, seal_record
 from repro.lab.record import (RECORD_SCHEMA_VERSION, merge_records,
                               record_is_current)
 
@@ -17,30 +18,30 @@ def tiny_spec(n=10):
 
 
 def test_hit_on_identical_spec(tmp_path):
-    cold = run_sweep(tiny_spec(), cache_dir=tmp_path)
+    cold = run_sweep(tiny_spec(), options=SweepOptions(cache_dir=tmp_path))
     assert (cold.hits, cold.misses) == (0, 1)
-    warm = run_sweep(tiny_spec(), cache_dir=tmp_path)
+    warm = run_sweep(tiny_spec(), options=SweepOptions(cache_dir=tmp_path))
     assert (warm.hits, warm.misses) == (1, 0)
     assert warm.all_cached
     assert warm.records == cold.records
 
 
 def test_miss_on_config_change(tmp_path):
-    run_sweep(tiny_spec(n=10), cache_dir=tmp_path)
-    changed = run_sweep(tiny_spec(n=12), cache_dir=tmp_path)
+    run_sweep(tiny_spec(n=10), options=SweepOptions(cache_dir=tmp_path))
+    changed = run_sweep(tiny_spec(n=12), options=SweepOptions(cache_dir=tmp_path))
     assert changed.misses == 1 and changed.hits == 0
 
 
 def test_miss_on_source_fingerprint_change(tmp_path):
     before = ResultCache(tmp_path, fingerprint="aaaa")
-    run_sweep(tiny_spec(), cache=before)
+    run_sweep(tiny_spec(), options=SweepOptions(cache=before))
     # same config, same cache dir, "edited" source tree
     after = ResultCache(tmp_path, fingerprint="bbbb")
-    report = run_sweep(tiny_spec(), cache=after)
+    report = run_sweep(tiny_spec(), options=SweepOptions(cache=after))
     assert report.misses == 1 and report.hits == 0
     # ...and the original fingerprint still hits
     again = ResultCache(tmp_path, fingerprint="aaaa")
-    assert run_sweep(tiny_spec(), cache=again).all_cached
+    assert run_sweep(tiny_spec(), options=SweepOptions(cache=again)).all_cached
 
 
 def test_fingerprint_tracks_source_bytes(tmp_path):
@@ -56,7 +57,7 @@ def test_fingerprint_tracks_source_bytes(tmp_path):
 def test_stale_schema_record_invalidated(tmp_path):
     cache = ResultCache(tmp_path)
     spec = tiny_spec()
-    run_sweep(spec, cache=cache)
+    run_sweep(spec, options=SweepOptions(cache=cache))
     key = cache.key_for(spec.cells()[0].config())
     entry = tmp_path / f"{key}.json"
     record = open_envelope(entry.read_text())
@@ -67,7 +68,7 @@ def test_stale_schema_record_invalidated(tmp_path):
     record["extra_schema_version"] = 0
     entry.write_text(seal_record(record))
     assert not record_is_current(record)
-    report = run_sweep(spec, cache=ResultCache(tmp_path))
+    report = run_sweep(spec, options=SweepOptions(cache=ResultCache(tmp_path)))
     assert report.misses == 1
     reread = open_envelope(entry.read_text())
     assert reread["extra_schema_version"] != 0
@@ -81,7 +82,8 @@ def test_merge_drops_stale_store_records(tmp_path):
     store_path.write_text(json.dumps(
         {"schema_version": RECORD_SCHEMA_VERSION,
          "records": {"old": stale}}))
-    report = run_sweep(tiny_spec(), cache_dir=None, json_path=store_path)
+    report = run_sweep(tiny_spec(), options=SweepOptions(cache_dir=None,
+                       json_path=store_path))
     merged = json.loads(store_path.read_text())
     assert "old" not in merged["records"]
     assert report.records[0]["key"] in merged["records"]
@@ -89,7 +91,8 @@ def test_merge_drops_stale_store_records(tmp_path):
 
 def test_merge_overwrites_same_key(tmp_path):
     store_path = tmp_path / "store.json"
-    record = dict(run_sweep(tiny_spec(), cache_dir=None).records[0])
+    record = dict(run_sweep(tiny_spec(),
+                  options=SweepOptions(cache_dir=None)).records[0])
     merge_records(store_path, [record])
     record2 = dict(record, outcome="later")
     merge_records(store_path, [record2])
@@ -100,14 +103,14 @@ def test_merge_overwrites_same_key(tmp_path):
 
 def test_cache_counts_hits_and_misses(tmp_path):
     cache = ResultCache(tmp_path)
-    run_sweep(tiny_spec(), cache=cache)
-    run_sweep(tiny_spec(), cache=cache)
+    run_sweep(tiny_spec(), options=SweepOptions(cache=cache))
+    run_sweep(tiny_spec(), options=SweepOptions(cache=cache))
     assert (cache.hits, cache.misses) == (1, 1)
 
 
 def test_disabled_cache_always_simulates(tmp_path):
-    first = run_sweep(tiny_spec(), cache_dir=None)
-    second = run_sweep(tiny_spec(), cache_dir=None)
+    first = run_sweep(tiny_spec(), options=SweepOptions(cache_dir=None))
+    second = run_sweep(tiny_spec(), options=SweepOptions(cache_dir=None))
     assert first.misses == second.misses == 1
     assert first.records == second.records
     assert not list(tmp_path.iterdir())

@@ -16,8 +16,8 @@ import subprocess
 import sys
 import time
 
-from repro.lab import (CellClaims, ClaimPolicy, ResultCache, SweepSpec,
-                       run_sweep)
+from repro.lab import (CellClaims, ClaimPolicy, ResultCache, SweepOptions,
+                       SweepSpec, run_sweep)
 from repro.lab.cache import SweepJournal
 from repro.lab.store import CLAIMS_DIR, JOURNAL_DIR
 
@@ -27,15 +27,16 @@ REPO_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
 #: cache and merged store with its sibling, reporting what it paid for
 DRIVER = """
 import json, pathlib, sys
-from repro.lab import SweepSpec, run_sweep
+from repro.lab import SweepOptions, SweepSpec, run_sweep
 
 cache_dir, store, out, ns = sys.argv[1:5]
 spec = SweepSpec.build(
     "writer", apps=[("fig2.1", {"n": int(n), "cost": 4})
                     for n in ns.split(",")],
     schemes=["process-oriented", "statement-oriented"], processors=(2,))
-report = run_sweep(spec, procs=2, cache_dir=pathlib.Path(cache_dir),
-                   json_path=pathlib.Path(store), keep_journal=True)
+report = run_sweep(spec, options=SweepOptions(procs=2,
+                   cache_dir=pathlib.Path(cache_dir), json_path=pathlib.Path(store),
+                   keep_journal=True))
 pathlib.Path(out).write_text(json.dumps({
     "hits": report.hits, "misses": report.misses,
     "failed": len(report.failed), "notes": report.notes,
@@ -59,8 +60,8 @@ def union_spec():
 
 def test_concurrent_sweeps_share_one_cache(tmp_path):
     clean_store = tmp_path / "clean.json"
-    run_sweep(union_spec(), procs=2, cache_dir=tmp_path / "clean-cache",
-              json_path=clean_store)
+    run_sweep(union_spec(), options=SweepOptions(procs=2,
+              cache_dir=tmp_path / "clean-cache", json_path=clean_store))
 
     driver = tmp_path / "driver.py"
     driver.write_text(DRIVER)
@@ -133,8 +134,8 @@ def test_sigkilled_writers_claims_are_taken_over(tmp_path):
     assert claim.exists()  # SIGKILL leaves the claim file behind
 
     # dead pid on this host: stale immediately, no staleness horizon
-    report = run_sweep(spec, cache=cache,
-                       claim_policy=ClaimPolicy(stale_after=3600.0))
+    report = run_sweep(spec, options=SweepOptions(cache=cache,
+                       claim_policy=ClaimPolicy(stale_after=3600.0)))
     assert report.misses == 1 and not report.failed
     assert not claim.exists()
 
@@ -154,10 +155,9 @@ def test_live_foreign_claim_is_waited_out_then_taken_over(tmp_path):
         {"pid": os.getpid(), "host": "some-other-host", "key": key}))
 
     start = time.monotonic()
-    report = run_sweep(spec, cache=cache,
-                       claim_policy=ClaimPolicy(
-                           stale_after=0.6, wait_timeout=60.0,
-                           poll_base=0.05, poll_cap=0.2))
+    report = run_sweep(spec, options=SweepOptions(cache=cache,
+                       claim_policy=ClaimPolicy(stale_after=0.6, wait_timeout=60.0,
+                       poll_base=0.05, poll_cap=0.2)))
     waited = time.monotonic() - start
     assert report.misses == 1 and not report.failed
     assert report.notes.get("takeovers") == 1
@@ -180,11 +180,10 @@ def test_wait_budget_exhaustion_degrades_to_recompute(tmp_path):
         claim = tmp_path / CLAIMS_DIR / f"{key}.claim"
         claim.write_text(json.dumps(
             {"pid": 1, "host": "some-other-host", "key": key}))
-        report = run_sweep(spec, cache=cache,
-                           claim_policy=ClaimPolicy(
-                               heartbeat_interval=0.05,
-                               stale_after=3600.0, wait_timeout=1.0,
-                               poll_base=0.05, poll_cap=0.2))
+        report = run_sweep(spec, options=SweepOptions(cache=cache,
+                           claim_policy=ClaimPolicy(heartbeat_interval=0.05,
+                           stale_after=3600.0, wait_timeout=1.0, poll_base=0.05,
+                           poll_cap=0.2)))
     finally:
         foreign.close()
     assert report.misses == 1 and not report.failed

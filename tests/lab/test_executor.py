@@ -15,9 +15,9 @@ import pytest
 
 from repro.__main__ import main
 from repro.lab import (ExecutionOutcome, ExecutorChaos, IncompleteSweepError,
-                       SupervisedExecutor, SweepSpec, backoff_delay,
-                       run_sweep)
+                       SupervisedExecutor, SweepOptions, SweepSpec, run_sweep)
 from repro.lab import runner as runner_module
+from repro.lab.executor import backoff_delay
 
 
 def grid_spec():
@@ -34,8 +34,8 @@ def clean_bytes(tmp_path_factory):
     """The fault-free merged store, the byte-identity reference."""
     root = tmp_path_factory.mktemp("clean")
     path = root / "clean.json"
-    report = run_sweep(grid_spec(), procs=2, cache_dir=root / "cache",
-                       json_path=path)
+    report = run_sweep(grid_spec(), options=SweepOptions(procs=2,
+                       cache_dir=root / "cache", json_path=path))
     assert not report.failed
     return path.read_bytes()
 
@@ -146,10 +146,9 @@ def test_merged_json_byte_identical_under_faults(tmp_path, clean_bytes,
     chaos = ExecutorChaos(seed=11, crash_prob=0.4, hang_prob=0.3,
                           flaky_prob=0.4, hang_seconds=30.0)
     path = tmp_path / f"chaos-{procs}.json"
-    report = run_sweep(grid_spec(), procs=procs,
-                       cache_dir=tmp_path / f"cache-{procs}",
-                       json_path=path, chaos=chaos, cell_timeout=1.0,
-                       max_retries=3)
+    report = run_sweep(grid_spec(), options=SweepOptions(procs=procs,
+                       cache_dir=tmp_path / f"cache-{procs}", json_path=path,
+                       chaos=chaos, cell_timeout=1.0, max_retries=3))
     assert not report.failed
     assert path.read_bytes() == clean_bytes
 
@@ -157,8 +156,8 @@ def test_merged_json_byte_identical_under_faults(tmp_path, clean_bytes,
 def test_worker_crash_respawns_and_completes(tmp_path, clean_bytes):
     chaos = ExecutorChaos(seed=1, crash_prob=1.0)
     path = tmp_path / "crash.json"
-    report = run_sweep(grid_spec(), procs=2, cache_dir=tmp_path / "cache",
-                       json_path=path, chaos=chaos)
+    report = run_sweep(grid_spec(), options=SweepOptions(procs=2,
+                       cache_dir=tmp_path / "cache", json_path=path, chaos=chaos))
     assert not report.failed
     # every cell's first attempt died with the worker
     assert report.notes["retries"] == 4
@@ -172,9 +171,9 @@ def test_corrupted_and_oversized_results_are_retried(tmp_path, clean_bytes):
             ("oversize", ExecutorChaos(seed=1, oversize_prob=1.0,
                                        oversize_bytes=9 * 2 ** 20))]:
         path = tmp_path / f"{label}.json"
-        report = run_sweep(grid_spec(), procs=2,
-                           cache_dir=tmp_path / f"cache-{label}",
-                           json_path=path, chaos=chaos)
+        report = run_sweep(grid_spec(), options=SweepOptions(procs=2,
+                           cache_dir=tmp_path / f"cache-{label}", json_path=path,
+                           chaos=chaos))
         assert not report.failed, label
         assert report.notes["retries"] == 4, label
         assert path.read_bytes() == clean_bytes, label
@@ -186,8 +185,9 @@ def test_corrupted_and_oversized_results_are_retried(tmp_path, clean_bytes):
 def test_hung_worker_is_killed_and_cell_retried(tmp_path, clean_bytes):
     chaos = ExecutorChaos(seed=1, hang_prob=1.0, hang_seconds=60.0)
     path = tmp_path / "hang.json"
-    report = run_sweep(grid_spec(), procs=4, cache_dir=tmp_path / "cache",
-                       json_path=path, chaos=chaos, cell_timeout=0.8)
+    report = run_sweep(grid_spec(), options=SweepOptions(procs=4,
+                       cache_dir=tmp_path / "cache", json_path=path, chaos=chaos,
+                       cell_timeout=0.8))
     assert not report.failed
     assert report.notes["respawns"] >= 4
     assert path.read_bytes() == clean_bytes
@@ -199,8 +199,8 @@ def test_permanent_hang_quarantines_as_timeout(tmp_path):
         schemes=["process-oriented"], processors=(2,))
     chaos = ExecutorChaos(seed=1, hang_prob=1.0, hang_seconds=60.0,
                           fault_attempts=99)
-    report = run_sweep(spec, procs=1, cache_dir=tmp_path / "cache",
-                       chaos=chaos, cell_timeout=0.5, max_retries=0)
+    report = run_sweep(spec, options=SweepOptions(procs=1, cache_dir=tmp_path / "cache",
+                       chaos=chaos, cell_timeout=0.5, max_retries=0))
     assert not report.records
     [failure] = report.failed
     assert failure.reason == "timeout"
@@ -216,8 +216,8 @@ def test_quarantine_keeps_rest_of_grid_and_resume_completes(tmp_path,
     cache_dir = tmp_path / "cache"
     path = tmp_path / "store.json"
     chaos = ExecutorChaos(seed=1, always_fail=("statement-oriented",))
-    degraded = run_sweep(grid_spec(), procs=2, cache_dir=cache_dir,
-                         json_path=path, chaos=chaos, max_retries=1)
+    degraded = run_sweep(grid_spec(), options=SweepOptions(procs=2, cache_dir=cache_dir,
+                         json_path=path, chaos=chaos, max_retries=1))
     assert degraded.degraded
     assert len(degraded.records) == 2
     assert len(degraded.failed) == 2
@@ -234,8 +234,8 @@ def test_quarantine_keeps_rest_of_grid_and_resume_completes(tmp_path,
     # resume: the 2 completed cells come from cache, only the 2
     # quarantined cells recompute, and the store converges to the
     # fault-free bytes
-    resumed = run_sweep(grid_spec(), procs=2, cache_dir=cache_dir,
-                        json_path=path, resume=True)
+    resumed = run_sweep(grid_spec(), options=SweepOptions(procs=2, cache_dir=cache_dir,
+                        json_path=path, resume=True))
     assert resumed.hits == 2 and resumed.misses == 2
     assert "resumed" in resumed.notes
     assert not resumed.failed
@@ -247,23 +247,25 @@ def test_interrupt_mid_sweep_preserves_landed_work(tmp_path, clean_bytes):
     cache_dir = tmp_path / "cache"
     seen = []
 
-    def interrupt_after_two(key, record):
-        seen.append(key)
+    def interrupt_after_two(event):
+        if event.kind != "cell-done":
+            return
+        seen.append(event.key)
         if len(seen) == 2:
             raise KeyboardInterrupt
 
     with pytest.raises(KeyboardInterrupt):
-        run_sweep(grid_spec(), procs=1, cache_dir=cache_dir,
-                  chaos=ExecutorChaos(seed=0),
-                  on_progress=interrupt_after_two)
+        run_sweep(grid_spec(), options=SweepOptions(
+            procs=1, cache_dir=cache_dir, chaos=ExecutorChaos(seed=0),
+            on_event=interrupt_after_two))
     # the two landed cells were journaled and cached before the
     # interrupt propagated
     journal_files = list((cache_dir / "journal").glob("*.jsonl"))
     assert len(journal_files) == 1
 
     path = tmp_path / "resumed.json"
-    resumed = run_sweep(grid_spec(), procs=2, cache_dir=cache_dir,
-                        json_path=path, resume=True)
+    resumed = run_sweep(grid_spec(), options=SweepOptions(procs=2, cache_dir=cache_dir,
+                        json_path=path, resume=True))
     assert resumed.hits == 2 and resumed.misses == 2
     assert path.read_bytes() == clean_bytes
     # a fully-successful sweep clears its journal
@@ -272,7 +274,7 @@ def test_interrupt_mid_sweep_preserves_landed_work(tmp_path, clean_bytes):
 
 def test_resume_requires_cache(tmp_path):
     with pytest.raises(ValueError, match="resume"):
-        run_sweep(grid_spec(), cache_dir=None, resume=True)
+        run_sweep(grid_spec(), options=SweepOptions(cache_dir=None, resume=True))
 
 
 # -- the strict merge guard -------------------------------------------------
@@ -285,7 +287,8 @@ def test_lost_cells_raise_typed_error_naming_keys(tmp_path, monkeypatch):
         lambda self, items, keys=None, on_result=None, on_dispatch=None:
         ExecutionOutcome())
     with pytest.raises(IncompleteSweepError) as excinfo:
-        run_sweep(grid_spec(), procs=1, cache_dir=tmp_path / "cache")
+        run_sweep(grid_spec(), options=SweepOptions(procs=1,
+                  cache_dir=tmp_path / "cache"))
     assert len(excinfo.value.missing_keys) == 4
     assert "process-oriented" in str(excinfo.value)
 

@@ -1,0 +1,73 @@
+"""The SweepOptions surface and the legacy-kwargs deprecation shim.
+
+``run_sweep(spec, procs=..., cache_dir=...)`` (the historical 14-kwarg
+spelling) must keep working for one release, warn, and produce a report
+identical to the ``options=SweepOptions(...)`` spelling -- the pinned
+regression for the options collapse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.lab import SweepOptions, SweepSpec, run_sweep
+
+
+def grid_spec():
+    return SweepSpec.build(
+        "options-grid",
+        apps=[("fig2.1", {"n": n, "cost": 4}) for n in (10, 14)],
+        schemes=["process-oriented", "statement-oriented"],
+        processors=(2,))
+
+
+def test_options_are_frozen_and_defaulted():
+    options = SweepOptions()
+    assert options.procs == 1
+    assert options.single_flight
+    assert not options.resume
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        options.procs = 4
+
+
+def test_legacy_kwargs_warn_and_match_options_spelling(tmp_path):
+    """The shim regression: identical SweepReport both ways."""
+    with pytest.warns(DeprecationWarning, match="SweepOptions"):
+        legacy = run_sweep(grid_spec(), procs=2,
+                           cache_dir=tmp_path / "legacy",
+                           json_path=tmp_path / "legacy.json")
+    modern = run_sweep(grid_spec(), options=SweepOptions(
+        procs=2, cache_dir=tmp_path / "modern",
+        json_path=tmp_path / "modern.json"))
+    assert legacy.records == modern.records
+    assert (legacy.hits, legacy.misses) == (modern.hits, modern.misses)
+    assert legacy.failed == modern.failed
+    # and the merged stores agree byte for byte
+    assert ((tmp_path / "legacy.json").read_bytes()
+            == (tmp_path / "modern.json").read_bytes())
+
+
+def test_legacy_on_progress_still_fires(tmp_path):
+    seen = []
+    with pytest.warns(DeprecationWarning):
+        run_sweep(grid_spec(), cache_dir=tmp_path,
+                  on_progress=lambda key, record: seen.append(key))
+    assert len(seen) == 4
+    # warm rerun: cache hits never fired the legacy callback
+    seen.clear()
+    with pytest.warns(DeprecationWarning):
+        run_sweep(grid_spec(), cache_dir=tmp_path,
+                  on_progress=lambda key, record: seen.append(key))
+    assert seen == []
+
+
+def test_unknown_kwarg_is_a_type_error(tmp_path):
+    with pytest.raises(TypeError, match="bogus"):
+        run_sweep(grid_spec(), bogus=1)
+
+
+def test_mixing_options_and_legacy_kwargs_is_a_type_error(tmp_path):
+    with pytest.raises(TypeError, match="options"):
+        run_sweep(grid_spec(), options=SweepOptions(), procs=2)

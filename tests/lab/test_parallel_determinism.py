@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.lab import SweepSpec, run_sweep
+from repro.lab import SweepOptions, SweepSpec, run_sweep
 from repro.schemes import scheme_names
 
 
@@ -19,15 +19,13 @@ def test_parallel_json_byte_identical_to_serial(tmp_path):
     parallel_json = tmp_path / "parallel.json"
     cached_json = tmp_path / "cached.json"
 
-    serial = run_sweep(grid_spec(), procs=1,
-                       cache_dir=tmp_path / "cache-serial",
-                       json_path=serial_json)
-    parallel = run_sweep(grid_spec(), procs=8,
+    serial = run_sweep(grid_spec(), options=SweepOptions(procs=1,
+                       cache_dir=tmp_path / "cache-serial", json_path=serial_json))
+    parallel = run_sweep(grid_spec(), options=SweepOptions(procs=8,
                          cache_dir=tmp_path / "cache-parallel",
-                         json_path=parallel_json)
-    cached = run_sweep(grid_spec(), procs=8,
-                       cache_dir=tmp_path / "cache-parallel",
-                       json_path=cached_json)
+                         json_path=parallel_json))
+    cached = run_sweep(grid_spec(), options=SweepOptions(procs=8,
+                       cache_dir=tmp_path / "cache-parallel", json_path=cached_json))
 
     assert serial.misses == parallel.misses == len(grid_spec().cells())
     assert cached.all_cached
@@ -39,12 +37,12 @@ def test_parallel_json_byte_identical_to_serial(tmp_path):
 def test_parallel_preserves_grid_order(tmp_path):
     spec = grid_spec()
     expected = [cell.key for cell in spec.cells()]
-    report = run_sweep(spec, procs=4, cache_dir=None)
+    report = run_sweep(spec, options=SweepOptions(procs=4, cache_dir=None))
     assert [record["key"] for record in report.records] == expected
 
 
 def test_records_carry_no_environment_facts(tmp_path):
-    report = run_sweep(grid_spec(), procs=2, cache_dir=None)
+    report = run_sweep(grid_spec(), options=SweepOptions(procs=2, cache_dir=None))
     for record in report.records:
         text = str(sorted(record))
         for banned in ("time", "host", "pid", "date"):

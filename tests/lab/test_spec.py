@@ -6,7 +6,8 @@ import json
 
 import pytest
 
-from repro.lab import SweepSpec, make_spec, run_sweep, sweep_presets
+from repro.lab import (SweepOptions, SweepSpec, make_spec, run_sweep,
+                       sweep_presets)
 from repro.lab.apps import app_names, build_app
 from repro.schemes import scheme_names
 
@@ -103,7 +104,7 @@ def test_eliminate_flag_round_trips_and_marks_keys():
 def test_auto_scheme_runs_through_compiler(tmp_path):
     spec = SweepSpec.build("auto-one", apps=[("fig2.1", {"n": 10})],
                            schemes=["auto"], processors=(2,))
-    report = run_sweep(spec, cache_dir=None)
+    report = run_sweep(spec, options=SweepOptions(cache_dir=None))
     (record,) = report.records
     assert record["outcome"] == "ok"
     assert record["compile"]["classification"] == "doacross"

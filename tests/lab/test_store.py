@@ -14,13 +14,14 @@ import time
 
 import pytest
 
-from repro.lab import (ResultCache, StoreChaos, SweepSpec, diagnose,
-                       open_envelope, run_sweep, seal_record)
+from repro.lab import (ResultCache, StoreChaos, SweepOptions, SweepSpec,
+                       diagnose, run_sweep)
 from repro.lab.store import (CLAIMS_DIR, CellClaims, ClaimPolicy,
                              EnvelopeError, JOURNAL_DIR, QUARANTINE_DIR,
                              StoreLock, StoreLockTimeout,
-                             durable_append_line, quarantine_file,
-                             reap_orphan_tmps, tmp_path_for)
+                             durable_append_line, open_envelope,
+                             quarantine_file, reap_orphan_tmps,
+                             seal_record, tmp_path_for)
 
 
 def tiny_spec(n=10):
@@ -220,7 +221,7 @@ def test_store_lock_breaks_stale_holder(tmp_path):
 
 
 def test_store_chaos_is_deterministic(tmp_path):
-    run_sweep(grid_spec(), cache_dir=tmp_path)
+    run_sweep(grid_spec(), options=SweepOptions(cache_dir=tmp_path))
     import shutil
     clone = tmp_path.parent / "clone"
     shutil.copytree(tmp_path, clone)
@@ -246,7 +247,7 @@ def test_store_chaos_parse_round_trip():
 
 def test_doctor_reports_healthy_cache(tmp_path):
     cache = ResultCache(tmp_path)
-    run_sweep(grid_spec(), cache=cache)
+    run_sweep(grid_spec(), options=SweepOptions(cache=cache))
     report = diagnose(tmp_path, key_fn=cache.key_for)
     assert report.healthy
     assert report.counts["ok"] == 4
@@ -256,7 +257,7 @@ def test_doctor_reports_healthy_cache(tmp_path):
 
 def test_doctor_taxonomy_under_injected_damage(tmp_path):
     cache = ResultCache(tmp_path)
-    run_sweep(grid_spec(), cache=cache)
+    run_sweep(grid_spec(), options=SweepOptions(cache=cache))
     durable_append_line(tmp_path / JOURNAL_DIR / "trail.jsonl",
                         '{"cell": "a", "status": "done"}')
     with open(tmp_path / JOURNAL_DIR / "trail.jsonl", "a") as handle:
@@ -294,18 +295,18 @@ def test_doctor_taxonomy_under_injected_damage(tmp_path):
 def test_doctor_repair_restores_byte_identical_resweeps(tmp_path):
     """The acceptance bar: repair -> re-sweep -> bytes match clean run."""
     clean_store = tmp_path / "clean.json"
-    run_sweep(grid_spec(), cache_dir=tmp_path / "clean-cache",
-              json_path=clean_store)
+    run_sweep(grid_spec(), options=SweepOptions(cache_dir=tmp_path / "clean-cache",
+              json_path=clean_store))
 
     cache = ResultCache(tmp_path / "cache")
-    run_sweep(grid_spec(), cache=cache)
+    run_sweep(grid_spec(), options=SweepOptions(cache=cache))
     StoreChaos(seed=11, bit_flips=2, truncations=1).inject(cache.root)
     report = diagnose(cache.root, repair=True, key_fn=cache.key_for)
     assert report.counts["corrupt"] == 3
 
     store = tmp_path / "repaired.json"
-    resweep = run_sweep(grid_spec(), cache=ResultCache(cache.root),
-                        json_path=store)
+    resweep = run_sweep(grid_spec(), options=SweepOptions(cache=ResultCache(cache.root),
+                        json_path=store))
     # exactly the damaged cells re-simulated, the rest served warm
     assert resweep.misses == 3 and resweep.hits == 1
     assert store.read_bytes() == clean_store.read_bytes()
@@ -313,7 +314,7 @@ def test_doctor_repair_restores_byte_identical_resweeps(tmp_path):
 
 def test_doctor_flags_stale_schema_entries(tmp_path):
     cache = ResultCache(tmp_path)
-    run_sweep(tiny_spec(), cache=cache)
+    run_sweep(tiny_spec(), options=SweepOptions(cache=cache))
     entry = next(tmp_path.glob("*.json"))
     record = open_envelope(entry.read_text())
     record["extra_schema_version"] = 0
@@ -326,7 +327,8 @@ def test_doctor_flags_stale_schema_entries(tmp_path):
 
 
 def test_doctor_flags_unreachable_content_addresses(tmp_path):
-    run_sweep(tiny_spec(), cache=ResultCache(tmp_path, fingerprint="old"))
+    run_sweep(tiny_spec(), options=SweepOptions(cache=ResultCache(tmp_path,
+              fingerprint="old")))
     # "edited source tree": the old fingerprint's keys can never be
     # looked up again, so those entries are dead weight
     current = ResultCache(tmp_path, fingerprint="new")
