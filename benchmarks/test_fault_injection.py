@@ -177,3 +177,21 @@ def test_empty_plan_is_zero_overhead(once):
             assert "faults" not in other.extra, name
             assert other.fault_events == 0
         assert "recovery" not in recovery.extra, name
+
+
+def test_step_dispatch_is_bound_once():
+    """Mechanism behind the zero-overhead pin: the per-step fault probes
+    live in a separate ``_step_fault`` method, selected once at engine
+    construction.  Without an injector the hot loop steps through
+    ``_step_clean``, which carries no ``injector is None`` branch."""
+    from repro.faults import FaultInjector
+    from repro.sim import (BroadcastSyncFabric, Engine, MemoryConfig,
+                           SharedMemory)
+
+    clean = Engine(SharedMemory(MemoryConfig()), BroadcastSyncFabric())
+    assert clean._step.__func__ is Engine._step_clean
+
+    faulty = Engine(SharedMemory(MemoryConfig()), BroadcastSyncFabric(),
+                    injector=FaultInjector(FaultPlan(seed=1,
+                                                     stall_prob=0.5)))
+    assert faulty._step.__func__ is Engine._step_fault

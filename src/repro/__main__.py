@@ -12,6 +12,7 @@ Usage::
     python -m repro analyze --app fig2.1 --scheme statement-oriented
     python -m repro analyze --gate
     python -m repro doctor [--repair] [--json PATH]
+    python -m repro bench-engine --json BENCH_engine.json
 
 Reads a mini-Fortran ``DO`` nest (see :mod:`repro.frontend`), runs the
 full pipeline -- dependence analysis, classification, doacross-delay
@@ -66,6 +67,13 @@ checksums and schema versions, reaps orphaned tmp files and stale
 claims, and reports a typed summary; ``--repair`` quarantines corrupt
 entries and deletes stale ones so the next sweep re-simulates exactly
 the damaged cells.  See ``python -m repro doctor --help``.
+
+``bench-engine`` mode measures raw engine throughput (events per
+second) over the preset grids and appends a schema-versioned entry to
+a benchmark trajectory file; ``--check`` compares the fresh numbers
+against a committed trajectory and fails on a calibration-normalized
+regression.  See :mod:`repro.bench` and ``python -m repro
+bench-engine --help``.
 
 ``analyze`` mode is the static side of :mod:`repro.analyze`: it proves
 a compiled sync placement enforces every dependence arc (races and
@@ -894,6 +902,9 @@ def main(argv=None) -> int:
         return _analyze_mode(argv[1:])
     if argv and argv[0] == "doctor":
         return _doctor_mode(argv[1:])
+    if argv and argv[0] == "bench-engine":
+        from .bench import main as bench_main
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     bindings = {}

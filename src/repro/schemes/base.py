@@ -55,6 +55,81 @@ class RunConfig:
     validate: bool = True
     #: cap every emitted wait at this many cycles (None: unbounded)
     wait_bound: Optional[int] = None
+    #: "full" (default): collect traces/events as the machine was
+    #: configured.  "counters": opt-in fast path -- the machine is rerun
+    #: with per-event collection disabled and only end-of-run counters
+    #: are meaningful; validation (which replays the trace) is skipped.
+    metrics: str = "full"
+
+
+class CompiledStatement:
+    """One statement instance's operation stream, compiled once.
+
+    Everything about the instance except its read *values* is known at
+    instrument time: the tag, the read addresses, the compute cost and
+    the write addresses.  Compiling those into reusable frozen ops (via
+    :func:`compile_statement`) moves address arithmetic and operation
+    construction out of the simulated run's hot path -- the ops are
+    immutable, so one compiled instance serves every execution and
+    replay of the stream.
+    """
+
+    __slots__ = ("sid", "lpid", "tag_op", "read_ops", "compute_op",
+                 "write_addrs")
+
+    def __init__(self, loop: Loop, stmt: Statement, index: Index,
+                 lpid: int) -> None:
+        self.sid = stmt.sid
+        self.lpid = lpid
+        self.tag_op = Annotate("tag", {"tag": (stmt.sid, lpid)})
+        self.read_ops = tuple(MemRead(loop.address_of(ref, index))
+                              for ref in stmt.reads)
+        self.compute_op = Compute(stmt.cost_at(index))
+        self.write_addrs = tuple(loop.address_of(ref, index)
+                                 for ref in stmt.writes)
+
+    def stream(self) -> Generator:
+        """Run the instance: tag, read, compute, write (see module doc).
+
+        The schemes' fast bodies inline this exact sequence to avoid the
+        ``yield from`` frame hop; keep them in sync when changing it.
+        """
+        yield self.tag_op
+        values: List[Any] = []
+        for op in self.read_ops:
+            value = yield op
+            values.append(value)
+        yield self.compute_op
+        result = mix(self.sid, self.lpid, values)
+        for addr in self.write_addrs:
+            yield MemWrite(addr, result)
+        yield _CLEAR_TAG
+
+
+def compile_statement(loop: Loop, stmt: Statement, index: Index,
+                      lpid: int) -> CompiledStatement:
+    """Compiled op stream for one statement instance, cached on the loop."""
+    cache = loop.__dict__.get("_compiled_statements")
+    if cache is None:
+        cache = loop.__dict__["_compiled_statements"] = {}
+    key = (stmt.sid, lpid)
+    compiled = cache.get(key)
+    if compiled is None:
+        compiled = cache[key] = CompiledStatement(loop, stmt, index, lpid)
+    return compiled
+
+
+def precompile_statements(loop: Loop) -> None:
+    """Compile every executed statement instance ahead of the run.
+
+    Called by schemes at instrument time so :func:`execute_statement`
+    never constructs ops while the machine clock is running.
+    """
+    for index in loop.iteration_space():
+        lpid = loop.lpid(index)
+        for stmt in loop.body:
+            if stmt.executes_at(index):
+                compile_statement(loop, stmt, index, lpid)
 
 
 def execute_statement(loop: Loop, stmt: Statement, index: Index,
@@ -65,16 +140,12 @@ def execute_statement(loop: Loop, stmt: Statement, index: Index,
     the trace; it is cleared afterwards so scheme-internal accesses are
     not mis-attributed.
     """
-    yield Annotate("tag", {"tag": (stmt.sid, lpid)})
-    values: List[Any] = []
-    for ref in stmt.reads:
-        value = yield MemRead(loop.address_of(ref, index))
-        values.append(value)
-    yield Compute(stmt.cost_at(index))
-    result = mix(stmt.sid, lpid, values)
-    for ref in stmt.writes:
-        yield MemWrite(loop.address_of(ref, index), result)
-    yield Annotate("tag", {"tag": None})
+    return compile_statement(loop, stmt, index, lpid).stream()
+
+
+#: every statement instance ends by clearing its tag; the record is
+#: immutable to the engine, so one shared instance serves all of them
+_CLEAR_TAG = Annotate("tag", {"tag": None})
 
 
 def bound_waits(process: Generator, max_spin: int) -> Generator:
@@ -139,6 +210,15 @@ class InstrumentedLoop(ABC):
     def prologue(self) -> List[Generator]:
         """Setup processes (e.g. key initialization); default: none."""
         return []
+
+    def recompile(self) -> None:
+        """Rebuild precompiled op streams from the loop's current state.
+
+        Schemes compile their clean-run op streams once at instrument
+        time, so mutating scheme state afterwards (sabotage tests,
+        ablations that rewrite the sync plan or the arcs) has no effect
+        until this is called.  Default: nothing precompiled.
+        """
 
     def enable_checkpoints(self) -> None:
         """Turn on checkpoint emission for crash recovery (see base attr)."""
@@ -269,11 +349,19 @@ class SyncScheme(ABC):
             config = RunConfig(**legacy)
         config = config or RunConfig()
         machine = config.machine or Machine(MachineConfig())
+        if config.metrics == "counters" and machine.config.metrics != \
+                "counters":
+            # Fast path: same machine, per-event collection disabled.
+            # Validation needs the trace, so it is skipped by contract.
+            from dataclasses import replace as dc_replace
+            machine = Machine(dc_replace(machine.config,
+                                         record_trace=False,
+                                         metrics="counters"))
         instrumented = self.instrument(loop, config.graph)
         if config.wait_bound is not None:
             instrumented.bound_waits(config.wait_bound)
         result = machine.run(instrumented)
-        if config.validate:
+        if config.validate and config.metrics != "counters":
             if not machine.config.record_trace:
                 raise ValueError("validation requires record_trace=True")
             instrumented.validate(result)

@@ -34,6 +34,10 @@ from .base import InstrumentedLoop, SyncScheme
 #: renamed instances live in this pseudo-array
 INSTANCE_SPACE = "__inst__"
 
+#: shared immutable ops for the compiled streams
+_FENCE = Fence()
+_CLEAR_TAG = Annotate("tag", {"tag": None})
+
 
 @dataclass
 class Instance:
@@ -134,6 +138,80 @@ class InstanceBasedLoop(InstrumentedLoop):
         self.instances, self.reads_of, self.writes_of = rename(loop)
         self.initial_instances = [i for i in self.instances
                                   if i.writer is None]
+        #: bits are allocated in instance order on a fresh fabric, so
+        #: their variable ids are known at instrument time (asserted in
+        #: build_fabric); the clean-run op stream compiles here once.
+        cursor = 0
+        for instance in self.instances:
+            n_bits = len(instance.copies)
+            instance.bits = list(range(cursor, cursor + n_bits))
+            cursor += n_bits
+        self._programs: dict = {}
+        self.recompile()
+
+    def recompile(self) -> None:
+        """Rebuild the per-iteration op streams (after table mutation)."""
+        self._programs = {pid: self._compile(pid)
+                          for pid in self.iterations}
+
+    def _compile(self, pid: int) -> list:
+        """Compile ``pid``'s clean-run op stream (no checkpoints).
+
+        One entry per executed statement: ``(tag_op, reads, compute_op,
+        sid, writes)`` where ``reads`` holds ``(wait, read, consume)``
+        triples and ``writes`` holds ``(copy_addrs, bit_ops)`` pairs --
+        exactly the stream :meth:`_body` emits with no replay skip and
+        checkpoints off.
+        """
+        index = self.loop.index_of_lpid(pid)
+        program = []
+        for stmt in self.loop.body:
+            if not stmt.executes_at(index):
+                continue
+            tag = (stmt.sid, pid)
+            reads = []
+            for binding in self.reads_of.get(tag, ()):
+                instance = self.instances[binding.instance_id]
+                bit = instance.bits[binding.copy_index]
+                reads.append((
+                    WaitUntil(bit, _full,
+                              reason=f"full {instance.base_addr}"
+                                     f"v{instance.version}"),
+                    MemRead(instance.copies[binding.copy_index]),
+                    SyncWrite(bit, 0) if self.consume else None))
+            writes = []
+            for instance_id in self.writes_of.get(tag, ()):
+                instance = self.instances[instance_id]
+                writes.append((tuple(instance.copies),
+                               tuple(SyncWrite(bit, 1)
+                                     for bit in instance.bits)))
+            program.append((Annotate("tag", {"tag": tag}),
+                            tuple(reads),
+                            Compute(stmt.cost_at(index)),
+                            stmt.sid,
+                            tuple(writes)))
+        return program
+
+    def _fast_body(self, pid: int) -> Generator:
+        """Replay the precompiled stream (clean runs, no checkpoints)."""
+        for tag_op, reads, compute_op, sid, writes in self._programs[pid]:
+            yield tag_op
+            values: List[Any] = []
+            for wait_op, read_op, consume_op in reads:
+                yield wait_op
+                value = yield read_op
+                values.append(value)
+                if consume_op is not None:
+                    yield consume_op
+            yield compute_op
+            result = mix(sid, pid, values)
+            for copy_addrs, bit_ops in writes:
+                for addr in copy_addrs:
+                    yield MemWrite(addr, result)
+                yield _FENCE
+                for op in bit_ops:
+                    yield op
+            yield _CLEAR_TAG
 
     def build_fabric(self, memory: SharedMemory) -> SyncFabric:
         fabric = MemorySyncFabric(memory, poll_interval=self.poll_interval,
@@ -141,8 +219,10 @@ class InstanceBasedLoop(InstrumentedLoop):
         for instance in self.instances:
             # empty unless the instance pre-exists the loop
             initial = 1 if instance.writer is None else 0
-            instance.bits = list(fabric.alloc(len(instance.copies),
-                                              init=initial))
+            allocated = list(fabric.alloc(len(instance.copies),
+                                          init=initial))
+            assert allocated == instance.bits, \
+                "fabric allocation drifted from the compiled bit ops"
         return fabric
 
     def prologue(self) -> List[Generator]:
@@ -193,7 +273,9 @@ class InstanceBasedLoop(InstrumentedLoop):
         return sum(len(instance.copies) for instance in self.instances)
 
     def make_process(self, pid: int) -> Generator:
-        return self._body(pid)
+        if self.checkpoints_enabled:
+            return self._body(pid)
+        return self._fast_body(pid)
 
     def make_replay_process(self, iteration: int,
                             checkpoint: Optional[dict] = None) -> Generator:

@@ -25,15 +25,19 @@ from ..core.branches import StepCursor
 from ..core.codegen import SyncPlan, build_sync_plan
 from ..core.folding import choose_counters
 from ..core.improved import ImprovedPrimitives
-from ..core.primitives import get_pc, release_pc, set_pc, wait_pc
-from ..core.process_counter import ProcessCounterFile
+from ..core.primitives import get_pc, release_pc, set_pc
+from ..core.process_counter import ProcessCounterFile, pc_at_least
 from ..depend.graph import DependenceGraph, SyncArc
 from ..depend.model import Loop
 from ..sim.memory import SharedMemory
-from ..sim.ops import Fence, SyncWrite
+from ..sim.ops import Fence, MemWrite, SyncWrite, WaitUntil
 from ..sim.cache_fabric import CachedSyncFabric
 from ..sim.sync_bus import BroadcastSyncFabric, SyncFabric
-from .base import InstrumentedLoop, SyncScheme, execute_statement
+from ..sim.validate import mix
+from .base import (_CLEAR_TAG, InstrumentedLoop, SyncScheme,
+                   compile_statement)
+
+_FENCE = Fence()
 
 
 class ProcessOrientedLoop(InstrumentedLoop):
@@ -59,6 +63,42 @@ class ProcessOrientedLoop(InstrumentedLoop):
             n_counters=n_counters, first_pid=1,
             split_fields=split_fields, split_order=split_order)
         self._fabric: Optional[SyncFabric] = None
+        #: per-pid compiled frames: the counters are allocated first on
+        #: a fresh fabric, so their variable ids (slot order from 0) are
+        #: known here (asserted in build_fabric) and every static piece
+        #: of the op stream -- wait ops, guard outcomes, statement
+        #: instances -- compiles once at instrument time.
+        self._frames: dict = {}
+        self.recompile()
+
+    def recompile(self) -> None:
+        """Rebuild the per-iteration frames (after plan mutation)."""
+        self._frames = {pid: self._compile_frames(pid)
+                        for pid in self.iterations}
+
+    def _compile_frames(self, pid: int) -> list:
+        """``(waits, executed, compiled, stmt_plan)`` per plan statement."""
+        index = self.loop.index_of_lpid(pid)
+        first_pid = self.counters.first_pid
+        n = self.counters.n_counters
+        frames = []
+        for stmt_plan in self.plan.statements:
+            stmt = self.loop.statement(stmt_plan.sid)
+            waits = []
+            for wait in stmt_plan.waits:
+                source = pid - wait.dist
+                if source < first_pid:
+                    # loop-boundary sink: no source iteration, no wait
+                    continue
+                waits.append(WaitUntil(
+                    (source - first_pid) % n,
+                    pc_at_least((source, wait.step)),
+                    reason=f"wait_PC({wait.dist},{wait.step}) by p{pid}"))
+            executed = stmt.executes_at(index)
+            compiled = (compile_statement(self.loop, stmt, index, pid)
+                        if executed else None)
+            frames.append((tuple(waits), executed, compiled, stmt_plan))
+        return frames
 
     def build_fabric(self, memory: SharedMemory) -> SyncFabric:
         if self.fabric_kind == "cached":
@@ -70,6 +110,8 @@ class ProcessOrientedLoop(InstrumentedLoop):
             fabric = BroadcastSyncFabric(coverage=self.coverage,
                                          **self.fabric_kwargs)
         self.counters.allocate(fabric)
+        assert self.counters._vars == range(0, self.counters.n_counters), \
+            "fabric allocation drifted from the compiled wait ops"
         self._fabric = fabric
         return fabric
 
@@ -137,20 +179,27 @@ class ProcessOrientedLoop(InstrumentedLoop):
 
     def _basic_process(self, pid: int, skip_stmt: int = 0,
                        restore: Optional[dict] = None) -> Generator:
-        index = self.loop.index_of_lpid(pid)
         cursor = StepCursor(self.plan.n_sources,
                             eager=self.eager_branch_marks)
         acquired = bool(restore and restore.get("acquired"))
-        for stmt_pos, stmt_plan in enumerate(self.plan.statements):
+        for stmt_pos, (waits, executed, compiled,
+                       stmt_plan) in enumerate(self._frames[pid]):
             replay_skip = stmt_pos < skip_stmt
-            stmt = self.loop.statement(stmt_plan.sid)
             if not replay_skip:
-                for wait in stmt_plan.waits:
-                    yield from wait_pc(self.counters, pid, wait.dist,
-                                       wait.step)
-            executed = stmt.executes_at(index)
-            if executed and not replay_skip:
-                yield from execute_statement(self.loop, stmt, index, pid)
+                for op in waits:
+                    yield op
+                if compiled is not None:
+                    # inlined CompiledStatement.stream (same op sequence)
+                    yield compiled.tag_op
+                    values = []
+                    for read_op in compiled.read_ops:
+                        value = yield read_op
+                        values.append(value)
+                    yield compiled.compute_op
+                    result = mix(compiled.sid, compiled.lpid, values)
+                    for addr in compiled.write_addrs:
+                        yield MemWrite(addr, result)
+                    yield _CLEAR_TAG
             if stmt_plan.source_step is None:
                 continue
             # Requirement (1) of section 2.2: the source's effect must be
@@ -160,7 +209,7 @@ class ProcessOrientedLoop(InstrumentedLoop):
             # from this step, so their posted writes must drain before
             # the step is published.  (No outstanding writes: free.)
             if not replay_skip:
-                yield Fence()
+                yield _FENCE
             step = cursor.advance(executed)
             if replay_skip:
                 continue  # signal landed pre-crash; cursor stays in sync
@@ -183,7 +232,6 @@ class ProcessOrientedLoop(InstrumentedLoop):
 
     def _improved_process(self, pid: int, skip_stmt: int = 0,
                           restore: Optional[dict] = None) -> Generator:
-        index = self.loop.index_of_lpid(pid)
         cursor = StepCursor(self.plan.n_sources,
                             eager=self.eager_branch_marks)
         # load_index: myPC and the owned flag live in processor registers.
@@ -191,22 +239,30 @@ class ProcessOrientedLoop(InstrumentedLoop):
         if restore:
             primitives.owned = bool(restore.get("owned"))
             primitives.last_step = restore.get("last_step", 0)
-        for stmt_pos, stmt_plan in enumerate(self.plan.statements):
+        for stmt_pos, (waits, executed, compiled,
+                       stmt_plan) in enumerate(self._frames[pid]):
             replay_skip = stmt_pos < skip_stmt
-            stmt = self.loop.statement(stmt_plan.sid)
             if not replay_skip:
-                for wait in stmt_plan.waits:
-                    yield from wait_pc(self.counters, pid, wait.dist,
-                                       wait.step)
-            executed = stmt.executes_at(index)
-            if executed and not replay_skip:
-                yield from execute_statement(self.loop, stmt, index, pid)
+                for op in waits:
+                    yield op
+                if compiled is not None:
+                    # inlined CompiledStatement.stream (same op sequence)
+                    yield compiled.tag_op
+                    values = []
+                    for read_op in compiled.read_ops:
+                        value = yield read_op
+                        values.append(value)
+                    yield compiled.compute_op
+                    result = mix(compiled.sid, compiled.lpid, values)
+                    for addr in compiled.write_addrs:
+                        yield MemWrite(addr, result)
+                    yield _CLEAR_TAG
             if stmt_plan.source_step is None:
                 continue
             # Fence on every path, skipped sources included (see
             # _basic_process): pruning relies on it.
             if not replay_skip:
-                yield Fence()
+                yield _FENCE
             step = cursor.advance(executed)
             if replay_skip:
                 continue  # signal landed pre-crash; cursor stays in sync

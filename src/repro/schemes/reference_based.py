@@ -51,6 +51,11 @@ def _increment(value: int) -> int:
     return value + 1
 
 
+#: shared immutable ops for the compiled streams
+_FENCE = Fence()
+_CLEAR_TAG = Annotate("tag", {"tag": None})
+
+
 def plan_accesses(loop: Loop) -> Dict[Tuple[str, int], List[KeyedAccess]]:
     """Assign access ordinals and wait thresholds per statement instance.
 
@@ -99,12 +104,76 @@ class ReferenceBasedLoop(InstrumentedLoop):
         self.elements: List[Address] = sorted(
             {access.addr for accesses in self.plan.values()
              for access in accesses})
-        self._key_of: Dict[Address, int] = {}
+        #: keys are allocated in ``elements`` order on a fresh fabric,
+        #: so their variable ids are known at instrument time (asserted
+        #: in build_fabric); the clean-run op stream compiles here once.
+        self._key_of: Dict[Address, int] = {
+            addr: key for key, addr in enumerate(self.elements)}
+        self._programs: Dict[int, list] = {}
+        self.recompile()
+
+    def recompile(self) -> None:
+        """Rebuild the per-iteration op streams (after plan mutation)."""
+        self._programs = {pid: self._compile(pid)
+                          for pid in self.iterations}
+
+    def _compile(self, pid: int) -> list:
+        """Compile ``pid``'s clean-run op stream (no checkpoints).
+
+        One entry per executed statement: ``(tag_op, reads, compute_op,
+        sid, writes)`` with per-access ``(wait, read, update)`` /
+        ``(wait, addr, update)`` triples -- exactly what :meth:`_body`
+        emits with no replay skip and checkpoints off.
+        """
+        index = self.loop.index_of_lpid(pid)
+        program = []
+        for stmt in self.loop.body:
+            if not stmt.executes_at(index):
+                continue
+            reads = []
+            writes = []
+            for access in self.plan[(stmt.sid, pid)]:
+                key = self._key_of[access.addr]
+                wait_op = WaitUntil(key, _at_least(access.threshold),
+                                    reason=f"key {access.addr} >= "
+                                           f"{access.threshold}")
+                update_op = SyncUpdate(key, _increment)
+                if access.kind == "R":
+                    reads.append((wait_op, MemRead(access.addr),
+                                  update_op))
+                else:
+                    writes.append((wait_op, access.addr, update_op))
+            program.append((Annotate("tag", {"tag": (stmt.sid, pid)}),
+                            tuple(reads),
+                            Compute(stmt.cost_at(index)),
+                            stmt.sid,
+                            tuple(writes)))
+        return program
+
+    def _fast_body(self, pid: int) -> Generator:
+        """Replay the precompiled stream (clean runs, no checkpoints)."""
+        for tag_op, reads, compute_op, sid, writes in self._programs[pid]:
+            yield tag_op
+            values: List[Any] = []
+            for wait_op, read_op, update_op in reads:
+                yield wait_op
+                value = yield read_op
+                values.append(value)
+                yield update_op
+            yield compute_op
+            result = mix(sid, pid, values)
+            for wait_op, addr, update_op in writes:
+                yield wait_op
+                yield MemWrite(addr, result)
+                yield _FENCE
+                yield update_op
+            yield _CLEAR_TAG
 
     def build_fabric(self, memory: SharedMemory) -> SyncFabric:
         fabric = MemorySyncFabric(memory, poll_interval=self.poll_interval)
         for addr in self.elements:
-            self._key_of[addr] = fabric.alloc(1, init=0)[0]
+            key = fabric.alloc(1, init=0)[0]
+            assert key == self._key_of[addr], "fabric allocation drifted"
         return fabric
 
     def prologue(self) -> List[Generator]:
@@ -125,7 +194,9 @@ class ReferenceBasedLoop(InstrumentedLoop):
         return len(self.elements)
 
     def make_process(self, pid: int) -> Generator:
-        return self._body(pid)
+        if self.checkpoints_enabled:
+            return self._body(pid)
+        return self._fast_body(pid)
 
     def make_replay_process(self, iteration: int,
                             checkpoint: Optional[dict] = None) -> Generator:

@@ -22,21 +22,33 @@ Advance implies all earlier iterations are done).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from ..depend.graph import DependenceGraph, SyncArc
 from ..depend.model import Loop
 from ..sim.memory import SharedMemory
-from ..sim.ops import Fence, SyncWrite, WaitUntil
+from ..sim.ops import Fence, MemWrite, SyncWrite, WaitUntil
 from ..sim.sync_bus import BroadcastSyncFabric, SyncFabric
-from .base import InstrumentedLoop, SyncScheme, execute_statement
+from ..sim.validate import mix
+from .base import (_CLEAR_TAG, InstrumentedLoop, SyncScheme,
+                   compile_statement, execute_statement)
 
 
 def at_least(threshold: int):
     """Monotone predicate: counter value >= ``threshold``."""
-    def predicate(value: int) -> bool:
-        return value >= threshold
+    predicate = _AT_LEAST.get(threshold)
+    if predicate is None:
+        def predicate(value: int, _threshold: int = threshold) -> bool:
+            return value >= _threshold
+        _AT_LEAST[threshold] = predicate
     return predicate
+
+
+#: threshold -> predicate memo; thresholds are small ints, and reusing
+#: the closure keeps compiled op streams allocation-free
+_AT_LEAST: Dict[int, Any] = {}
+
+_FENCE = Fence()
 
 
 class StatementOrientedLoop(InstrumentedLoop):
@@ -50,14 +62,27 @@ class StatementOrientedLoop(InstrumentedLoop):
         self.source_sids: List[str] = [
             stmt.sid for stmt in loop.body
             if any(arc.src == stmt.sid for arc in arcs)]
-        self._sc_vars: Dict[str, int] = {}
+        #: statement counters are allocated first on a fresh fabric, so
+        #: their variable ids are known at instrument time (asserted in
+        #: build_fabric); that lets the whole clean-run op stream be
+        #: compiled here, once, instead of per run.
+        self._sc_vars: Dict[str, int] = {
+            sid: var for var, sid in enumerate(self.source_sids)}
         self._first_pid = 1
+        self._programs: Dict[int, list] = {}
+        self.recompile()
+
+    def recompile(self) -> None:
+        """Rebuild the per-iteration op streams (after arc mutation)."""
+        self._programs = {pid: self._compile(pid)
+                          for pid in self.iterations}
 
     def build_fabric(self, memory: SharedMemory) -> SyncFabric:
         fabric = BroadcastSyncFabric()
         initial = self._first_pid - 1  # "sc is set to k-1 if the first
         for sid in self.source_sids:   # iteration is k"
-            self._sc_vars[sid] = fabric.alloc(1, init=initial)[0]
+            var = fabric.alloc(1, init=initial)[0]
+            assert var == self._sc_vars[sid], "fabric allocation drifted"
         return fabric
 
     def prologue(self) -> List[Generator]:
@@ -91,8 +116,68 @@ class StatementOrientedLoop(InstrumentedLoop):
         yield WaitUntil(self._sc_vars[sid], at_least(pid - dist),
                         reason=f"Await({dist},{sid}) by p{pid}")
 
+    def _compile(self, pid: int) -> list:
+        """Compile ``pid``'s clean-run op stream (see ``_sc_vars`` note).
+
+        One entry per body statement: ``(awaits, compiled, advance)``
+        where ``awaits`` is the tuple of Await ops, ``compiled`` the
+        statement instance's compiled stream (None when the guard skips
+        it) and ``advance`` the ``(wait, write)`` Advance pair (None for
+        non-sources).  Exactly the stream :meth:`_body` emits with no
+        replay skip and checkpoints off.
+        """
+        index = self.loop.index_of_lpid(pid)
+        program = []
+        for stmt in self.loop.body:
+            awaits = tuple(
+                WaitUntil(self._sc_vars[arc.src],
+                          at_least(pid - arc.distance),
+                          reason=f"Await({arc.distance},{arc.src}) "
+                                 f"by p{pid}")
+                for arc in self.arcs
+                if arc.dst == stmt.sid
+                and pid - arc.distance >= self._first_pid)
+            compiled = (compile_statement(self.loop, stmt, index, pid)
+                        if stmt.executes_at(index) else None)
+            advance = None
+            if stmt.sid in self._sc_vars:
+                var = self._sc_vars[stmt.sid]
+                advance = (
+                    WaitUntil(var, at_least(pid - 1),
+                              reason=f"Advance({stmt.sid}) by p{pid}"),
+                    SyncWrite(var, pid, coverable=False))
+            program.append((awaits, compiled, advance))
+        return program
+
+    def _fast_body(self, pid: int) -> Generator:
+        """Replay the precompiled stream (clean runs, no checkpoints).
+
+        The statement body inlines ``CompiledStatement.stream`` (same op
+        sequence) to spare the ``yield from`` frame hop per op.
+        """
+        for awaits, compiled, advance in self._programs[pid]:
+            for op in awaits:
+                yield op
+            if compiled is not None:
+                yield compiled.tag_op
+                values: List[Any] = []
+                for read_op in compiled.read_ops:
+                    value = yield read_op
+                    values.append(value)
+                yield compiled.compute_op
+                result = mix(compiled.sid, compiled.lpid, values)
+                for addr in compiled.write_addrs:
+                    yield MemWrite(addr, result)
+                yield _CLEAR_TAG
+            if advance is not None:
+                yield _FENCE
+                yield advance[0]
+                yield advance[1]
+
     def make_process(self, pid: int) -> Generator:
-        return self._body(pid)
+        if self.checkpoints_enabled:
+            return self._body(pid)
+        return self._fast_body(pid)
 
     def make_replay_process(self, iteration: int,
                             checkpoint: Optional[dict] = None) -> Generator:

@@ -30,7 +30,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional
 
 from .memory import SharedMemory
-from .sync_bus import SyncFabric
+from .sync_bus import SyncFabric, _MemCommit, _MemUpdateCommit
 
 
 class CachedSyncFabric(SyncFabric):
@@ -117,28 +117,16 @@ class CachedSyncFabric(SyncFabric):
         self._invalidate_others(requester, var)
         if requester is not None:
             self._install(requester, var)
-        engine = self._engine
-
-        def commit() -> None:
-            self._values[var] = value
-            engine.notify_var(var)
-
-        engine.schedule_commit(done, commit)
+        self._engine.schedule_commit(done, _MemCommit(self, var, value))
         return done
 
     def update(self, var: int, fn, now: int) -> "tuple[int, dict]":
         done = self.memory.access_time((self._space, var), now)
         self.transactions += 1
         self._invalidate_others(None, var)  # RMW invalidates every copy
-        engine = self._engine
         cell: dict = {}
-
-        def commit() -> None:
-            self._values[var] = fn(self._values[var])
-            cell["value"] = self._values[var]
-            engine.notify_var(var)
-
-        engine.schedule_commit(done, commit)
+        self._engine.schedule_commit(done,
+                                     _MemUpdateCommit(self, var, fn, cell))
         return done, cell
 
     @property

@@ -5,18 +5,31 @@ of :mod:`repro.sim.ops`.  The engine owns simulated time, interprets each
 operation against the shared memory and the synchronization fabric, and
 keeps per-task accounting (busy / spin / stall cycles).
 
-Determinism: the event queue orders by ``(time, priority, sequence)``.
+Determinism: events are ordered by ``(time, priority, arrival)``.
 Commits (memory and fabric value installations) run at priority 0,
 process resumptions at priority 1, so a value committed at time *t* is
-visible to every process step executing at *t*.  Sequence numbers break
+visible to every process step executing at *t*.  Arrival order breaks
 remaining ties FIFO, making every simulation fully reproducible.
+
+The event queue is a bucketed calendar queue: a dict from absolute time
+to a ``(commits, resumes)`` list pair, plus a heap of the *distinct*
+times.  Scheduling is an append (the common case: one dict lookup and a
+list append, no tuple allocation, no sequence counter); draining walks
+the two lists with cursors, re-checking the commit list after every
+resume so a commit scheduled *at* the current cycle still precedes every
+later same-cycle resume -- exactly the old ``(time, priority, seq)``
+heap order, at a fraction of the cost.  Resume entries are usually the
+:class:`_Task` objects themselves rather than closures; the drain loop
+type-dispatches on the entry.
 
 Robustness hooks (all inert by default):
 
 * An optional :class:`~repro.faults.injector.FaultInjector` perturbs the
   run -- per-step stall windows and crashes, memory-latency jitter,
   dropped or duplicated ``SyncUpdate`` commits.  Draws happen in event
-  order, so a seeded plan replays byte-for-byte.
+  order, so a seeded plan replays byte-for-byte.  With no injector the
+  engine steps through :meth:`Engine._step_clean`, which contains no
+  fault-probe code at all (the zero-overhead pin).
 * Every blocking path records the task's ``wait_state`` so that when the
   simulation gets stuck the engine can hand the whole task table to the
   hazard watchdog (:mod:`repro.faults.watchdog`) and raise a *diagnosed*
@@ -81,7 +94,7 @@ class SimulationLimitError(HazardError):
     """Raised when the simulation exceeds its cycle budget."""
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskStats:
     """Cycle accounting for one task (usually one processor)."""
 
@@ -99,7 +112,7 @@ class TaskStats:
         return self.busy + self.spin + self.stall
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessRecord:
     """One shared-memory access, as seen by the validator.
 
@@ -125,7 +138,8 @@ class _Task:
 
     __slots__ = ("gen", "stats", "tag", "pending_value", "alive",
                  "last_write_commit", "on_done", "store_buffer",
-                 "crashed", "ops", "wait_state", "wait_timeout")
+                 "crashed", "ops", "wait_state", "wait_timeout",
+                 "stall_resume")
 
     def __init__(self, gen: Generator, stats: TaskStats,
                  on_done: Optional[Callable[[], None]] = None) -> None:
@@ -149,7 +163,220 @@ class _Task:
         self.wait_state: Optional[Tuple[str, Optional[int], str, int]] = None
         #: armed bounded-wait timeout event, cancelled when the wait is
         #: satisfied (cancelled events are skipped without advancing time)
-        self.wait_timeout: Optional[Callable[[], None]] = None
+        self.wait_timeout: Optional["_Timeout"] = None
+        #: next resume continues an injected stall (skip the fault probes)
+        self.stall_resume = False
+
+
+class _Timeout:
+    """A cancellable queue entry (armed bounded-wait deadline).
+
+    Only the engine creates these; the drain loop skips a cancelled
+    timeout without advancing simulated time, so a satisfied wait never
+    stretches the makespan out to its deadline.
+    """
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+        self.cancelled = False
+
+
+class _ReadDone:
+    """Completion of a shared-memory read (executed inline by the fast
+    drain loop: deliver the value, record the access, queue the next
+    step).
+
+    A plain closure would re-capture the same five values per read; a
+    slotted record is cheaper to build and the fast drain loop runs it
+    without a Python-level call.  :meth:`run` is the out-of-line
+    equivalent for the tracked drain.
+    """
+
+    __slots__ = ("engine", "task", "addr", "tag", "seq")
+
+    def __init__(self, engine: "Engine", task: "_Task", addr, tag,
+                 seq: int) -> None:
+        self.engine = engine
+        self.task = task
+        self.addr = addr
+        self.tag = tag
+        self.seq = seq
+
+    def run(self) -> None:
+        engine = self.engine
+        task = self.task
+        value = engine.memory.read(self.addr)
+        if engine.record_trace:
+            engine.trace.append(AccessRecord(
+                commit=engine.now, kind="R", addr=self.addr, value=value,
+                task=task.stats.name, tag=self.tag, seq=self.seq))
+        task.pending_value = value
+        engine._open_resumes.append(task)
+
+
+class _WriteCommit:
+    """Global visibility of a posted shared-memory write (commit phase,
+    executed inline by the fast drain loop; :meth:`run` for the tracked
+    one)."""
+
+    __slots__ = ("engine", "task", "addr", "value", "tag", "seq")
+
+    def __init__(self, engine: "Engine", task: "_Task", addr, value, tag,
+                 seq: int) -> None:
+        self.engine = engine
+        self.task = task
+        self.addr = addr
+        self.value = value
+        self.tag = tag
+        self.seq = seq
+
+    def run(self) -> None:
+        engine = self.engine
+        task = self.task
+        addr = self.addr
+        engine.memory.write(addr, self.value)
+        entry = task.store_buffer.get(addr)
+        if entry is not None:
+            entry[0] -= 1
+            if entry[0] == 0:
+                del task.store_buffer[addr]
+        if engine.record_trace:
+            engine.trace.append(AccessRecord(
+                commit=engine.now, kind="W", addr=addr, value=self.value,
+                task=task.stats.name, tag=self.tag, seq=self.seq))
+
+
+class _SyncReadDone:
+    """Completion of a SyncRead round trip (slotted, no closure)."""
+
+    __slots__ = ("engine", "task", "var")
+
+    def __init__(self, engine: "Engine", task: "_Task", var: int) -> None:
+        self.engine = engine
+        self.task = task
+        self.var = var
+
+    def __call__(self) -> None:
+        engine = self.engine
+        task = self.task
+        value = engine.fabric.value(self.var)
+        # Reading a sync variable is an acquire: the improved PC
+        # scheme's ownership check (mark_PC) orders the marker after
+        # the release it observed.
+        engine._record_sync("acq", self.var, value, task)
+        task.pending_value = value
+        engine._open_resumes.append(task)
+
+
+class _UpdateDone:
+    """Completion of a SyncUpdate round trip: deliver the RMW result."""
+
+    __slots__ = ("engine", "task", "var", "cell")
+
+    def __init__(self, engine: "Engine", task: "_Task", var: int,
+                 cell: dict) -> None:
+        self.engine = engine
+        self.task = task
+        self.var = var
+        self.cell = cell
+
+    def __call__(self) -> None:
+        engine = self.engine
+        task = self.task
+        value = self.cell.get("value")
+        # An atomic RMW is both an acquire (it observed the old
+        # value) and a release (it published the new one).
+        engine._record_sync("upd", self.var, value, task)
+        task.pending_value = value
+        engine._open_resumes.append(task)
+
+
+class _Poll:
+    """One task's polling busy-wait, reused across re-polls.
+
+    Poll-mode waits (sync variables in shared memory) issue a charged
+    read every ``poll_interval`` cycles until the predicate holds.  The
+    two closures per re-poll the old implementation allocated are the
+    dominant cost of spin-heavy runs; this object mutates its own slots
+    and re-enqueues itself instead.  ``phase`` alternates between 0
+    (issue the next poll read) and 1 (the read completed: test the
+    predicate).
+    """
+
+    __slots__ = ("engine", "task", "op", "started", "reason", "first",
+                 "phase")
+
+    def __init__(self, engine: "Engine", task: "_Task", op: WaitUntil,
+                 started: int) -> None:
+        self.engine = engine
+        self.task = task
+        self.op = op
+        self.started = started
+        self.reason = op.reason or f"poll on var {op.var}"
+        self.first = True
+        self.phase = 1
+
+    def __call__(self) -> None:
+        engine = self.engine
+        task = self.task
+        op = self.op
+        if self.phase == 0:
+            # Issue the next poll read (a charged fabric transaction).
+            if not task.alive:
+                return
+            done = engine.fabric.read_cost(op.var, engine.now,
+                                           requester=task.stats.name)
+            task.wait_state = ("polling", op.var, self.reason,
+                               self.started)
+            self.phase = 1
+            if done == engine._open_time:
+                engine._open_resumes.append(self)
+                return
+            bucket = engine._buckets.get(done)
+            if bucket is None:
+                bucket = engine._buckets[done] = ([], [])
+                heapq.heappush(engine._times, done)
+            bucket[1].append(self)
+            return
+        # The poll read completed: test the predicate.
+        now = engine.now
+        if op.predicate(engine.fabric.value(op.var)):
+            task.wait_state = None
+            if self.first:
+                task.stats.waits_satisfied_immediately += 1
+            else:
+                task.stats.spin += now - self.started
+                if engine.record_trace and now > self.started:
+                    engine.activity.append((task.stats.name, "spin",
+                                            self.started, now))
+            engine._record_sync("acq", op.var,
+                                engine.fabric.value(op.var), task)
+            task.pending_value = None
+            engine._open_resumes.append(task)
+            return
+        if op.max_spin is not None and now - self.started > op.max_spin:
+            raise DeadlockError(
+                f"bounded wait expired: task {task.stats.name!r} "
+                f"polled over {op.max_spin} cycles in "
+                f"{op.reason or f'poll on var {op.var}'!r}",
+                report=engine._diagnose())
+        if self.first:
+            # Spin accounting starts when the mandatory first read
+            # completed, not when it was issued.
+            self.started = now
+            self.first = False
+        self.phase = 0
+        time = now + engine.fabric.poll_interval
+        if time == engine._open_time:
+            engine._open_resumes.append(self)
+            return
+        bucket = engine._buckets.get(time)
+        if bucket is None:
+            bucket = engine._buckets[time] = ([], [])
+            heapq.heappush(engine._times, time)
+        bucket[1].append(self)
 
 
 class Engine:
@@ -158,13 +385,17 @@ class Engine:
     def __init__(self, memory: SharedMemory, fabric: SyncFabric,
                  max_cycles: int = 50_000_000, record_trace: bool = True,
                  injector=None,
-                 stagnation_limit: Optional[int] = None) -> None:
+                 stagnation_limit: Optional[int] = None,
+                 collect_events: bool = True) -> None:
         self.memory = memory
         self.fabric = fabric
         fabric.attach(self)
         self.now = 0
         self.max_cycles = max_cycles
         self.record_trace = record_trace
+        #: collect Annotate markers into :attr:`events`; off in the
+        #: counters-only fast path (``metrics="counters"``)
+        self.collect_events = collect_events
         #: optional FaultInjector perturbing this run (None = clean)
         self.injector = injector
         #: optional RecoveryManager converting recoverable hazards into
@@ -188,9 +419,19 @@ class Engine:
         #: (task, kind, start, end) activity segments for timelines;
         #: kind is "busy" or "spin"; only recorded when record_trace is on
         self.activity: List[Tuple[str, str, int, int]] = []
-        self._queue: List[Tuple[int, int, int, Callable[[], None]]] = []
-        self._seq = itertools.count()
+        #: calendar queue: absolute time -> (commit list, resume list)
+        self._buckets: Dict[int, Tuple[list, list]] = {}
+        #: heap of distinct bucket times (each pushed exactly once)
+        self._times: List[int] = []
+        #: the bucket currently being drained (its lists stay reachable
+        #: so same-cycle scheduling is a plain append)
+        self._open_time = -1
+        self._open_commits: list = []
+        self._open_resumes: list = []
         self._live_tasks = 0
+        #: live events executed (commits + resumes), the bench-engine
+        #: throughput denominator
+        self.events_processed = 0
         #: every task ever spawned (hazard diagnosis walks this)
         self._tasks: List[_Task] = []
         #: tasks parked in WaitUntil, keyed by fabric variable
@@ -201,6 +442,26 @@ class Engine:
         #: task names killed by fault injection
         self.crashed: List[str] = []
         self._idle_events = 0
+        #: fault probes live only in the fault-path step; a clean run
+        #: pays nothing per event for the injection machinery
+        self._step = (self._step_clean if injector is None
+                      else self._step_fault)
+        #: exact-type -> bound handler; op subclasses fall back to an
+        #: isinstance walk (in the old chain's order) and are cached
+        self._handlers: Dict[type, Callable[[_Task, Any], None]] = {
+            Compute: self._op_compute,
+            MemRead: self._op_mem_read,
+            MemWrite: self._op_mem_write,
+            SyncRead: self._op_sync_read,
+            SyncWrite: self._op_sync_write,
+            SyncUpdate: self._op_sync_update,
+            WaitUntil: self._op_wait_until,
+            Fence: self._op_fence,
+            Annotate: self._op_annotate,
+        }
+        self._dispatch_order = (Compute, MemRead, MemWrite, SyncRead,
+                                SyncWrite, SyncUpdate, WaitUntil, Fence,
+                                Annotate)
 
     # ------------------------------------------------------------------
     # scheduling primitives (also used by the fabric)
@@ -208,24 +469,85 @@ class Engine:
 
     def schedule_commit(self, time: int, fn: Callable[[], None]) -> None:
         """Run ``fn`` at ``time``, before any process step at that time."""
-        self._push(time, _PRIORITY_COMMIT, fn)
+        if time == self._open_time:
+            self._open_commits.append(fn)
+        elif time >= self.now:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                bucket = self._buckets[time] = ([], [])
+                heapq.heappush(self._times, time)
+            bucket[0].append(fn)
+        else:
+            raise ValueError(
+                f"event scheduled in the past: {time} < {self.now}")
 
     def schedule(self, time: int, fn: Callable[[], None]) -> None:
         """Run ``fn`` at ``time`` in process-step order."""
-        self._push(time, _PRIORITY_RESUME, fn)
+        if time == self._open_time:
+            self._open_resumes.append(fn)
+        elif time >= self.now:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                bucket = self._buckets[time] = ([], [])
+                heapq.heappush(self._times, time)
+            bucket[1].append(fn)
+        else:
+            raise ValueError(
+                f"event scheduled in the past: {time} < {self.now}")
 
-    def _push(self, time: int, priority: int, fn: Callable[[], None]) -> None:
-        if time < self.now:
-            raise ValueError(f"event scheduled in the past: {time} < {self.now}")
-        heapq.heappush(self._queue, (time, priority, next(self._seq), fn))
+    # The resume entry for a task is the task object itself: no closure,
+    # no tuple.  ``schedule`` and ``_push_resume`` share one list, so
+    # FIFO order between task resumes and scheduled callbacks is exactly
+    # the old sequence-number order.
+    _push_resume = schedule
+
+    def _resume_at(self, task: _Task, time: int, value: Any = None) -> None:
+        task.pending_value = value
+        self._push_resume(time, task)
 
     def notify_var(self, var: int) -> None:
-        """A fabric variable changed: wake its parked waiters to re-check."""
+        """A fabric variable changed: wake its parked waiters in one pass.
+
+        The committed value is read once and every parked predicate is
+        evaluated against it (commits precede same-cycle resumes, so no
+        other commit can interleave); satisfied waiters are appended
+        directly to the next cycle's resume bucket in park order --
+        batched broadcast delivery, one event per woken task and nothing
+        else.
+        """
         waiters = self._waiters.pop(var, None)
         if not waiters:
             return
+        value = self.fabric.value(var)
+        record = self.record_trace
+        now = self.now
+        wake = None
         for task, op, parked_at in waiters:
-            self._recheck_wait(task, op, parked_at)
+            self._parked -= 1
+            if op.predicate(value):
+                task.wait_state = None
+                timeout = task.wait_timeout
+                if timeout is not None:
+                    timeout.cancelled = True
+                    task.wait_timeout = None
+                task.stats.spin += now - parked_at
+                if record:
+                    if now > parked_at:
+                        self.activity.append((task.stats.name, "spin",
+                                              parked_at, now))
+                    self.sync_trace.append((next(self._sync_seq), "acq",
+                                            var, value, task.stats.name))
+                task.pending_value = None
+                if wake is None:
+                    time = now + 1
+                    bucket = self._buckets.get(time)
+                    if bucket is None:
+                        bucket = self._buckets[time] = ([], [])
+                        heapq.heappush(self._times, time)
+                    wake = bucket[1]
+                wake.append(task)
+            else:
+                self._park(task, op, parked_at)
 
     # ------------------------------------------------------------------
     # task lifecycle
@@ -238,7 +560,7 @@ class Engine:
         task = _Task(gen, stats, on_done)
         self._live_tasks += 1
         self._tasks.append(task)
-        self.schedule(self.now, lambda: self._step(task))
+        self._push_resume(self.now, task)
         return stats
 
     def run(self) -> int:
@@ -250,27 +572,10 @@ class Engine:
         ``stagnation_limit`` consecutive events fire without any process
         stepping (poll-mode livelock).
         """
-        while self._queue:
-            time, _priority, _seq, fn = heapq.heappop(self._queue)
-            if getattr(fn, "cancelled", False):
-                # A disarmed bounded-wait timeout: dropping it without
-                # touching ``self.now`` keeps satisfied waits from
-                # stretching the makespan out to their deadlines.
-                continue
-            if time > self.max_cycles:
-                raise SimulationLimitError(
-                    f"simulation exceeded {self.max_cycles} cycles",
-                    report=self._diagnose())
-            if (self.stagnation_limit is not None and self._live_tasks > 0
-                    and self._idle_events > self.stagnation_limit):
-                raise DeadlockError(
-                    f"stagnation: {self._idle_events} consecutive events "
-                    f"without any process making progress "
-                    f"(stagnation_limit={self.stagnation_limit})",
-                    report=self._diagnose())
-            self.now = time
-            self._idle_events += 1
-            fn()
+        if self.stagnation_limit is not None:
+            self._drain_tracked()
+        else:
+            self._drain_fast()
         if self._live_tasks > 0:
             raise DeadlockError(
                 f"{self._live_tasks} task(s) never completed and no "
@@ -286,6 +591,184 @@ class Engine:
                 report=self._diagnose())
         return self.now
 
+    def _drain_fast(self) -> None:
+        """The hot drain loop (no stagnation watchdog configured).
+
+        Per-bucket: advance ``self.now`` once (unless the bucket holds
+        nothing but cancelled timeouts -- only :class:`_Timeout` entries
+        are ever cancellable, so one cheap scan decides), then walk the
+        commit and resume lists with cursors, re-checking the commit
+        list before every resume so commits scheduled *at* the open
+        cycle still precede every later same-cycle resume.  Memory
+        read-completion and write-commit records execute inline.
+        """
+        buckets = self._buckets
+        times = self._times
+        heappop = heapq.heappop
+        max_cycles = self.max_cycles
+        step = self._step
+        memory = self.memory
+        record = self.record_trace
+        trace = self.trace
+        while times:
+            time = heappop(times)
+            commits, resumes = buckets.pop(time)
+            if not commits:
+                for e in resumes:
+                    if e.__class__ is not _Timeout or not e.cancelled:
+                        break
+                else:
+                    # Nothing live: do not advance the clock (a bucket
+                    # of satisfied-wait deadlines must not stretch the
+                    # makespan).
+                    continue
+            if time > max_cycles:
+                raise SimulationLimitError(
+                    f"simulation exceeded {max_cycles} cycles",
+                    report=self._diagnose())
+            self.now = time
+            self._open_time = time
+            self._open_commits = commits
+            self._open_resumes = resumes
+            ci = ri = skipped = 0
+            try:
+                while True:
+                    if ci < len(commits):
+                        e = commits[ci]
+                        ci += 1
+                        if e.__class__ is _WriteCommit:
+                            task = e.task
+                            addr = e.addr
+                            memory.write(addr, e.value)
+                            entry = task.store_buffer.get(addr)
+                            if entry is not None:
+                                entry[0] -= 1
+                                if entry[0] == 0:
+                                    del task.store_buffer[addr]
+                            if record:
+                                trace.append(AccessRecord(
+                                    commit=time, kind="W", addr=addr,
+                                    value=e.value, task=task.stats.name,
+                                    tag=e.tag, seq=e.seq))
+                        else:
+                            e()
+                        continue
+                    if ri >= len(resumes):
+                        break
+                    e = resumes[ri]
+                    ri += 1
+                    cls = e.__class__
+                    if cls is _Task:
+                        step(e)
+                        continue
+                    if cls is _ReadDone:
+                        task = e.task
+                        value = memory.read(e.addr)
+                        if record:
+                            trace.append(AccessRecord(
+                                commit=time, kind="R", addr=e.addr,
+                                value=value, task=task.stats.name,
+                                tag=e.tag, seq=e.seq))
+                        task.pending_value = value
+                        resumes.append(task)
+                        continue
+                    if cls is _Timeout:
+                        if e.cancelled:
+                            skipped += 1
+                            continue
+                        e.fn()
+                        continue
+                    e()
+            finally:
+                self.events_processed += ci + ri - skipped
+                self._open_time = -1
+                self._open_commits = self._open_resumes = []
+
+    def _drain_tracked(self) -> None:
+        """Drain with the stagnation watchdog armed.
+
+        Structurally the old single loop: the stagnation check runs
+        before every live event (and before ``self.now`` advances for a
+        bucket's first one), and ``_idle_events`` counts every executed
+        event until a process step resets it.
+        """
+        buckets = self._buckets
+        times = self._times
+        max_cycles = self.max_cycles
+        limit = self.stagnation_limit
+        while times:
+            time = heapq.heappop(times)
+            commits, resumes = buckets.pop(time)
+            self._open_time = time
+            self._open_commits = commits
+            self._open_resumes = resumes
+            # ``advanced`` stays False until the bucket's first live
+            # event: a bucket of nothing but cancelled timeouts must not
+            # move ``self.now`` (satisfied waits would stretch the
+            # makespan out to their deadlines).
+            advanced = False
+            ci = ri = 0
+            try:
+                while True:
+                    if ci < len(commits):
+                        fn = commits[ci]
+                        ci += 1
+                        if fn.__class__ is _WriteCommit:
+                            fn = fn.run
+                    else:
+                        if ri >= len(resumes):
+                            break
+                        fn = resumes[ri]
+                        ri += 1
+                        cls = fn.__class__
+                        if cls is _Task:
+                            if not advanced:
+                                if time > max_cycles:
+                                    raise SimulationLimitError(
+                                        f"simulation exceeded "
+                                        f"{max_cycles} cycles",
+                                        report=self._diagnose())
+                                self._check_stagnation(limit)
+                                self.now = time
+                                advanced = True
+                            else:
+                                self._check_stagnation(limit)
+                            self._idle_events += 1
+                            self.events_processed += 1
+                            self._step(fn)
+                            continue
+                        if cls is _Timeout:
+                            if fn.cancelled:
+                                continue
+                            fn = fn.fn
+                        elif cls is _ReadDone:
+                            fn = fn.run
+                    if not advanced:
+                        if time > max_cycles:
+                            raise SimulationLimitError(
+                                f"simulation exceeded {max_cycles} cycles",
+                                report=self._diagnose())
+                        self._check_stagnation(limit)
+                        self.now = time
+                        advanced = True
+                    else:
+                        self._check_stagnation(limit)
+                    self._idle_events += 1
+                    self.events_processed += 1
+                    fn()
+            finally:
+                self._open_time = -1
+                self._open_commits = self._open_resumes = []
+
+    def _check_stagnation(self, limit: Optional[int]) -> None:
+        if (limit is not None and self._live_tasks > 0
+                and self._idle_events > limit):
+            raise DeadlockError(
+                f"stagnation: {self._idle_events} consecutive events "
+                f"without any process making progress "
+                f"(stagnation_limit={limit})",
+                report=self._diagnose())
+
     def _diagnose(self):
         # Imported lazily: repro.faults must stay importable without
         # repro.sim (it duck-types the engine), and vice versa.
@@ -296,11 +779,40 @@ class Engine:
     # operation interpretation
     # ------------------------------------------------------------------
 
-    def _step(self, task: _Task, fresh: bool = True) -> None:
+    def _step_clean(self, task: _Task) -> None:
+        """Advance one task by one operation (no fault injector built)."""
         if not task.alive:
             return
-        injector = self.injector
-        if injector is not None and fresh:
+        task.wait_state = None
+        self._idle_events = 0
+        try:
+            op = task.gen.send(task.pending_value)
+        except StopIteration:
+            task.alive = False
+            task.stats.done_at = self.now
+            self._live_tasks -= 1
+            if task.on_done is not None:
+                task.on_done()
+            return
+        # (task.ops is maintained only by _step_fault: the counter feeds
+        # the injector's crash schedule and nothing else.)
+        task.pending_value = None
+        handler = self._handlers.get(op.__class__)
+        if handler is not None:
+            handler(task, op)
+        else:
+            self._dispatch_slow(task, op)
+
+    def _step_fault(self, task: _Task) -> None:
+        """As :meth:`_step_clean`, plus the per-step fault probes."""
+        if not task.alive:
+            return
+        if task.stall_resume:
+            # Continuing after an injected stall window: probing again
+            # would double-draw from the plan.
+            task.stall_resume = False
+        else:
+            injector = self.injector
             if injector.should_crash(task.stats.name, task.ops, self.now):
                 task.alive = False
                 task.crashed = True
@@ -324,8 +836,10 @@ class Engine:
                 task.wait_state = (
                     "stalled", None,
                     f"fault-injected stall of {extra} cycles", self.now)
-                self.schedule(self.now + extra,
-                              lambda: self._step(task, fresh=False))
+                task.stall_resume = True
+                # pending_value is preserved: it is delivered when the
+                # stalled step finally runs.
+                self._push_resume(self.now + extra, task)
                 return
         task.wait_state = None
         self._idle_events = 0
@@ -340,94 +854,99 @@ class Engine:
             return
         task.ops += 1
         task.pending_value = None
-        self._dispatch(task, op)
-
-    def _resume_at(self, task: _Task, time: int, value: Any = None) -> None:
-        task.pending_value = value
-        self.schedule(time, lambda: self._step(task))
-
-    def _dispatch(self, task: _Task, op: Any) -> None:
-        if isinstance(op, Compute):
-            task.stats.busy += op.cycles
-            if self.record_trace and op.cycles:
-                self.activity.append((task.stats.name, "busy", self.now,
-                                      self.now + op.cycles))
-            self._resume_at(task, self.now + op.cycles)
-        elif isinstance(op, MemRead):
-            self._mem_read(task, op)
-        elif isinstance(op, MemWrite):
-            self._mem_write(task, op)
-        elif isinstance(op, SyncRead):
-            self._sync_read(task, op)
-        elif isinstance(op, SyncWrite):
-            self._sync_write(task, op)
-        elif isinstance(op, SyncUpdate):
-            task.stats.sync_ops += 1
-            self.var_writers[op.var] = task.stats.name
-            recovery = self.recovery
-            if recovery is not None and op.checkpoint is not None:
-                # Journalled at issue, atomically with the update: once
-                # this dispatch runs, the update will eventually commit
-                # (drops are retried below), so journal == signalled.
-                recovery.record_checkpoint(op.checkpoint)
-            fn = op.fn
-            fate = "ok"
-            if self.injector is not None:
-                fate = self.injector.update_fate(op.var)
-            if fate == "drop":
-                if recovery is None:
-                    # The commit is lost: the variable keeps its old
-                    # value and the issuer reads that old value back.
-                    def fn(value):
-                        return value
-                else:
-                    self._retry_update(task, op)
-                    return
-            elif fate == "dup":
-                if recovery is None:
-                    original = op.fn
-
-                    def fn(value):
-                        return original(original(value))
-                else:
-                    # The memory-side sync processor deduplicates the
-                    # replayed commit: apply exactly once.
-                    recovery.counters["deduplicated_updates"] += 1
-            task.wait_state = ("stalled", op.var,
-                               f"sync update round trip on var {op.var}",
-                               self.now)
-            done, cell = self.fabric.update(op.var, fn, self.now)
-            task.stats.stall += done - self.now
-            # Commits precede same-cycle resumes, so the cell is filled
-            # when the process wakes with the post-update value.
-
-            def finish_update() -> None:
-                # An atomic RMW is both an acquire (it observed the old
-                # value) and a release (it published the new one).
-                self._record_sync("upd", op.var, cell.get("value"), task)
-                self._resume_at(task, self.now, cell.get("value"))
-
-            self.schedule(done, finish_update)
-        elif isinstance(op, WaitUntil):
-            task.stats.sync_ops += 1
-            self._begin_wait(task, op)
-        elif isinstance(op, Fence):
-            done = max(self.now, task.last_write_commit)
-            task.stats.stall += done - self.now
-            if done > self.now:
-                task.wait_state = ("stalled", None,
-                                   "fence: draining posted writes",
-                                   self.now)
-            self._resume_at(task, done)
-        elif isinstance(op, Annotate):
-            if op.kind == "tag":
-                task.tag = op.payload.get("tag")
-            else:
-                self.events.append((self.now, op.kind, dict(op.payload)))
-            self._resume_at(task, self.now)
+        handler = self._handlers.get(op.__class__)
+        if handler is not None:
+            handler(task, op)
         else:
-            raise TypeError(f"unknown operation {op!r} from task "
-                            f"{task.stats.name!r}")
+            self._dispatch_slow(task, op)
+
+    def _dispatch_slow(self, task: _Task, op: Any) -> None:
+        """Handle an op subclass (cached) or reject an unknown op."""
+        for cls in self._dispatch_order:
+            if isinstance(op, cls):
+                handler = self._handlers[cls]
+                self._handlers[op.__class__] = handler
+                handler(task, op)
+                return
+        raise TypeError(f"unknown operation {op!r} from task "
+                        f"{task.stats.name!r}")
+
+    # -- per-operation handlers ------------------------------------------
+
+    # Handlers only ever run from ``_step`` inside a drain bucket, where
+    # ``self._open_time == self.now`` and Compute/access times are
+    # validated non-negative, so the hot handlers below inline
+    # ``schedule``'s open-bucket/new-bucket split without the past-time
+    # branch.
+
+    def _op_compute(self, task: _Task, op: Compute) -> None:
+        cycles = op.cycles
+        if cycles == 0:
+            self._open_resumes.append(task)
+            return
+        task.stats.busy += cycles
+        time = self.now + cycles
+        if self.record_trace:
+            self.activity.append((task.stats.name, "busy", self.now,
+                                  time))
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            bucket = buckets[time] = ([], [])
+            heapq.heappush(self._times, time)
+        bucket[1].append(task)
+
+    def _op_fence(self, task: _Task, op: Fence) -> None:
+        done = task.last_write_commit
+        now = self.now
+        if done <= now:
+            self._open_resumes.append(task)
+            return
+        task.stats.stall += done - now
+        task.wait_state = ("stalled", None,
+                           "fence: draining posted writes", now)
+        buckets = self._buckets
+        bucket = buckets.get(done)
+        if bucket is None:
+            bucket = buckets[done] = ([], [])
+            heapq.heappush(self._times, done)
+        bucket[1].append(task)
+
+    def _op_annotate(self, task: _Task, op: Annotate) -> None:
+        if op.kind == "tag":
+            task.tag = op.payload.get("tag")
+        elif self.collect_events:
+            self.events.append((self.now, op.kind, dict(op.payload)))
+        self._open_resumes.append(task)
+
+    def _op_wait_until(self, task: _Task, op: WaitUntil) -> None:
+        # _begin_wait inlined: WaitUntil is the event-path hot op.
+        task.stats.sync_ops += 1
+        if self.fabric.wait_mode == "poll":
+            self._poll_wait(task, op, started=self.now)
+            return
+        if self.recovery is not None and self.recovery.degraded:
+            # Degraded mode: the local register images are losing too
+            # many broadcasts to be trusted, so busy-wait by polling the
+            # authoritative home copy through shared memory instead
+            # (charged reads; liveness bought with cycles).
+            self._fallback_wait(task, op, started=self.now)
+            return
+        # Event-driven wait on the local register image: test now, park
+        # until the variable's committed value changes.
+        value = self.fabric.value(op.var)
+        if op.predicate(value):
+            task.stats.waits_satisfied_immediately += 1
+            self._record_sync("acq", op.var, value, task)
+            task.pending_value = None
+            time = self.now + 1
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                bucket = self._buckets[time] = ([], [])
+                heapq.heappush(self._times, time)
+            bucket[1].append(task)
+        else:
+            self._park(task, op, self.now)
 
     def _record_sync(self, kind: str, var: int, value: Any,
                      task: _Task) -> None:
@@ -438,87 +957,111 @@ class Engine:
 
     # -- shared memory --------------------------------------------------
 
-    def _mem_read(self, task: _Task, op: MemRead) -> None:
-        pending = task.store_buffer.get(op.addr)
-        if pending is not None:
-            # Store-to-load forwarding: the task sees its own posted
-            # write immediately (one cycle, no memory transaction).
-            value = pending[1]
-            if self.record_trace:
-                self.trace.append(AccessRecord(
-                    commit=self.now + 1, kind="R", addr=op.addr,
-                    value=value, task=task.stats.name, tag=task.tag,
-                    seq=next(self._sync_seq)))
-            self._resume_at(task, self.now + 1, value)
-            return
-        done = self.memory.access_time(op.addr, self.now)
+    def _op_mem_read(self, task: _Task, op: MemRead) -> None:
+        addr = op.addr
+        buffer = task.store_buffer
+        if buffer:
+            pending = buffer.get(addr)
+            if pending is not None:
+                # Store-to-load forwarding: the task sees its own posted
+                # write immediately (one cycle, no memory transaction).
+                value = pending[1]
+                time = self.now + 1
+                if self.record_trace:
+                    self.trace.append(AccessRecord(
+                        commit=time, kind="R", addr=addr,
+                        value=value, task=task.stats.name, tag=task.tag,
+                        seq=next(self._sync_seq)))
+                task.pending_value = value
+                buckets = self._buckets
+                bucket = buckets.get(time)
+                if bucket is None:
+                    bucket = buckets[time] = ([], [])
+                    heapq.heappush(self._times, time)
+                bucket[1].append(task)
+                return
+        now = self.now
+        done = self.memory.access_time(addr, now)
         if self.injector is not None:
             done += self.injector.memory_extra()
-        task.stats.stall += done - self.now
+        task.stats.stall += done - now
         task.wait_state = ("stalled", None,
-                           f"memory read round trip to {op.addr}", self.now)
-        tag = task.tag  # capture at issue: commits run after tag changes
-        seq = next(self._sync_seq) if self.record_trace else 0
+                           f"memory read round trip to {addr}", now)
+        # tag/seq are captured at issue: commits run after tag changes
+        if self.record_trace:
+            seq = next(self._sync_seq)
+        else:
+            seq = 0
+        event = _ReadDone(self, task, addr, task.tag, seq)
+        if done == now:
+            self._open_resumes.append(event)
+            return
+        buckets = self._buckets
+        bucket = buckets.get(done)
+        if bucket is None:
+            bucket = buckets[done] = ([], [])
+            heapq.heappush(self._times, done)
+        bucket[1].append(event)
 
-        def complete() -> None:
-            value = self.memory.read(op.addr)
-            if self.record_trace:
-                self.trace.append(AccessRecord(
-                    commit=self.now, kind="R", addr=op.addr, value=value,
-                    task=task.stats.name, tag=tag, seq=seq))
-            self._resume_at(task, self.now, value)
-
-        self.schedule(done, complete)
-
-    def _mem_write(self, task: _Task, op: MemWrite) -> None:
-        done = self.memory.access_time(op.addr, self.now, kind="W")
+    def _op_mem_write(self, task: _Task, op: MemWrite) -> None:
+        addr = op.addr
+        now = self.now
+        done = self.memory.access_time(addr, now, kind="W")
         if self.injector is not None:
             done += self.injector.memory_extra()
-        task.last_write_commit = max(task.last_write_commit, done)
-        tag = task.tag  # capture at issue: commits run after tag changes
-        seq = next(self._sync_seq) if self.record_trace else 0
-        pending = task.store_buffer.setdefault(op.addr, [0, None])
-        pending[0] += 1
-        pending[1] = op.value
-
-        def commit() -> None:
-            self.memory.write(op.addr, op.value)
-            entry = task.store_buffer.get(op.addr)
-            if entry is not None:
-                entry[0] -= 1
-                if entry[0] == 0:
-                    del task.store_buffer[op.addr]
-            if self.record_trace:
-                self.trace.append(AccessRecord(
-                    commit=self.now, kind="W", addr=op.addr, value=op.value,
-                    task=task.stats.name, tag=tag, seq=seq))
-
-        self.schedule_commit(done, commit)
+        if done > task.last_write_commit:
+            task.last_write_commit = done
+        # tag/seq are captured at issue: commits run after tag changes
+        if self.record_trace:
+            seq = next(self._sync_seq)
+        else:
+            seq = 0
+        pending = task.store_buffer.get(addr)
+        if pending is None:
+            task.store_buffer[addr] = [1, op.value]
+        else:
+            pending[0] += 1
+            pending[1] = op.value
+        commit = _WriteCommit(self, task, addr, op.value, task.tag, seq)
+        buckets = self._buckets
+        if done == now:
+            self._open_commits.append(commit)
+        else:
+            bucket = buckets.get(done)
+            if bucket is None:
+                bucket = buckets[done] = ([], [])
+                heapq.heappush(self._times, done)
+            bucket[0].append(commit)
         # Posted write: the processor proceeds after handing the write to
         # the memory system; Fence makes it wait for global visibility.
-        self._resume_at(task, self.now + 1)
+        time = now + 1
+        bucket = buckets.get(time)
+        if bucket is None:
+            bucket = buckets[time] = ([], [])
+            heapq.heappush(self._times, time)
+        bucket[1].append(task)
 
     # -- synchronization fabric ------------------------------------------
 
-    def _sync_read(self, task: _Task, op: SyncRead) -> None:
+    def _op_sync_read(self, task: _Task, op: SyncRead) -> None:
         task.stats.sync_ops += 1
-        done = self.fabric.read_cost(op.var, self.now,
+        now = self.now
+        done = self.fabric.read_cost(op.var, now,
                                      requester=task.stats.name)
-        task.stats.stall += done - self.now
+        task.stats.stall += done - now
         task.wait_state = ("stalled", op.var,
-                           f"sync read of var {op.var}", self.now)
+                           f"sync read of var {op.var}", now)
+        event = _SyncReadDone(self, task, op.var)
+        if done == now:
+            self._open_resumes.append(event)
+            return
+        bucket = self._buckets.get(done)
+        if bucket is None:
+            bucket = self._buckets[done] = ([], [])
+            heapq.heappush(self._times, done)
+        bucket[1].append(event)
 
-        def finish_read() -> None:
-            value = self.fabric.value(op.var)
-            # Reading a sync variable is an acquire: the improved PC
-            # scheme's ownership check (mark_PC) orders the marker after
-            # the release it observed.
-            self._record_sync("acq", op.var, value, task)
-            self._resume_at(task, self.now, value)
-
-        self.schedule(done, finish_read)
-
-    def _sync_write(self, task: _Task, op: SyncWrite) -> None:
+    def _op_sync_write(self, task: _Task, op: SyncWrite) -> None:
         task.stats.sync_ops += 1
         self.var_writers[op.var] = task.stats.name
         self._record_sync("rel", op.var, op.value, task)
@@ -527,10 +1070,69 @@ class Engine:
             # issued broadcast always commits eventually, so the journal
             # never runs ahead of the signal.
             self.recovery.record_checkpoint(op.checkpoint)
-        done = self.fabric.write(op.var, op.value, self.now, op.coverable,
+        now = self.now
+        done = self.fabric.write(op.var, op.value, now, op.coverable,
                                  requester=task.stats.name)
-        task.stats.stall += done - self.now
-        self._resume_at(task, done)
+        if done == now:
+            self._open_resumes.append(task)
+            return
+        task.stats.stall += done - now
+        buckets = self._buckets
+        bucket = buckets.get(done)
+        if bucket is None:
+            bucket = buckets[done] = ([], [])
+            heapq.heappush(self._times, done)
+        bucket[1].append(task)
+
+    def _op_sync_update(self, task: _Task, op: SyncUpdate) -> None:
+        task.stats.sync_ops += 1
+        self.var_writers[op.var] = task.stats.name
+        recovery = self.recovery
+        if recovery is not None and op.checkpoint is not None:
+            # Journalled at issue, atomically with the update: once
+            # this dispatch runs, the update will eventually commit
+            # (drops are retried below), so journal == signalled.
+            recovery.record_checkpoint(op.checkpoint)
+        fn = op.fn
+        fate = "ok"
+        if self.injector is not None:
+            fate = self.injector.update_fate(op.var)
+        if fate == "drop":
+            if recovery is None:
+                # The commit is lost: the variable keeps its old
+                # value and the issuer reads that old value back.
+                def fn(value):
+                    return value
+            else:
+                self._retry_update(task, op)
+                return
+        elif fate == "dup":
+            if recovery is None:
+                original = op.fn
+
+                def fn(value):
+                    return original(original(value))
+            else:
+                # The memory-side sync processor deduplicates the
+                # replayed commit: apply exactly once.
+                recovery.counters["deduplicated_updates"] += 1
+        now = self.now
+        task.wait_state = ("stalled", op.var,
+                           f"sync update round trip on var {op.var}",
+                           now)
+        done, cell = self.fabric.update(op.var, fn, now)
+        task.stats.stall += done - now
+        # Commits precede same-cycle resumes, so the cell is filled
+        # when the process wakes with the post-update value.
+        event = _UpdateDone(self, task, op.var, cell)
+        if done == now:
+            self._open_resumes.append(event)
+            return
+        bucket = self._buckets.get(done)
+        if bucket is None:
+            bucket = self._buckets[done] = ([], [])
+            heapq.heappush(self._times, done)
+        bucket[1].append(event)
 
     def _retry_update(self, task: _Task, op: SyncUpdate) -> None:
         """A dropped RMW commit, with recovery: occupy the bus with the
@@ -557,29 +1159,11 @@ class Engine:
 
         self.schedule(retry_at, retry)
 
-    def _begin_wait(self, task: _Task, op: WaitUntil) -> None:
-        if self.fabric.wait_mode == "poll":
-            self._poll_wait(task, op, started=self.now)
-            return
-        if self.recovery is not None and self.recovery.degraded:
-            # Degraded mode: the local register images are losing too
-            # many broadcasts to be trusted, so busy-wait by polling the
-            # authoritative home copy through shared memory instead
-            # (charged reads; liveness bought with cycles).
-            self._fallback_wait(task, op, started=self.now)
-            return
-        # Event-driven wait on the local register image: test now, park
-        # until the variable's committed value changes.
-        if op.predicate(self.fabric.value(op.var)):
-            task.stats.waits_satisfied_immediately += 1
-            self._record_sync("acq", op.var, self.fabric.value(op.var),
-                              task)
-            self._resume_at(task, self.now + 1)
-        else:
-            self._park(task, op, self.now)
-
     def _park(self, task: _Task, op: WaitUntil, parked_at: int) -> None:
-        self._waiters.setdefault(op.var, []).append((task, op, parked_at))
+        waiters = self._waiters.get(op.var)
+        if waiters is None:
+            waiters = self._waiters[op.var] = []
+        waiters.append((task, op, parked_at))
         self._parked += 1
         reason = op.reason or f"wait on var {op.var}"
         task.wait_state = ("parked", op.var, reason, parked_at)
@@ -595,67 +1179,26 @@ class Engine:
                         f"spent over {op.max_spin} cycles in "
                         f"{reason!r}", report=self._diagnose())
 
-            task.wait_timeout = expire
-            self.schedule(parked_at + op.max_spin, expire)
+            timeout = _Timeout(expire)
+            task.wait_timeout = timeout
+            self._push_resume(parked_at + op.max_spin, timeout)
 
-    def _recheck_wait(self, task: _Task, op: WaitUntil, parked_at: int) -> None:
-        self._parked -= 1
-        if op.predicate(self.fabric.value(op.var)):
-            task.wait_state = None
-            if task.wait_timeout is not None:
-                task.wait_timeout.cancelled = True  # type: ignore[attr-defined]
-                task.wait_timeout = None
-            task.stats.spin += self.now - parked_at
-            if self.record_trace and self.now > parked_at:
-                self.activity.append((task.stats.name, "spin", parked_at,
-                                      self.now))
-            self._record_sync("acq", op.var, self.fabric.value(op.var),
-                              task)
-            self._resume_at(task, self.now + 1)
-        else:
-            self._park(task, op, parked_at)
-
-    def _poll_wait(self, task: _Task, op: WaitUntil, started: int,
-                   first: bool = True) -> None:
-        if not task.alive:
-            return
+    def _poll_wait(self, task: _Task, op: WaitUntil, started: int) -> None:
+        # The first poll is a mandatory read: account it as a memory
+        # stall.  Only re-polls count as busy-waiting (see _Poll).
         done = self.fabric.read_cost(op.var, self.now,
                                      requester=task.stats.name)
-        if first:
-            # The first poll is a mandatory read: account it as a memory
-            # stall.  Only re-polls count as busy-waiting.
-            task.stats.stall += done - self.now
-        task.wait_state = ("polling", op.var,
-                           op.reason or f"poll on var {op.var}", started)
-
-        def check() -> None:
-            if op.predicate(self.fabric.value(op.var)):
-                task.wait_state = None
-                if first:
-                    task.stats.waits_satisfied_immediately += 1
-                else:
-                    task.stats.spin += self.now - started
-                    if self.record_trace and self.now > started:
-                        self.activity.append((task.stats.name, "spin",
-                                              started, self.now))
-                self._record_sync("acq", op.var,
-                                  self.fabric.value(op.var), task)
-                self._resume_at(task, self.now)
-            else:
-                if (op.max_spin is not None
-                        and self.now - started > op.max_spin):
-                    raise DeadlockError(
-                        f"bounded wait expired: task {task.stats.name!r} "
-                        f"polled over {op.max_spin} cycles in "
-                        f"{op.reason or f'poll on var {op.var}'!r}",
-                        report=self._diagnose())
-                next_poll = self.now + self.fabric.poll_interval
-                spin_from = done if first else started
-                self.schedule(next_poll,
-                              lambda: self._poll_wait(task, op, spin_from,
-                                                      first=False))
-
-        self.schedule(done, check)
+        task.stats.stall += done - self.now
+        poll = _Poll(self, task, op, started)
+        task.wait_state = ("polling", op.var, poll.reason, started)
+        if done == self._open_time:
+            self._open_resumes.append(poll)
+            return
+        bucket = self._buckets.get(done)
+        if bucket is None:
+            bucket = self._buckets[done] = ([], [])
+            heapq.heappush(self._times, done)
+        bucket[1].append(poll)
 
     def _fallback_wait(self, task: _Task, op: WaitUntil, started: int,
                        first: bool = True) -> None:
@@ -716,4 +1259,4 @@ class Engine:
                           lambda: self._fallback_wait(task, op, spin_from,
                                                       first=False))
 
-        self.schedule(done, check)
+        self._push_resume(done, check)

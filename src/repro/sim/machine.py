@@ -83,6 +83,11 @@ class MachineConfig:
     #: diagnosed DeadlockError (catches poll-mode livelocks early);
     #: None disables the stagnation watchdog
     stagnation_limit: Optional[int] = None
+    #: "full" (default): collect the event stream alongside whatever
+    #: record_trace selects.  "counters": opt-in fast path -- only
+    #: end-of-run counters are wanted, so per-event collection (trace,
+    #: activity, events) is skipped entirely; forces record_trace off.
+    metrics: str = "full"
 
     def __post_init__(self) -> None:
         if self.processors < 1:
@@ -94,6 +99,10 @@ class MachineConfig:
             raise ValueError("chunk_size must be >= 1")
         if self.stagnation_limit is not None and self.stagnation_limit < 1:
             raise ValueError("stagnation_limit must be >= 1 (or None)")
+        if self.metrics not in ("full", "counters"):
+            raise ValueError(f"unknown metrics mode {self.metrics!r}")
+        if self.metrics == "counters":
+            self.record_trace = False
 
 
 class Machine:
@@ -101,6 +110,10 @@ class Machine:
 
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or MachineConfig()
+        #: side-channel diagnostics from the most recent :meth:`run`
+        #: (e.g. ``events_processed``); not part of the RunResult, so
+        #: result files and their schema are unaffected
+        self.last_run_info: Dict[str, Any] = {}
 
     def _make_scheduler(self, iterations: Sequence[int]) -> Scheduler:
         if self.config.schedule == "self":
@@ -145,7 +158,8 @@ class Machine:
                         max_cycles=self.config.max_cycles,
                         record_trace=self.config.record_trace,
                         injector=injector,
-                        stagnation_limit=self.config.stagnation_limit)
+                        stagnation_limit=self.config.stagnation_limit,
+                        collect_events=(self.config.metrics != "counters"))
         recovery = None
         if injector is not None and self.config.recovery is not None:
             recovery = RecoveryManager(self.config.recovery, plan)
@@ -189,6 +203,7 @@ class Machine:
             raise
 
         covered = getattr(fabric, "covered_writes", 0)
+        self.last_run_info = {"events_processed": engine.events_processed}
         extra: Dict[str, Any] = {"schema_version": EXTRA_SCHEMA_VERSION,
                                  "events": engine.events,
                                  "activity": engine.activity}

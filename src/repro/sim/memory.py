@@ -94,6 +94,15 @@ class SharedMemory:
         self.module_traffic: List[int] = [0] * self.config.modules
         # shared data bus occupancy (only used when bus_service is set)
         self._bus_next_free = 0
+        # timing scalars hoisted out of the per-access hot path
+        self._modules = self.config.modules
+        self._service = self.config.service_time
+        self._latency = self.config.latency
+        self._write_latency = self.config.write_latency
+        self._bus_service = self.config.bus_service
+        #: address -> module memo (module_of is a pure function of the
+        #: address, and the crc32 + encode per access dominates it)
+        self._module_cache: Dict[Address, int] = {}
 
     # ------------------------------------------------------------------
     # timing
@@ -101,9 +110,12 @@ class SharedMemory:
 
     def module_of(self, addr: Address) -> int:
         """Return the module an address interleaves to."""
-        array, index = addr
-        return (zlib.crc32(str(array).encode()) + index) \
-            % self.config.modules
+        module = self._module_cache.get(addr)
+        if module is None:
+            array, index = addr
+            module = self._module_cache[addr] = \
+                (zlib.crc32(str(array).encode()) + index) % self._modules
+        return module
 
     def access_time(self, addr: Address, now: int, kind: str = "R") -> int:
         """Accept a request at ``now``; return its completion time.
@@ -112,19 +124,23 @@ class SharedMemory:
         starting when it accepts the request (possibly after queueing).
         ``kind`` selects the read or write latency.
         """
-        module = self.module_of(addr)
+        module = self._module_cache.get(addr)
+        if module is None:
+            module = self.module_of(addr)
         accepted = now
-        if self.config.bus_service is not None:
+        if self._bus_service is not None:
             # win the shared data bus first (FIFO)
             grant = max(now, self._bus_next_free)
-            self._bus_next_free = grant + self.config.bus_service
-            accepted = grant + self.config.bus_service - 1
-        start = max(accepted, self._next_free[module])
-        self._next_free[module] = start + self.config.service_time
+            self._bus_next_free = grant + self._bus_service
+            accepted = grant + self._bus_service - 1
+        next_free = self._next_free
+        start = next_free[module]
+        if accepted > start:
+            start = accepted
+        next_free[module] = start + self._service
         self.module_traffic[module] += 1
-        latency = (self.config.write_latency if kind == "W"
-                   else self.config.latency)
-        return start + self.config.service_time - 1 + latency
+        return (start + self._service - 1
+                + (self._write_latency if kind == "W" else self._latency))
 
     # ------------------------------------------------------------------
     # functional state

@@ -26,7 +26,7 @@ from .engine import AccessRecord, TaskStats
 EXTRA_SCHEMA_VERSION = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultCounters:
     """Typed view of ``extra["faults"]`` (zeros when the run was clean).
 
@@ -53,7 +53,7 @@ class FaultCounters:
                       if key in names})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoveryCounters:
     """Typed view of ``extra["recovery"]`` (zeros when none ran).
 
@@ -78,7 +78,7 @@ class RecoveryCounters:
                       if key in names})
 
 
-@dataclass
+@dataclass(slots=True)
 class RunResult:
     """Everything measured in one simulated execution."""
 

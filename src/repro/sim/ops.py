@@ -41,7 +41,7 @@ from typing import Any, Callable, Optional, Tuple
 Address = Tuple[str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Occupy the processor for ``cycles`` cycles of local work."""
 
@@ -52,14 +52,14 @@ class Compute:
             raise ValueError(f"negative compute time: {self.cycles}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemRead:
     """Read one word from shared memory; the engine sends the value back."""
 
     addr: Address
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemWrite:
     """Write one word to shared memory."""
 
@@ -67,14 +67,14 @@ class MemWrite:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SyncRead:
     """Read a synchronization variable; the engine sends the value back."""
 
     var: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SyncWrite:
     """Write a synchronization variable.
 
@@ -99,7 +99,7 @@ class SyncWrite:
     checkpoint: Optional[dict] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SyncUpdate:
     """Atomic read-modify-write of a synchronization variable.
 
@@ -117,7 +117,7 @@ class SyncUpdate:
     checkpoint: Optional[dict] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitUntil:
     """Busy-wait until ``predicate(value_of_var)`` is true.
 
@@ -136,7 +136,7 @@ class WaitUntil:
     max_spin: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fence:
     """Drain this process's pending shared-memory writes.
 
@@ -146,7 +146,7 @@ class Fence:
     """
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Annotate:
     """Record a zero-cost marker in the trace (used by the validator)."""
 

@@ -11,6 +11,7 @@ barrier/FFT experiments where each process is pinned to one processor.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import List, Optional, Sequence
 
 
@@ -98,14 +99,16 @@ class ChunkSelfScheduler(Scheduler):
         self._local: dict = {}
 
     def next_for(self, processor: int) -> Optional[int]:
-        queue = self._local.setdefault(processor, [])
+        queue = self._local.get(processor)
+        if queue is None:
+            queue = self._local[processor] = deque()
         if not queue:
             if self._cursor >= len(self._iterations):
                 return None
             queue.extend(
                 self._iterations[self._cursor:self._cursor + self.chunk])
             self._cursor += self.chunk
-        return queue.pop(0)
+        return queue.popleft()
 
     @property
     def grab_is_shared_access(self) -> bool:
@@ -119,8 +122,11 @@ class ChunkSelfScheduler(Scheduler):
         return len(self._iterations) - self._cursor + local
 
     def reclaim(self, processor: int) -> List[int]:
-        queue = self._local.get(processor, [])
-        taken, queue[:] = list(queue), []
+        queue = self._local.get(processor)
+        if not queue:
+            return []
+        taken = list(queue)
+        queue.clear()
         return taken
 
 
@@ -143,7 +149,9 @@ class GuidedSelfScheduler(Scheduler):
         self.grabs = 0
 
     def next_for(self, processor: int) -> Optional[int]:
-        queue = self._local.setdefault(processor, [])
+        queue = self._local.get(processor)
+        if queue is None:
+            queue = self._local[processor] = deque()
         if not queue:
             remaining = len(self._iterations) - self._cursor
             if remaining <= 0:
@@ -153,7 +161,7 @@ class GuidedSelfScheduler(Scheduler):
                 self._iterations[self._cursor:self._cursor + size])
             self._cursor += size
             self.grabs += 1
-        return queue.pop(0)
+        return queue.popleft()
 
     @property
     def grab_is_shared_access(self) -> bool:
@@ -167,8 +175,11 @@ class GuidedSelfScheduler(Scheduler):
         return len(self._iterations) - self._cursor + local
 
     def reclaim(self, processor: int) -> List[int]:
-        queue = self._local.get(processor, [])
-        taken, queue[:] = list(queue), []
+        queue = self._local.get(processor)
+        if not queue:
+            return []
+        taken = list(queue)
+        queue.clear()
         return taken
 
 

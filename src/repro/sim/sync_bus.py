@@ -24,6 +24,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Dict
 
 from .memory import SharedMemory
+from .ops import Address
 
 
 class SyncFabric(ABC):
@@ -115,6 +116,42 @@ class SyncFabric(ABC):
         """
 
 
+class _MemCommit:
+    """Commit event of a memory-fabric sync write (slotted, no closure)."""
+
+    __slots__ = ("fabric", "var", "value")
+
+    def __init__(self, fabric: SyncFabric, var: int, value: Any) -> None:
+        self.fabric = fabric
+        self.var = var
+        self.value = value
+
+    def __call__(self) -> None:
+        fabric = self.fabric
+        fabric._values[self.var] = self.value
+        fabric._engine.notify_var(self.var)
+
+
+class _MemUpdateCommit:
+    """Commit event of a memory-fabric RMW; fills the issuer's cell."""
+
+    __slots__ = ("fabric", "var", "fn", "cell")
+
+    def __init__(self, fabric: SyncFabric, var: int, fn: Any,
+                 cell: dict) -> None:
+        self.fabric = fabric
+        self.var = var
+        self.fn = fn
+        self.cell = cell
+
+    def __call__(self) -> None:
+        fabric = self.fabric
+        value = self.fn(fabric._values[self.var])
+        fabric._values[self.var] = value
+        self.cell["value"] = value
+        fabric._engine.notify_var(self.var)
+
+
 class MemorySyncFabric(SyncFabric):
     """Synchronization variables held in shared memory.
 
@@ -134,6 +171,8 @@ class MemorySyncFabric(SyncFabric):
         self._space = space
         self._values: Dict[int, Any] = {}
         self._next = 0
+        #: var -> pseudo-address memo; polls hit this on every re-read
+        self._addr_of: Dict[int, Address] = {}
 
     def storage_words_allocated(self) -> int:
         return self._next
@@ -149,38 +188,78 @@ class MemorySyncFabric(SyncFabric):
     def value(self, var: int) -> Any:
         return self._values[var]
 
+    def _addr(self, var: int) -> Address:
+        addr = self._addr_of.get(var)
+        if addr is None:
+            addr = self._addr_of[var] = (self._space, var)
+        return addr
+
     def write(self, var: int, value: Any, now: int, coverable: bool = False,
               requester: Any = None) -> int:
-        done = self.memory.access_time((self._space, var), now, kind="W")
+        done = self.memory.access_time(self._addr(var), now, kind="W")
         self.transactions += 1
-        engine = self._engine
-
-        def commit() -> None:
-            self._values[var] = value
-            engine.notify_var(var)
-
-        engine.schedule_commit(done, commit)
+        self._engine.schedule_commit(done, _MemCommit(self, var, value))
         # A memory write is acknowledged when the module accepts it; the
         # writer proceeds then (store-and-go), matching posted data writes.
         return done
 
     def read_cost(self, var: int, now: int, requester: Any = None) -> int:
         self.transactions += 1
-        return self.memory.access_time((self._space, var), now)
+        addr = self._addr_of.get(var)
+        if addr is None:
+            addr = self._addr_of[var] = (self._space, var)
+        return self.memory.access_time(addr, now)
 
     def update(self, var: int, fn, now: int) -> "tuple[int, dict]":
-        done = self.memory.access_time((self._space, var), now)
+        done = self.memory.access_time(self._addr(var), now)
         self.transactions += 1
-        engine = self._engine
         cell: dict = {}
-
-        def commit() -> None:
-            self._values[var] = fn(self._values[var])
-            cell["value"] = self._values[var]
-            engine.notify_var(var)
-
-        engine.schedule_commit(done, commit)
+        self._engine.schedule_commit(done,
+                                     _MemUpdateCommit(self, var, fn, cell))
         return done, cell
+
+
+class _PendingBroadcast:
+    """A granted-but-uncommitted broadcast write.
+
+    Doubles as the fabric's ``_pending`` queue entry (coverage rewrites
+    ``value`` in place while the write waits for the bus) and as the
+    scheduled commit event the engine calls at visibility time -- one
+    slotted allocation per broadcast instead of a dict plus a closure.
+    ``seq`` is -1 on clean runs; the recovery layer stamps a real
+    sequence number and routes commits through install/retransmit.
+    """
+
+    __slots__ = ("fabric", "var", "value", "grant", "seq", "lost")
+
+    def __init__(self, fabric: "BroadcastSyncFabric", var: int,
+                 value: Any, grant: int) -> None:
+        self.fabric = fabric
+        self.var = var
+        self.value = value
+        self.grant = grant
+        self.seq = -1
+        self.lost = False
+
+    def __call__(self) -> None:
+        fabric = self.fabric
+        var = self.var
+        pending = fabric._pending
+        if pending.get(var) is self:
+            del pending[var]
+        if self.seq < 0:   # no recovery layer on this run
+            if not self.lost:
+                fabric._values[var] = self.value
+                fabric._engine.notify_var(var)
+            return
+        # The home copy hears every granted broadcast, lost or not.
+        fabric._master[var] = self.value
+        if self.lost:
+            # Gap detected by the receivers: NACK and retransmit
+            # after the detection delay + backoff.
+            fabric._schedule_retransmit(var, self, attempt=1)
+        else:
+            fabric._install(var, self)
 
 
 class BroadcastSyncFabric(SyncFabric):
@@ -214,7 +293,7 @@ class BroadcastSyncFabric(SyncFabric):
         self._next = 0
         self._bus_free_at = 0
         #: queued-but-uncommitted writes: var -> newest pending entry
-        self._pending: Dict[int, dict] = {}
+        self._pending: Dict[int, _PendingBroadcast] = {}
         self.covered_writes = 0
         #: broadcasts dropped by fault injection (never became visible)
         self.lost_broadcasts = 0
@@ -246,10 +325,12 @@ class BroadcastSyncFabric(SyncFabric):
         issue_done = now + self.issue_cost
         pending = self._pending.get(var)
         if (self.coverage and coverable and pending is not None
-                and not pending["granted"]):
-            # The earlier broadcast has not won the bus yet; replace its
-            # payload instead of spending another transaction.
-            pending["value"] = value
+                and pending.grant > now):
+            # The earlier broadcast has not won the bus yet (writes
+            # issue from the resume phase, after all commits at ``now``,
+            # so granted  <=>  grant <= now); replace its payload instead
+            # of spending another transaction.
+            pending.value = value
             self.covered_writes += 1
             return issue_done
 
@@ -258,66 +339,45 @@ class BroadcastSyncFabric(SyncFabric):
         visible = grant + self.bus_service + self.propagation
         self.transactions += 1
 
-        entry = {"value": value, "granted": False}
+        entry = _PendingBroadcast(self, var, value, grant)
         self._pending[var] = entry
         engine = self._engine
         # Fault injection: a broadcast may be delayed by bus jitter or
         # lost outright (it wins the bus but never reaches the local
         # images, so waiters are never notified).
         injector = getattr(engine, "injector", None)
-        lost = False
         if injector is not None:
             lost, extra = injector.broadcast_fate(var)
             visible += extra
+            if lost:
+                entry.lost = True
+                self.lost_broadcasts += 1
         recovery = getattr(engine, "recovery", None)
         if recovery is not None:
             # Sequence-numbered commit: ordering + dedup for retransmits.
-            entry["seq"] = self._seq.get(var, -1) + 1
-            self._seq[var] = entry["seq"]
-            recovery.note_broadcast(lost)
+            entry.seq = self._seq.get(var, -1) + 1
+            self._seq[var] = entry.seq
+            recovery.note_broadcast(entry.lost)
 
-        def grant_cb() -> None:
-            entry["granted"] = True
-
-        def commit() -> None:
-            if self._pending.get(var) is entry:
-                del self._pending[var]
-            if recovery is None:
-                if not lost:
-                    self._values[var] = entry["value"]
-                    engine.notify_var(var)
-                return
-            # The home copy hears every granted broadcast, lost or not.
-            self._master[var] = entry["value"]
-            if lost:
-                # Gap detected by the receivers: NACK and retransmit
-                # after the detection delay + backoff.
-                self._schedule_retransmit(var, entry, attempt=1)
-            else:
-                self._install(var, entry)
-
-        if lost:
-            self.lost_broadcasts += 1
-        engine.schedule_commit(grant, grant_cb)
-        engine.schedule_commit(visible, commit)
+        engine.schedule_commit(visible, entry)
         return issue_done
 
     # -- recovery: retransmission ---------------------------------------
 
-    def _install(self, var: int, entry: dict) -> None:
+    def _install(self, var: int, entry: _PendingBroadcast) -> None:
         """Sequence-guarded install into the local images + wakeup."""
         recovery = getattr(self._engine, "recovery", None)
-        if entry["seq"] <= self._installed_seq.get(var, -1):
+        if entry.seq <= self._installed_seq.get(var, -1):
             # A newer broadcast already committed: this (late or
             # duplicated) delivery is dropped idempotently.
             if recovery is not None:
                 recovery.counters["deduplicated_broadcasts"] += 1
             return
-        self._installed_seq[var] = entry["seq"]
-        self._values[var] = entry["value"]
+        self._installed_seq[var] = entry.seq
+        self._values[var] = entry.value
         self._engine.notify_var(var)
 
-    def _schedule_retransmit(self, var: int, entry: dict,
+    def _schedule_retransmit(self, var: int, entry: _PendingBroadcast,
                              attempt: int) -> None:
         """Queue retransmission ``attempt`` of a lost broadcast."""
         engine = self._engine

@@ -15,6 +15,7 @@ via ``Annotate("tag", ...)``.
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
@@ -36,12 +37,25 @@ def mix(sid: Any, iteration: Any, reads: Sequence[Any]) -> int:
     function, so any reordering that changes a read value changes every
     downstream value and is caught by the validators.  Unwritten memory
     reads as ``None`` and contributes a fixed constant.
+
+    Seeded with ``zlib.crc32`` rather than ``hash()`` (which is salted
+    per interpreter process) so that traces -- and the golden-trace
+    fingerprints pinned from them -- are identical across runs.  The
+    per-instance seed is memoized: it is a pure function of the tag,
+    and the repr + crc32 otherwise dominate the statement hot path.
     """
-    value = hash((str(sid), iteration)) & 0xFFFFFFFF
+    key = (sid, iteration)
+    value = _MIX_SEEDS.get(key)
+    if value is None:
+        value = _MIX_SEEDS[key] = zlib.crc32(
+            repr((str(sid), iteration)).encode())
     for read in reads:
         term = 0x9E3779B9 if read is None else int(read)
         value = (value * 31 + term) & 0xFFFFFFFF
     return value
+
+
+_MIX_SEEDS: Dict[Tag, int] = {}
 
 
 def statement_reads(trace: Iterable[AccessRecord]) -> Dict[Tag, List[Any]]:

@@ -54,6 +54,7 @@ def test_dropping_all_waits_is_detected():
     scheme = ProcessOrientedScheme(processors=8)
     instrumented = scheme.instrument(loop)
     instrumented.plan = strip_waits(instrumented.plan)
+    instrumented.recompile()  # op streams are compiled at instrument time
     result = machine().run(instrumented)
     with pytest.raises(ValidationError):
         instrumented.validate(result)
@@ -75,6 +76,7 @@ def test_dropping_one_wait_is_detected():
                                  statements=sabotaged,
                                  step_of=plan.step_of,
                                  n_sources=plan.n_sources)
+    instrumented.recompile()
     result = machine().run(instrumented)
     with pytest.raises(ValidationError):
         instrumented.validate(result)
@@ -132,10 +134,11 @@ def test_statement_scheme_without_awaits_detected():
     scheme = StatementOrientedScheme()
     instrumented = scheme.instrument(loop)
 
-    def no_wait(sid, dist, pid):
-        return iter(())  # Await becomes a no-op
-
-    instrumented._await = no_wait
+    # Await becomes a no-op: drop every arc (the Advance chain stays,
+    # since the counters were assigned per source at instrument time)
+    # and recompile the op streams.
+    instrumented.arcs = []
+    instrumented.recompile()
     result = machine().run(instrumented)
     with pytest.raises(ValidationError):
         instrumented.validate(result)
@@ -213,6 +216,7 @@ def test_off_by_one_wait_distance_detected():
                                  statements=sabotaged,
                                  step_of=plan.step_of,
                                  n_sources=plan.n_sources)
+    instrumented.recompile()
     result = machine().run(instrumented)
     with pytest.raises(ValidationError):
         instrumented.validate(result)
@@ -253,6 +257,7 @@ def test_wrong_step_number_detected():
                                  statements=sabotaged,
                                  step_of=plan.step_of,
                                  n_sources=plan.n_sources)
+    instrumented.recompile()
     result = machine().run(instrumented)
     with pytest.raises(ValidationError):
         instrumented.validate(result)
