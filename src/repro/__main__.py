@@ -289,8 +289,10 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         "Static happens-before analysis of a compiled sync placement: "
         "prove every dependence arc enforced (or report races with "
         "witness iterations), detect unsatisfiable waits, drop "
-        "provably redundant sync arcs, and cross-check the static "
-        "verdict with a dynamic vector-clock race sanitizer.")
+        "provably redundant sync arcs (or run the cost-model-guided "
+        "placement optimizer), and cross-check the static verdict "
+        "with a dynamic race sanitizer (order-maintenance or "
+        "vector-clock oracle).")
     add_common_options(parser)
     parser.add_argument("--app", default=None,
                         help="registered application name "
@@ -307,6 +309,19 @@ def build_analyze_parser() -> argparse.ArgumentParser:
                         help="drop provably redundant sync arcs and "
                              "replay both placements for identical "
                              "final state")
+    parser.add_argument("--optimize", action="store_true",
+                        help="cost-model-guided search over (scheme "
+                             "config, fold factor, arc subset); prints "
+                             "the audit trail and validates the winner "
+                             "by byte-identical replay")
+    parser.add_argument("--oracle", default="om", choices=["om", "vc"],
+                        help="dynamic race oracle: DePa order "
+                             "maintenance (om, default) or the "
+                             "reference vector clocks (vc)")
+    parser.add_argument("--om", action="store_true",
+                        help="with --gate: also run every statically "
+                             "clean pair through a sanitized dynamic "
+                             "execution under the chosen --oracle")
     parser.add_argument("--window", type=int, default=None,
                         help="override the unrolled iteration window")
     parser.add_argument("--processors", type=int, default=8,
@@ -329,7 +344,8 @@ def build_analyze_parser() -> argparse.ArgumentParser:
 def _analyze_mode(argv) -> int:
     """Statically verify placements; optionally eliminate + cross-check."""
     from .analyze import (ANALYZE_SCHEMA_VERSION, dynamic_check, eliminate,
-                          gate, validate_elimination, verify)
+                          gate, optimize, validate_elimination,
+                          validate_optimization, verify)
     from .analyze.gate import GATE_PARAMS
     from .depend.graph import DependenceGraph
     from .lab.apps import build_app
@@ -340,18 +356,22 @@ def _analyze_mode(argv) -> int:
 
     if args.gate:
         result = gate(apps=[args.app] if args.app else None,
-                      schemes=[args.scheme] if args.scheme else None)
+                      schemes=[args.scheme] if args.scheme else None,
+                      dynamic_oracle=args.oracle if args.om else None)
         for line in result.summary_lines():
             print(line)
         print(f"\nanalysis gate: {len(result.reports)} pair(s), "
               f"{len(result.failing)} failing, "
-              f"{len(result.skipped)} skipped")
+              f"{len(result.skipped)} skipped"
+              + (f", {len(result.dynamic)} dynamically cross-checked "
+                 f"({args.oracle})" if args.om else ""))
         if args.json is not None:
             args.json.write_text(json.dumps({
                 "schema_version": ANALYZE_SCHEMA_VERSION,
                 "reports": {key: report.to_json() for key, report
                             in sorted(result.reports.items())},
                 "skipped": dict(sorted(result.skipped.items())),
+                "dynamic": dict(sorted(result.dynamic.items())),
             }, sort_keys=True, indent=1) + "\n")
             print(f"wrote {len(result.reports)} report(s) to {args.json}")
         return 0 if result.ok else 1
@@ -397,10 +417,40 @@ def _analyze_mode(argv) -> int:
                   f"{replay['makespan_before']} -> "
                   f"{replay['makespan_after']}")
 
+    if args.optimize and not report.requires_serial:
+        opt = optimize(loop, scheme, graph=graph, app=args.app,
+                       window=args.window, processors=args.processors,
+                       oracle=args.oracle)
+        print(f"\noptimizer: {opt.summary()}")
+        for trial in opt.audit:
+            label = trial.arc or trial.action
+            fold = f" X={trial.fold}" if trial.fold is not None else ""
+            print(f"  [{trial.scheme}{fold}] {label}: "
+                  f"ops={trial.sync_ops} "
+                  f"cycles={trial.predicted_cycles:.0f} "
+                  f"-> {trial.verdict}")
+        print(f"  farthest-first baseline: sync ops "
+              f"{opt.baseline['sync_ops_after']}, predicted cycles "
+              f"{opt.baseline['predicted_cycles_after']:.0f}"
+              + (" (optimizer wins)" if opt.beats_baseline else ""))
+        replay = validate_optimization(loop, scheme, opt,
+                                       processors=args.processors,
+                                       schedule=args.schedule)
+        print(f"  replayed both placements: identical final state, "
+              f"measured sync ops {replay['sync_ops_before']} -> "
+              f"{replay['sync_ops_after']}, makespan "
+              f"{replay['makespan_before']} -> "
+              f"{replay['makespan_after']}")
+        if args.json is not None:
+            opt.write_json(args.json)
+            print(f"wrote optimization report to {args.json}")
+            return 1 if failed else 0
+
     if not args.static_only and not report.requires_serial:
         verdict = dynamic_check(scheme.instrument(loop, graph),
                                 processors=args.processors,
-                                schedule=args.schedule)
+                                schedule=args.schedule,
+                                oracle=args.oracle)
         if failed:
             # a single schedule staying clean does not contradict a
             # static finding; a dynamic kill corroborates it
@@ -905,6 +955,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "bench-engine":
         from .bench import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "bench-analyze":
+        from .bench_analyze import main as bench_analyze_main
+        return bench_analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     bindings = {}

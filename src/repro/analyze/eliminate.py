@@ -17,6 +17,12 @@ deltas come from :mod:`repro.compiler.cost_model` evaluated on the
 before/after arc sets, and :func:`validate_elimination` replays both
 placements on the simulator, checking both validate against the
 sequential semantics and produce identical final array state.
+
+The building blocks -- :func:`placement_arcs`, :func:`estimate_cost`
+and the re-instrument-and-verify admission gate :func:`arc_gate` -- are
+shared with :mod:`repro.analyze.optimize`, which replaces this module's
+single greedy pass with a cost-model-guided search over (scheme
+configuration, fold factor, arc subset).
 """
 
 from __future__ import annotations
@@ -33,10 +39,12 @@ from ..sim.machine import Machine, MachineConfig
 from .findings import AnalysisReport, RedundantArc
 from .verifier import AnalysisError, verify_instrumented
 
-__all__ = ["EliminationResult", "eliminate", "validate_elimination"]
+__all__ = ["ARC_SCHEMES", "EliminationResult", "placement_arcs",
+           "estimate_cost", "arc_gate", "eliminate",
+           "validate_elimination"]
 
 #: schemes whose placement is driven by an explicit arc list
-_ARC_SCHEMES = ("statement-oriented", "process-oriented")
+ARC_SCHEMES = ("statement-oriented", "process-oriented")
 
 
 @dataclass
@@ -68,18 +76,43 @@ class EliminationResult:
         }
 
 
-def _placement_arcs(scheme: SyncScheme, instrumented: Any) -> List[SyncArc]:
+def placement_arcs(scheme: SyncScheme, instrumented: Any) -> List[SyncArc]:
+    """The arc list an arc-driven scheme actually compiled in."""
     if scheme.name == "statement-oriented":
         return list(instrumented.arcs)
     return list(instrumented.plan.arcs)
 
 
+def estimate_cost(scheme: SyncScheme, loop: Loop, graph: DependenceGraph,
+                  arcs: List[SyncArc]):
+    """Cost-model estimate of ``scheme`` compiled from ``arcs``."""
+    if scheme.name == "statement-oriented":
+        return estimate_statement_oriented(loop, graph, arcs=arcs)
+    return estimate_process_oriented(
+        loop, graph, n_counters=scheme.n_counters, arcs=arcs)
+
+
 def _estimate_ops(scheme: SyncScheme, loop: Loop, graph: DependenceGraph,
                   arcs: List[SyncArc]) -> int:
-    if scheme.name == "statement-oriented":
-        return estimate_statement_oriented(loop, graph, arcs=arcs).sync_ops
-    return estimate_process_oriented(
-        loop, graph, n_counters=scheme.n_counters, arcs=arcs).sync_ops
+    return estimate_cost(scheme, loop, graph, arcs).sync_ops
+
+
+def arc_gate(loop: Loop, scheme: SyncScheme, graph: DependenceGraph,
+             arcs: List[SyncArc], *, window: Optional[int],
+             app: str) -> Optional[AnalysisReport]:
+    """Re-instrument from ``arcs`` and statically verify the placement.
+
+    The admission gate shared by the greedy eliminator and the
+    cost-model-guided optimizer: returns the verifier's report, or
+    ``None`` when the reduced plan is not even analyzable (which the
+    callers treat as "keep the arc").
+    """
+    try:
+        candidate = scheme.instrument(loop, graph, arcs=arcs)
+        return verify_instrumented(candidate, window=window, app=app,
+                                   scheme_name=scheme.name)
+    except AnalysisError:
+        return None
 
 
 def eliminate(loop: Loop, scheme: SyncScheme, *,
@@ -87,15 +120,15 @@ def eliminate(loop: Loop, scheme: SyncScheme, *,
               app: str = "?",
               window: Optional[int] = None) -> EliminationResult:
     """Drop every arc the verifier proves redundant."""
-    if scheme.name not in _ARC_SCHEMES:
+    if scheme.name not in ARC_SCHEMES:
         raise AnalysisError(
             f"scheme {scheme.name!r} is not arc-driven; elimination "
-            f"applies to {_ARC_SCHEMES}")
+            f"applies to {ARC_SCHEMES}")
     graph = graph or DependenceGraph(loop)
     instrumented = scheme.instrument(loop, graph)
     baseline = verify_instrumented(instrumented, window=window, app=app,
                                    scheme_name=scheme.name)
-    arcs = _placement_arcs(scheme, instrumented)
+    arcs = placement_arcs(scheme, instrumented)
     result = EliminationResult(app=app, scheme=scheme.name,
                                baseline=baseline, kept=list(arcs))
     result.sync_ops_before = _estimate_ops(scheme, loop, graph, arcs)
@@ -108,12 +141,9 @@ def eliminate(loop: Loop, scheme: SyncScheme, *,
     # through shorter arcs (or the fold's ownership chain) can cover.
     for arc in sorted(arcs, key=lambda a: (-a.distance, a.src, a.dst)):
         trial = [kept for kept in result.kept if kept is not arc]
-        try:
-            candidate = scheme.instrument(loop, graph, arcs=trial)
-            report = verify_instrumented(candidate, window=window,
-                                         app=app,
-                                         scheme_name=scheme.name)
-        except AnalysisError:
+        report = arc_gate(loop, scheme, graph, trial, window=window,
+                          app=app)
+        if report is None:
             continue  # the reduced plan is not analyzable: keep the arc
         if report.clean:
             result.kept = trial

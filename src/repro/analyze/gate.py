@@ -52,11 +52,16 @@ class GateResult:
 
     reports: Dict[str, AnalysisReport] = field(default_factory=dict)
     skipped: Dict[str, str] = field(default_factory=dict)
+    #: key -> sanitizer verdict string, when the dynamic cross-check ran
+    dynamic: Dict[str, str] = field(default_factory=dict)
 
     @property
     def failing(self) -> List[str]:
-        return [key for key, report in sorted(self.reports.items())
-                if not report.clean and not report.requires_serial]
+        static = [key for key, report in sorted(self.reports.items())
+                  if not report.clean and not report.requires_serial]
+        static += [key for key, verdict in sorted(self.dynamic.items())
+                   if verdict != "clean" and key not in static]
+        return static
 
     @property
     def ok(self) -> bool:
@@ -65,15 +70,27 @@ class GateResult:
     def summary_lines(self) -> List[str]:
         lines = []
         for key, report in sorted(self.reports.items()):
-            lines.append(f"{key:40s} {report.summary()}")
+            line = f"{key:40s} {report.summary()}"
+            verdict = self.dynamic.get(key)
+            if verdict is not None:
+                line += f" [dynamic: {verdict}]"
+            lines.append(line)
         for key, reason in sorted(self.skipped.items()):
             lines.append(f"{key:40s} SKIP ({reason})")
         return lines
 
 
 def gate(apps: Optional[List[str]] = None,
-         schemes: Optional[List[str]] = None) -> GateResult:
-    """Statically verify every (app, scheme) placement we ship."""
+         schemes: Optional[List[str]] = None, *,
+         dynamic_oracle: Optional[str] = None) -> GateResult:
+    """Statically verify every (app, scheme) placement we ship.
+
+    With ``dynamic_oracle`` ("om" or "vc"), every statically-clean pair
+    is additionally executed on a sanitized maximally-parallel schedule
+    and race-checked through that oracle; the verdicts land in
+    ``GateResult.dynamic`` and a non-clean one fails the gate.  Cheap
+    enough to run everywhere only since the order-maintenance oracle.
+    """
     result = GateResult()
     for app in apps or sorted(APP_BUILDERS):
         params = GATE_PARAMS.get(app, {})
@@ -82,11 +99,17 @@ def gate(apps: Optional[List[str]] = None,
         for scheme_name in schemes or scheme_names():
             key = f"{app}/{scheme_name}"
             try:
-                report = verify(loop, make_scheme(scheme_name),
-                                graph=graph, app=app)
+                scheme = make_scheme(scheme_name)
+                report = verify(loop, scheme, graph=graph, app=app)
             except (AnalysisError, NotImplementedError,
                     ValueError) as err:
                 result.skipped[key] = str(err)
                 continue
             result.reports[key] = report
+            if dynamic_oracle is not None and report.clean:
+                from .sanitizer import dynamic_check
+                instrumented = scheme.instrument(loop, graph)
+                verdict = dynamic_check(instrumented,
+                                        oracle=dynamic_oracle)
+                result.dynamic[key] = verdict.verdict
     return result

@@ -1,24 +1,37 @@
-"""Dynamic vector-clock race sanitizer -- the verifier's oracle.
+"""Dynamic race sanitizer -- the verifier's oracle, two backends.
 
 Runs an instrumented loop on the simulated machine and replays the
-recorded event stream (data accesses from ``RunResult.trace`` plus
-synchronization events from ``RunResult.sync_trace``, merged by their
-shared issue-order ``seq`` numbers) through a FastTrack-style vector
-clock analysis:
+recorded event stream through a happens-before race analysis.  The
+stream is ``(seq, kind, where, task)`` tuples: data accesses (``"R"`` /
+``"W"`` at an address) merged with synchronization events (``"rel"`` /
+``"acq"`` / ``"upd"`` on a sync variable) by their shared issue-order
+``seq`` numbers.  It comes from either
 
-* ``rel`` (a ``SyncWrite``) joins the releaser's clock into the sync
-  variable's clock, then advances the releaser's own component;
-* ``acq`` (a satisfied ``WaitUntil`` or a ``SyncRead``) joins the sync
-  variable's clock into the acquirer;
-* ``upd`` (a ``SyncUpdate``, an atomic read-modify-write) does both;
-* a data write must be ordered after the location's last write *and*
-  every read since it; a data read must be ordered after the last
-  write.  Unordered conflicting pairs are races.
+* the lightweight **sync tap** (``RunResult.tap``, recorded by the
+  engine in any metrics mode, including ``"counters"`` where the full
+  trace is off) -- the tap appends at exactly the points the trace
+  recorder allocates ``seq`` numbers, so list index *is* issue order; or
+* the full ``RunResult.trace`` + ``RunResult.sync_trace`` pair, merged
+  and sorted by ``seq`` (the pre-tap path, kept for recorded runs).
 
 The engine is a single-threaded discrete-event simulator that commits a
 synchronization write before resuming any waiter it satisfies, so issue
 order is consistent with program order and with every
 release-before-acquire edge -- replaying in ``seq`` order is sound.
+
+Two oracles consume the stream and must agree verdict for verdict:
+
+* ``oracle="om"`` (default): the DePa-style order-maintenance checker
+  in :mod:`repro.analyze.om` -- O(1) per race query, linear-time over
+  the stream, the one that scales to million-event counters-mode runs;
+* ``oracle="vc"``: the original FastTrack-style vector clocks, kept as
+  the independent differential-testing reference.  ``rel`` joins the
+  releaser's clock into the variable's clock then advances the
+  releaser; ``acq`` joins the variable's clock into the acquirer (with
+  a per-(task, variable) revision cache so re-acquiring an unchanged
+  variable no longer re-walks its whole clock -- the profile hotspot);
+  ``upd`` does both.  A data write must be ordered after the location's
+  last write *and* every read since it; a read after the last write.
 
 Verdicts fold in the machine's own failure modes so one call answers
 "did this schedule kill the mutant": a diagnosed deadlock or hazard is
@@ -37,8 +50,10 @@ from ..sim.machine import Machine, MachineConfig
 from ..sim.metrics import RunResult
 from ..sim.validate import ValidationError
 from ..schemes.base import InstrumentedLoop
+from .om import check_stream as _om_check_stream
 
-__all__ = ["RaceEvent", "DynamicVerdict", "check_trace", "dynamic_check"]
+__all__ = ["RaceEvent", "DynamicVerdict", "event_stream", "check_trace",
+           "dynamic_check"]
 
 #: addresses owned by the harness, not the program under test
 _HARNESS_SPACES = ("__sched__",)
@@ -46,6 +61,9 @@ _HARNESS_SPACES = ("__sched__",)
 #: generous watchdog: poll-mode fabrics never report an empty event
 #: queue, so stagnation is how their deadlocks are diagnosed
 _STAGNATION_LIMIT = 100_000
+
+#: kinds naming a sync variable rather than a data address
+_SYNC_KINDS = ("rel", "acq", "upd")
 
 
 @dataclass(frozen=True)
@@ -111,8 +129,20 @@ def _join(into: Dict[str, int], other: Dict[str, int]) -> None:
             into[task] = tick
 
 
-def check_trace(result: RunResult) -> List[RaceEvent]:
-    """Replay a run's event stream through the vector-clock analysis."""
+def event_stream(result: RunResult) -> List[Tuple[int, str, Any, str]]:
+    """Merged, harness-filtered ``(seq, kind, where, task)`` stream.
+
+    Both oracles consume this one stream, so filtering (and therefore
+    task-boot order) is decided here, once.  Prefers the engine's sync
+    tap when the run carries one -- it is already in issue order and
+    exists even in counters mode; otherwise merges the full trace with
+    the sync trace by ``seq``.
+    """
+    tap = getattr(result, "tap", None)
+    if tap:
+        return [(seq, kind, where, task)
+                for seq, (kind, where, task) in enumerate(tap)
+                if kind in _SYNC_KINDS or where[0] not in _HARNESS_SPACES]
     events: List[Tuple[int, str, Any, str]] = []
     for record in result.trace:
         if record.addr[0] in _HARNESS_SPACES:
@@ -121,9 +151,29 @@ def check_trace(result: RunResult) -> List[RaceEvent]:
     for seq, kind, var, _value, task in result.sync_trace:
         events.append((seq, kind, var, task))
     events.sort(key=lambda event: event[0])
+    return events
 
+
+def check_trace(result: RunResult, oracle: str = "om") -> List[RaceEvent]:
+    """Replay a run's event stream through a happens-before analysis.
+
+    ``oracle="om"`` uses the order-maintenance checker (the default);
+    ``oracle="vc"`` the original vector clocks.  Both return the same
+    races in the same order -- the mutation corpus pins this.
+    """
+    events = event_stream(result)
+    if oracle == "om":
+        return [RaceEvent(*race) for race in _om_check_stream(events)]
+    if oracle != "vc":
+        raise ValueError(f"unknown oracle {oracle!r}; use 'om' or 'vc'")
+    return _check_vc(events)
+
+
+def _check_vc(events: List[Tuple[int, str, Any, str]]) -> List[RaceEvent]:
     clocks = _Clocks()
     var_clocks: Dict[Any, Dict[str, int]] = {}
+    var_revision: Dict[Any, int] = {}                  # bumped per release
+    acquired: Dict[str, Dict[Any, int]] = {}           # task -> var -> rev
     last_write: Dict[Any, Tuple[str, int, int]] = {}   # task, tick, seq
     reads: Dict[Any, Dict[str, Tuple[int, int]]] = {}  # task -> tick, seq
     races: List[RaceEvent] = []
@@ -131,14 +181,22 @@ def check_trace(result: RunResult) -> List[RaceEvent]:
     for seq, kind, where, task in events:
         clock = clocks.of(task)
         if kind == "acq":
-            _join(clock, var_clocks.get(where, {}))
+            # Joining a variable whose clock has not changed since this
+            # task last joined it is a no-op: skip the dict walk.
+            revision = var_revision.get(where, 0)
+            seen = acquired.setdefault(task, {})
+            if seen.get(where) != revision:
+                _join(clock, var_clocks.get(where, {}))
+                seen[where] = revision
         elif kind == "rel":
             _join(var_clocks.setdefault(where, {}), clock)
             clock[task] = clock.get(task, 0) + 1
+            var_revision[where] = var_revision.get(where, 0) + 1
         elif kind == "upd":
-            _join(clock, var_clocks.get(where, {}))
+            _join(clock, var_clocks.setdefault(where, {}))
             _join(var_clocks[where], clock)
             clock[task] = clock.get(task, 0) + 1
+            var_revision[where] = var_revision.get(where, 0) + 1
         elif kind == "R":
             writer = last_write.get(where)
             if writer is not None and writer[0] != task \
@@ -171,7 +229,8 @@ def dynamic_check(instrumented: InstrumentedLoop, *,
                   processors: Optional[int] = None,
                   schedule: str = "self",
                   validate: bool = True,
-                  max_races: int = 20) -> DynamicVerdict:
+                  max_races: int = 20,
+                  oracle: str = "om") -> DynamicVerdict:
     """Run one schedule and report how (whether) it kills the placement.
 
     ``processors`` defaults to one per iteration -- the maximally
@@ -187,7 +246,7 @@ def dynamic_check(instrumented: InstrumentedLoop, *,
         result = machine.run(instrumented)
     except HazardError as err:  # includes diagnosed DeadlockError
         return DynamicVerdict(verdict="deadlock", detail=str(err))
-    races = check_trace(result)
+    races = check_trace(result, oracle=oracle)
     if races:
         detail = "; ".join(r.describe() for r in races[:max_races])
         return DynamicVerdict(verdict="race", races=races,

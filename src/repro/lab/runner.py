@@ -101,27 +101,46 @@ class JobCancelled(RuntimeError):
 
 
 def _elimination_info(config: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
-    """The cell's redundant-sync column: eliminator counts, as metrics.
+    """The cell's redundant-sync column: optimizer counts, as metrics.
 
     Analysis only -- the simulated run keeps the scheme's full
     placement, so every other metric stays comparable with and without
-    the column.  Imported lazily: :mod:`repro.analyze` imports
-    ``lab.apps``, so a module-level import here would be circular.
+    the column.  The column is computed by the cost-model-guided
+    optimizer (:mod:`repro.analyze.optimize`); the dict keeps the
+    eliminator-era keys (``sync_arcs``, ``sync_arcs_after``,
+    ``sync_ops_before``, ``sync_ops_after``, ``dropped``) so existing
+    record consumers keep working, and adds the optimizer's predicted
+    cycle counts and chosen configuration.  Imported lazily:
+    :mod:`repro.analyze` imports ``lab.apps``, so a module-level import
+    here would be circular.
     """
     if not config.get("eliminate") or config["scheme"] == AUTO_SCHEME:
         return None
     from ..analyze import AnalysisError
-    from ..analyze.eliminate import eliminate
+    from ..analyze.optimize import optimize
     loop = build_app(config["app"], config["app_params"])
     try:
-        result = eliminate(loop, make_scheme(config["scheme"]),
-                           app=config["app"])
+        report = optimize(loop, make_scheme(config["scheme"]),
+                          app=config["app"])
     except (AnalysisError, NotImplementedError, ValueError) as err:
         return {"supported": False,
                 "reason": str(err).splitlines()[0]}
-    info: Dict[str, Any] = {"supported": True}
-    info.update(result.summary())
-    return info
+    return {
+        "supported": True,
+        # eliminator-compatible keys (the original column shape)
+        "sync_arcs": len(report.kept) + len(report.dropped),
+        "sync_arcs_after": len(report.kept),
+        "sync_ops_before": report.sync_ops_before,
+        "sync_ops_after": report.sync_ops_after,
+        "dropped": [f"{arc.src_sid}->{arc.dst_sid} (d={arc.distance})"
+                    for arc in report.dropped],
+        # optimizer extras
+        "predicted_cycles_before": report.predicted_cycles_before,
+        "predicted_cycles_after": report.predicted_cycles_after,
+        "chosen_scheme": report.chosen_scheme,
+        "chosen_fold": report.chosen_fold,
+        "beats_baseline": report.beats_baseline,
+    }
 
 
 def _machine_for(config: Mapping[str, Any]) -> Machine:

@@ -386,7 +386,8 @@ class Engine:
                  max_cycles: int = 50_000_000, record_trace: bool = True,
                  injector=None,
                  stagnation_limit: Optional[int] = None,
-                 collect_events: bool = True) -> None:
+                 collect_events: bool = True,
+                 sync_tap: bool = False) -> None:
         self.memory = memory
         self.fabric = fabric
         fabric.attach(self)
@@ -414,6 +415,12 @@ class Engine:
         #: with every release-before-matching-acquire.
         self.sync_trace: List[Tuple[int, str, int, Any, str]] = []
         self._sync_seq = itertools.count()
+        #: lightweight sanitizer stream: (kind, where, task) appended at
+        #: exactly the program points where the trace recorder allocates
+        #: seq numbers, so list index *is* issue order -- available in
+        #: any metrics mode, including counters (None when off)
+        self.tap: Optional[List[Tuple[str, Any, str]]] = (
+            [] if sync_tap else None)
         #: (time, kind, payload) markers from Annotate ops (phase events)
         self.events: List[Tuple[int, str, dict]] = []
         #: (task, kind, start, end) activity segments for timelines;
@@ -537,6 +544,8 @@ class Engine:
                                               parked_at, now))
                     self.sync_trace.append((next(self._sync_seq), "acq",
                                             var, value, task.stats.name))
+                if self.tap is not None:
+                    self.tap.append(("acq", var, task.stats.name))
                 task.pending_value = None
                 if wake is None:
                     time = now + 1
@@ -950,10 +959,12 @@ class Engine:
 
     def _record_sync(self, kind: str, var: int, value: Any,
                      task: _Task) -> None:
-        """Append one sanitizer event (gated on trace recording)."""
+        """Append one sanitizer event (the tap works in any mode)."""
         if self.record_trace:
             self.sync_trace.append((next(self._sync_seq), kind, var,
                                     value, task.stats.name))
+        if self.tap is not None:
+            self.tap.append((kind, var, task.stats.name))
 
     # -- shared memory --------------------------------------------------
 
@@ -972,6 +983,8 @@ class Engine:
                         commit=time, kind="R", addr=addr,
                         value=value, task=task.stats.name, tag=task.tag,
                         seq=next(self._sync_seq)))
+                if self.tap is not None:
+                    self.tap.append(("R", addr, task.stats.name))
                 task.pending_value = value
                 buckets = self._buckets
                 bucket = buckets.get(time)
@@ -992,6 +1005,8 @@ class Engine:
             seq = next(self._sync_seq)
         else:
             seq = 0
+        if self.tap is not None:
+            self.tap.append(("R", addr, task.stats.name))
         event = _ReadDone(self, task, addr, task.tag, seq)
         if done == now:
             self._open_resumes.append(event)
@@ -1016,6 +1031,8 @@ class Engine:
             seq = next(self._sync_seq)
         else:
             seq = 0
+        if self.tap is not None:
+            self.tap.append(("W", addr, task.stats.name))
         pending = task.store_buffer.get(addr)
         if pending is None:
             task.store_buffer[addr] = [1, op.value]

@@ -88,6 +88,11 @@ class MachineConfig:
     #: end-of-run counters are wanted, so per-event collection (trace,
     #: activity, events) is skipped entirely; forces record_trace off.
     metrics: str = "full"
+    #: record the lightweight sanitizer stream (``RunResult.tap``):
+    #: (kind, where, task) tuples in issue order, three words per event
+    #: instead of a full AccessRecord -- works in any metrics mode, and
+    #: is how counters-mode runs stay race-checkable
+    sync_tap: bool = False
 
     def __post_init__(self) -> None:
         if self.processors < 1:
@@ -159,7 +164,8 @@ class Machine:
                         record_trace=self.config.record_trace,
                         injector=injector,
                         stagnation_limit=self.config.stagnation_limit,
-                        collect_events=(self.config.metrics != "counters"))
+                        collect_events=(self.config.metrics != "counters"),
+                        sync_tap=self.config.sync_tap)
         recovery = None
         if injector is not None and self.config.recovery is not None:
             recovery = RecoveryManager(self.config.recovery, plan)
@@ -225,4 +231,5 @@ class Machine:
             sync_trace=engine.sync_trace,
             final_memory=memory.snapshot(),
             extra=extra,
+            tap=engine.tap,
         )

@@ -105,6 +105,12 @@ class RunResult:
     sync_trace: List[Any] = field(default_factory=list)
     final_memory: Dict[Any, Any] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: lightweight sanitizer stream from the engine's sync tap:
+    #: (kind, where, task) tuples whose list index is issue order --
+    #: present (possibly empty) when the run had ``sync_tap=True``,
+    #: None otherwise.  Recorded in any metrics mode, which is what
+    #: makes counters-mode runs race-checkable.
+    tap: Any = None
 
     @property
     def total_busy(self) -> int:

@@ -10,15 +10,22 @@ weakened, one mutant at a time.  The contract proven here:
 * every mutant the verifier passes as clean stays clean dynamically --
   the two oracles never disagree (the handful of statically-clean
   weakens are genuinely redundant waits, which is the eliminator's
-  domain, not a missed bug).
+  domain, not a missed bug);
+* on every mutant trace that produced a checkable stream, the
+  order-maintenance and vector-clock sanitizer oracles return the same
+  races in the same order -- the full-corpus differential that lets
+  the fast OM oracle stand in for the clocks everywhere.
 """
 
 from __future__ import annotations
 
+import functools
+
 import pytest
 
-from repro.analyze import (apply_mutant, dynamic_check, enumerate_mutants,
-                           kill_mutant, verify_instrumented)
+from repro.analyze import (apply_mutant, check_trace, dynamic_check,
+                           enumerate_mutants, kill_mutant,
+                           verify_instrumented)
 from repro.lab.apps import build_app
 from repro.schemes.registry import make_scheme, scheme_names
 
@@ -42,8 +49,13 @@ SMALL = {
 }
 
 
+@functools.lru_cache(maxsize=None)
 def _sweep_pair(app, scheme_name):
-    """(mutant, static_report, dynamic_verdict) for every mutant."""
+    """(mutant, static_report, dynamic_verdict) for every mutant.
+
+    Cached: the kill sweep and the oracle differential below share one
+    simulation per mutant instead of paying for the corpus twice.
+    """
     loop = build_app(app, SMALL[app])
     instrumented = make_scheme(scheme_name).instrument(loop)
     out = []
@@ -76,6 +88,39 @@ def test_every_mutant_agreed_on(app):
             else:
                 assert verdict.killed, (
                     f"{label}: static flagged but no schedule killed it")
+
+
+@pytest.mark.parametrize("app", sorted(SMALL))
+def test_oracles_agree_on_every_mutant(app):
+    """OM and VC return identical race lists on every mutant trace.
+
+    Diagnosed deadlocks carry no stream (the machine stopped before a
+    trace existed), so both oracles trivially agree there; every other
+    verdict -- clean, race, corruption -- carries the run, and the two
+    oracles must match race for race on it.
+    """
+    for scheme_name in scheme_names():
+        for mutant, _static, verdict in _sweep_pair(app, scheme_name):
+            if verdict.result is None:
+                continue  # diagnosed deadlock: nothing was traced
+            races_om = check_trace(verdict.result, oracle="om")
+            races_vc = check_trace(verdict.result, oracle="vc")
+            assert races_om == races_vc, (
+                f"{app}/{scheme_name}/{mutant.label}: oracles disagree")
+
+
+def test_oracle_differential_is_not_vacuous():
+    """Enough mutant runs carry streams (and races) to mean something."""
+    streams = races = 0
+    for app in sorted(SMALL):
+        for scheme_name in scheme_names():
+            for _mutant, _static, verdict in _sweep_pair(app, scheme_name):
+                if verdict.result is None:
+                    continue
+                streams += 1
+                races += bool(verdict.races)
+    assert streams >= 30, streams
+    assert races >= 5, races
 
 
 def test_mutants_exist_for_every_scheme():

@@ -1,6 +1,6 @@
-"""Dynamic vector-clock sanitizer: clean placements stay clean across
-schedules; hand-built unsynchronized traces and starved placements are
-flagged."""
+"""Dynamic race sanitizer, both oracles: clean placements stay clean
+across schedules; hand-built unsynchronized traces and starved
+placements are flagged; order-maintenance and vector clocks agree."""
 
 from __future__ import annotations
 
@@ -14,12 +14,13 @@ from repro.sim import Machine, MachineConfig
 from repro.sim.engine import AccessRecord
 
 
+@pytest.mark.parametrize("oracle", ["om", "vc"])
 @pytest.mark.parametrize("schedule", ["self", "cyclic", "block"])
 @pytest.mark.parametrize("scheme_name", scheme_names())
-def test_shipped_placements_sanitize_clean(scheme_name, schedule):
+def test_shipped_placements_sanitize_clean(scheme_name, schedule, oracle):
     loop = build_app("fig2.1", {"n": 12})
     instrumented = make_scheme(scheme_name).instrument(loop)
-    verdict = dynamic_check(instrumented, schedule=schedule)
+    verdict = dynamic_check(instrumented, schedule=schedule, oracle=oracle)
     assert verdict.verdict == "clean", verdict.races[:2]
     assert not verdict.killed
 
@@ -33,7 +34,8 @@ def test_clean_across_seedsized_machines():
         assert verdict.verdict == "clean"
 
 
-def test_hand_built_racy_trace_is_flagged():
+@pytest.mark.parametrize("oracle", ["om", "vc"])
+def test_hand_built_racy_trace_is_flagged(oracle):
     """Two tasks touch one element with no sync edge between them."""
 
     class FakeResult:
@@ -45,14 +47,15 @@ def test_hand_built_racy_trace_is_flagged():
         ]
         sync_trace = []
 
-    races = check_trace(FakeResult())
+    races = check_trace(FakeResult(), oracle=oracle)
     assert len(races) == 1
     assert races[0].addr == ("A", 1)
     assert {races[0].first_task, races[0].second_task} == {"p0", "p1"}
     assert "A" in races[0].describe()
 
 
-def test_release_acquire_chain_suppresses_the_race():
+@pytest.mark.parametrize("oracle", ["om", "vc"])
+def test_release_acquire_chain_suppresses_the_race(oracle):
     """The same access pair, now ordered through a sync variable."""
 
     class FakeResult:
@@ -67,7 +70,16 @@ def test_release_acquire_chain_suppresses_the_race():
             (3, "acq", 7, 1, "p1"),
         ]
 
-    assert check_trace(FakeResult()) == []
+    assert check_trace(FakeResult(), oracle=oracle) == []
+
+
+def test_unknown_oracle_rejected():
+    class FakeResult:
+        trace = []
+        sync_trace = []
+
+    with pytest.raises(ValueError, match="oracle"):
+        check_trace(FakeResult(), oracle="coin-flip")
 
 
 def test_engine_trace_from_real_run_checks_clean():
@@ -77,6 +89,17 @@ def test_engine_trace_from_real_run_checks_clean():
     result = machine.run(instrumented)
     assert result.sync_trace, "engine must record sync events"
     assert check_trace(result) == []
+
+
+def test_oracles_agree_on_real_runs():
+    """Same RunResult, both oracles: identical race lists."""
+    for scheme_name in scheme_names():
+        loop = build_app("example3", {"n": 10})
+        instrumented = make_scheme(scheme_name).instrument(loop)
+        machine = Machine(MachineConfig(processors=10, record_trace=True))
+        result = machine.run(instrumented)
+        assert (check_trace(result, oracle="om")
+                == check_trace(result, oracle="vc"))
 
 
 def test_starved_waiter_surfaces_as_deadlock_verdict():
